@@ -1,0 +1,61 @@
+// Shared scaffolding for the figure benches: environment-scaled defaults
+// and testbed construction. Every bench honours the LILSM_* overrides
+// documented in core/config.h so a full-size (paper-scale) run is one
+// command away.
+#ifndef LILSM_BENCH_BENCH_COMMON_H_
+#define LILSM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/report.h"
+#include "core/testbed.h"
+
+namespace lilsm {
+namespace bench {
+
+inline ExperimentDefaults BenchDefaults() {
+  ExperimentDefaults d = ExperimentDefaults::FromEnvironment();
+  if (std::getenv("LILSM_N") == nullptr) d.num_keys = 60'000;
+  if (std::getenv("LILSM_OPS") == nullptr) d.num_ops = 6'000;
+  if (std::getenv("LILSM_VALUE_SIZE") == nullptr) d.value_size = 120;
+  if (std::getenv("LILSM_SST_MB") == nullptr) {
+    d.sstable_target_size = 1 << 20;
+  }
+  d.write_buffer_size = 1 << 20;
+  return d;
+}
+
+inline std::string BenchDir(const std::string& name) {
+  const char* base = std::getenv("LILSM_BENCH_DIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/lilsm_bench_" +
+         name;
+}
+
+inline Status MakeTestbed(const std::string& name, const IndexSetup& setup,
+                          const ExperimentDefaults& defaults,
+                          std::unique_ptr<Testbed>* bed) {
+  Testbed::Options options;
+  options.dir = BenchDir(name);
+  options.defaults = defaults;
+  options.setup = setup;
+  options.sim = SimEnv::OptionsFromEnvironment();
+  return Testbed::Create(options, bed);
+}
+
+inline void PrintHeader(const char* figure, const char* what,
+                        const ExperimentDefaults& d) {
+  std::printf(
+      "# %s — %s\n"
+      "# scaled run: N=%zu keys, %u B values, %zu ops, SST=%.1f MiB "
+      "(paper: 6.4M keys, 1000 B values, 1M ops; see EXPERIMENTS.md)\n\n",
+      figure, what, d.num_keys, d.value_size, d.num_ops,
+      d.sstable_target_size / 1048576.0);
+}
+
+}  // namespace bench
+}  // namespace lilsm
+
+#endif  // LILSM_BENCH_BENCH_COMMON_H_

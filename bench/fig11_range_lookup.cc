@@ -1,0 +1,59 @@
+// Figure 11: range lookups — short ranges behave like point lookups
+// (boundary matters); long ranges are scan-dominated and the learned
+// advantage fades (Observation 6).
+#include "bench/bench_common.h"
+
+using namespace lilsm;
+
+int main() {
+  ExperimentDefaults d = bench::BenchDefaults();
+  d.num_ops = std::max<size_t>(200, d.num_ops / 10);  // scans are heavy
+  bench::PrintHeader("Figure 11", "range lookups vs boundary and length", d);
+
+  IndexSetup setup;
+  setup.type = IndexType::kPGM;
+  setup.position_boundary = 64;
+  std::unique_ptr<Testbed> bed;
+  Status s = bench::MakeTestbed("fig11", setup, d, &bed);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig11: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const size_t range_lengths[] = {2, 128, 512};
+  const uint32_t boundaries[] = {128, 64, 32};
+
+  for (size_t range_len : range_lengths) {
+    ReportTable table("Figure 11: range lookup latency (us/op), range=" +
+                      std::to_string(range_len));
+    std::vector<std::string> header = {"index"};
+    for (uint32_t b : boundaries) header.push_back("b=" + std::to_string(b));
+    header.push_back("memory_b32");
+    table.SetHeader(header);
+    for (IndexType type : kAllIndexTypes) {
+      std::vector<std::string> row = {IndexTypeName(type)};
+      size_t memory = 0;
+      for (uint32_t boundary : boundaries) {
+        IndexSetup config;
+        config.type = type;
+        config.position_boundary = boundary;
+        if (!(s = bed->Reconfigure(config)).ok()) break;
+        RunMetrics metrics;
+        if (!(s = bed->RunRangeLookups(d.num_ops, range_len, &metrics)).ok()) {
+          break;
+        }
+        row.push_back(FormatMicros(metrics.MeanLatencyUs()));
+        memory = metrics.index_memory;
+      }
+      if (!s.ok()) break;
+      row.push_back(std::to_string(memory));
+      table.AddRow(row);
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig11: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    table.Emit();
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 12: the six YCSB mixes — average operation latency against index
+// memory across index types (Observation 7: mixed-workload tradeoffs
+// mirror the read-only ones; PGM stays on the frontier).
+#include "bench/bench_common.h"
+
+using namespace lilsm;
+
+int main() {
+  ExperimentDefaults d = bench::BenchDefaults();
+  d.num_ops = std::max<size_t>(500, d.num_ops / 2);
+  bench::PrintHeader("Figure 12", "YCSB A-F: latency vs index memory", d);
+
+  for (YcsbWorkload workload : kAllYcsbWorkloads) {
+    // Writes mutate the tree, so each workload gets a fresh load.
+    IndexSetup setup;
+    setup.type = IndexType::kPGM;
+    setup.position_boundary = 64;
+    std::unique_ptr<Testbed> bed;
+    Status s = bench::MakeTestbed("fig12", setup, d, &bed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig12: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    ReportTable table(std::string("Figure 12: YCSB-") +
+                      YcsbWorkloadName(workload));
+    table.SetHeader({"index", "b=128 us", "b=128 mem", "b=16 us",
+                     "b=16 mem"});
+    for (IndexType type : kAllIndexTypes) {
+      std::vector<std::string> row = {IndexTypeName(type)};
+      for (uint32_t boundary : {128u, 16u}) {
+        IndexSetup config;
+        config.type = type;
+        config.position_boundary = boundary;
+        if (!(s = bed->Reconfigure(config)).ok()) break;
+        RunMetrics metrics;
+        if (!(s = bed->RunYcsb(workload, d.num_ops, &metrics)).ok()) break;
+        row.push_back(FormatMicros(metrics.MeanLatencyUs()));
+        row.push_back(std::to_string(metrics.index_memory));
+      }
+      if (!s.ok()) break;
+      table.AddRow(row);
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig12: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    table.Emit();
+  }
+  return 0;
+}

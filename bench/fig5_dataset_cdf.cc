@@ -1,0 +1,38 @@
+// Figure 5: CDFs of the seven datasets. Emits (key, cdf) series suitable
+// for plotting, plus per-dataset hardness markers (PGM segment counts).
+#include "bench/bench_common.h"
+#include "workload/dataset.h"
+
+int main() {
+  using namespace lilsm;
+  ExperimentDefaults d = bench::BenchDefaults();
+  bench::PrintHeader("Figure 5", "dataset CDFs", d);
+
+  for (Dataset dataset : kAllDatasets) {
+    std::vector<Key> keys = GenerateKeys(dataset, d.num_keys, d.seed);
+    auto cdf = SampleCdf(keys, 21);
+
+    ReportTable table(std::string("Figure 5: CDF of ") +
+                      DatasetName(dataset));
+    table.SetHeader({"key", "cdf"});
+    for (const auto& [key, proportion] : cdf) {
+      table.AddRow({std::to_string(key), FormatMicros(proportion)});
+    }
+    table.Emit();
+  }
+
+  // Hardness summary: segments the optimal PLA needs at epsilon=32.
+  ReportTable summary("Figure 5 summary: PLA hardness (PGM segments, eps=32)");
+  summary.SetHeader({"dataset", "segments", "keys/segment"});
+  for (Dataset dataset : kAllDatasets) {
+    std::vector<Key> keys = GenerateKeys(dataset, d.num_keys, d.seed);
+    auto index = CreateIndex(IndexType::kPGM);
+    index->Build(keys.data(), keys.size(),
+                 IndexConfig::FromPositionBoundary(64));
+    summary.AddRow({DatasetName(dataset),
+                    std::to_string(index->SegmentCount()),
+                    std::to_string(keys.size() / index->SegmentCount())});
+  }
+  summary.Emit();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 6: point-lookup latency and index memory versus position boundary
+// {256..8} for all seven index types (Observations 1 and 2). Dataset
+// selectable via LILSM_DATASET; LILSM_ALL_DATASETS=1 sweeps all seven.
+#include "bench/bench_common.h"
+
+using namespace lilsm;
+
+namespace {
+
+void RunDataset(Dataset dataset, const ExperimentDefaults& base) {
+  ExperimentDefaults d = base;
+  d.dataset = dataset;
+
+  IndexSetup setup;  // initial build; every config is a Reconfigure away
+  setup.type = IndexType::kPGM;
+  setup.position_boundary = 64;
+  std::unique_ptr<Testbed> bed;
+  Status s = bench::MakeTestbed("fig6", setup, d, &bed);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig6: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  ReportTable latency(std::string("Figure 6(") + DatasetName(dataset) +
+                      "): point lookup latency (us/op)");
+  ReportTable memory(std::string("Figure 6(") + DatasetName(dataset) +
+                     "): index memory (bytes)");
+  std::vector<std::string> header = {"index"};
+  for (uint32_t b : kPositionBoundaries) {
+    header.push_back("b=" + std::to_string(b));
+  }
+  latency.SetHeader(header);
+  memory.SetHeader(header);
+
+  for (IndexType type : kAllIndexTypes) {
+    std::vector<std::string> lat_row = {IndexTypeName(type)};
+    std::vector<std::string> mem_row = {IndexTypeName(type)};
+    for (uint32_t boundary : kPositionBoundaries) {
+      IndexSetup config;
+      config.type = type;
+      config.position_boundary = boundary;
+      s = bed->Reconfigure(config);
+      if (!s.ok()) {
+        std::fprintf(stderr, "fig6: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+      RunMetrics metrics;
+      s = bed->RunPointLookups(d.num_ops, /*zipfian=*/false, &metrics);
+      if (!s.ok()) {
+        std::fprintf(stderr, "fig6: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+      lat_row.push_back(FormatMicros(metrics.MeanLatencyUs()));
+      mem_row.push_back(std::to_string(metrics.index_memory));
+    }
+    latency.AddRow(lat_row);
+    memory.AddRow(mem_row);
+  }
+  latency.Emit();
+  memory.Emit();
+}
+
+}  // namespace
+
+int main() {
+  ExperimentDefaults d = bench::BenchDefaults();
+  bench::PrintHeader("Figure 6",
+                     "latency & memory vs position boundary, all indexes", d);
+  if (std::getenv("LILSM_ALL_DATASETS") != nullptr) {
+    for (Dataset dataset : kAllDatasets) RunDataset(dataset, d);
+  } else {
+    RunDataset(d.dataset, d);
+  }
+  return 0;
+}

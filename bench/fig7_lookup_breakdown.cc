@@ -1,0 +1,78 @@
+// Figure 7: query time breakdown. (A) per index type at boundary 64:
+// I/O vs prediction vs binary search (I/O dominates ~10x). (B) prediction
+// time as the boundary shrinks.
+#include "bench/bench_common.h"
+
+using namespace lilsm;
+
+int main() {
+  ExperimentDefaults d = bench::BenchDefaults();
+  bench::PrintHeader("Figure 7", "point-lookup time breakdown", d);
+
+  IndexSetup setup;
+  setup.type = IndexType::kPGM;
+  setup.position_boundary = 64;
+  std::unique_ptr<Testbed> bed;
+  Status s = bench::MakeTestbed("fig7", setup, d, &bed);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig7: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  ReportTable breakdown("Figure 7(A): per-op stage time at boundary 64 (us)");
+  breakdown.SetHeader({"index", "io", "predict", "binary_search", "bloom",
+                       "io_share"});
+  for (IndexType type : kAllIndexTypes) {
+    IndexSetup config;
+    config.type = type;
+    config.position_boundary = 64;
+    if (!(s = bed->Reconfigure(config)).ok()) break;
+    RunMetrics metrics;
+    if (!(s = bed->RunPointLookups(d.num_ops, false, &metrics)).ok()) break;
+    const Stats& stats = metrics.stats;
+    const double ops = static_cast<double>(d.num_ops);
+    const double io = stats.TimeNanos(Timer::kDiskRead) / 1000.0 / ops;
+    const double predict =
+        stats.TimeNanos(Timer::kIndexPredict) / 1000.0 / ops;
+    const double search =
+        stats.TimeNanos(Timer::kBinarySearch) / 1000.0 / ops;
+    const double bloom = stats.TimeNanos(Timer::kBloomCheck) / 1000.0 / ops;
+    char share[16];
+    std::snprintf(share, sizeof(share), "%.0f%%",
+                  100.0 * io / (io + predict + search + bloom));
+    breakdown.AddRow({IndexTypeName(type), FormatMicros(io),
+                      FormatMicros(predict), FormatMicros(search),
+                      FormatMicros(bloom), share});
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig7: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  breakdown.Emit();
+
+  ReportTable predict_cost(
+      "Figure 7(B): prediction time vs position boundary (us/op)");
+  std::vector<std::string> header = {"index"};
+  for (uint32_t b : {128u, 32u, 8u}) header.push_back("b=" + std::to_string(b));
+  predict_cost.SetHeader(header);
+  for (IndexType type : kAllIndexTypes) {
+    std::vector<std::string> row = {IndexTypeName(type)};
+    for (uint32_t boundary : {128u, 32u, 8u}) {
+      IndexSetup config;
+      config.type = type;
+      config.position_boundary = boundary;
+      if (!(s = bed->Reconfigure(config)).ok()) break;
+      RunMetrics metrics;
+      if (!(s = bed->RunPointLookups(d.num_ops, false, &metrics)).ok()) break;
+      row.push_back(FormatMicros(metrics.stats.TimeNanos(Timer::kIndexPredict) /
+                                 1000.0 / d.num_ops));
+    }
+    predict_cost.AddRow(row);
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig7: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  predict_cost.Emit();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 8: impact of index granularity — SSTable size sweep plus the
+// level-granularity model (Observation 3: memory shrinks ~10x with coarser
+// granularity while latency stays flat).
+#include "bench/bench_common.h"
+
+using namespace lilsm;
+
+int main() {
+  ExperimentDefaults base = bench::BenchDefaults();
+  bench::PrintHeader("Figure 8", "index granularity (SSTable size / level)",
+                     base);
+
+  // Paper sweeps 8..128 MiB; scaled by the same 1/16 factor as the data.
+  const uint64_t sst_sizes[] = {base.sstable_target_size / 2,
+                                base.sstable_target_size,
+                                base.sstable_target_size * 2,
+                                base.sstable_target_size * 4};
+  const uint32_t boundaries[] = {128, 64, 32};
+
+  ReportTable latency("Figure 8: lookup latency (us/op) by granularity");
+  ReportTable memory("Figure 8: index memory (bytes) by granularity");
+  std::vector<std::string> header = {"index"};
+  for (uint64_t sst : sst_sizes) {
+    header.push_back(std::to_string(sst >> 10) + "KiB");
+  }
+  header.push_back("Level");
+  latency.SetHeader(header);
+  memory.SetHeader(header);
+
+  // One testbed per SSTable size (the data layout changes), reconfigured
+  // across index types in place.
+  struct Cell {
+    double latency_us;
+    size_t memory;
+  };
+  std::vector<std::vector<Cell>> cells(
+      std::size(kAllIndexTypes),
+      std::vector<Cell>(std::size(sst_sizes) + 1));
+
+  for (size_t si = 0; si < std::size(sst_sizes) + 1; si++) {
+    ExperimentDefaults d = base;
+    const bool level_model = si == std::size(sst_sizes);
+    d.sstable_target_size = level_model ? base.sstable_target_size * 4
+                                        : sst_sizes[si];
+    IndexSetup setup;
+    setup.type = IndexType::kPGM;
+    setup.position_boundary = 64;
+    setup.granularity =
+        level_model ? IndexGranularity::kLevel : IndexGranularity::kFile;
+    std::unique_ptr<Testbed> bed;
+    Status s = bench::MakeTestbed("fig8", setup, d, &bed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig8: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (size_t ti = 0; ti < std::size(kAllIndexTypes); ti++) {
+      IndexSetup config;
+      config.type = kAllIndexTypes[ti];
+      config.position_boundary = 64;
+      config.granularity = setup.granularity;
+      if (!(s = bed->Reconfigure(config)).ok()) break;
+      RunMetrics metrics;
+      if (!(s = bed->RunPointLookups(d.num_ops, false, &metrics)).ok()) break;
+      cells[ti][si] = {metrics.MeanLatencyUs(), metrics.index_memory};
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig8: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  for (size_t ti = 0; ti < std::size(kAllIndexTypes); ti++) {
+    std::vector<std::string> lat_row = {IndexTypeName(kAllIndexTypes[ti])};
+    std::vector<std::string> mem_row = {IndexTypeName(kAllIndexTypes[ti])};
+    for (const Cell& cell : cells[ti]) {
+      lat_row.push_back(FormatMicros(cell.latency_us));
+      mem_row.push_back(std::to_string(cell.memory));
+    }
+    latency.AddRow(lat_row);
+    memory.AddRow(mem_row);
+  }
+  (void)boundaries;
+  latency.Emit();
+  memory.Emit();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 9: compaction time and breakdown under a write-only workload
+// (Observation 4: training + model writing stay under ~5% of compaction,
+// PLEX around 10-15%).
+#include "bench/bench_common.h"
+
+using namespace lilsm;
+
+int main() {
+  ExperimentDefaults d = bench::BenchDefaults();
+  bench::PrintHeader("Figure 9", "compaction time and breakdown, write-only",
+                     d);
+
+  ReportTable table("Figure 9: compaction breakdown (write-only workload)");
+  table.SetHeader({"index", "compact_ms", "kv_io_ms", "train_ms",
+                   "write_model_ms", "train_share", "index_bytes"});
+
+  for (IndexType type : kAllIndexTypes) {
+    IndexSetup setup;
+    setup.type = type;
+    setup.position_boundary = 32;
+    std::unique_ptr<Testbed> bed;
+    Status s = bench::MakeTestbed("fig9", setup, d, &bed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig9: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    RunMetrics metrics;
+    s = bed->RunWriteOnly(d.num_ops * 4, &metrics);
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig9: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const Stats& stats = metrics.stats;
+    const double total = stats.TimeNanos(Timer::kCompactTotal) / 1e6;
+    const double kv = stats.TimeNanos(Timer::kCompactKvIo) / 1e6;
+    const double train = stats.TimeNanos(Timer::kCompactTrain) / 1e6;
+    const double model = stats.TimeNanos(Timer::kCompactWriteModel) / 1e6;
+    char share[16];
+    std::snprintf(share, sizeof(share), "%.1f%%",
+                  total > 0 ? 100.0 * (train + model) / total : 0.0);
+    table.AddRow({IndexTypeName(type), FormatMicros(total),
+                  FormatMicros(kv), FormatMicros(train), FormatMicros(model),
+                  share, std::to_string(metrics.index_memory)});
+  }
+  table.Emit();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 1: per-stage point-lookup times for PLR at position boundary 10,
+// across SSTable sizes — the table that shows disk I/O (~2.1 us) dominating
+// every other stage regardless of granularity.
+#include "bench/bench_common.h"
+
+using namespace lilsm;
+
+int main() {
+  ExperimentDefaults base = bench::BenchDefaults();
+  bench::PrintHeader("Table 1", "point-lookup stage times, PLR, boundary 10",
+                     base);
+
+  ReportTable table("Table 1: stage times (us/op), PLR, boundary 10");
+  table.SetHeader({"process", "SST=small", "SST=medium", "SST=large"});
+
+  const uint64_t sst_sizes[] = {base.sstable_target_size / 2,
+                                base.sstable_target_size * 2,
+                                base.sstable_target_size * 8};
+  std::vector<Stats> snapshots;
+  for (uint64_t sst : sst_sizes) {
+    ExperimentDefaults d = base;
+    d.sstable_target_size = sst;
+    IndexSetup setup;
+    setup.type = IndexType::kPLR;
+    setup.position_boundary = 10;
+    std::unique_ptr<Testbed> bed;
+    Status s = bench::MakeTestbed("table1", setup, d, &bed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "table1: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    RunMetrics metrics;
+    s = bed->RunPointLookups(d.num_ops, false, &metrics);
+    if (!s.ok()) {
+      std::fprintf(stderr, "table1: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    snapshots.push_back(metrics.stats);
+  }
+
+  const struct {
+    const char* label;
+    Timer timer;
+  } rows[] = {
+      {"Table Lookup", Timer::kTableLookup},
+      {"Prediction", Timer::kIndexPredict},
+      {"Disk I/O", Timer::kDiskRead},
+      {"Binary Search", Timer::kBinarySearch},
+  };
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.label};
+    for (const Stats& stats : snapshots) {
+      cells.push_back(FormatMicros(stats.TimeNanos(row.timer) / 1000.0 /
+                                   base.num_ops));
+    }
+    table.AddRow(cells);
+  }
+  table.Emit();
+  return 0;
+}

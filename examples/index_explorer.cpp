@@ -1,0 +1,55 @@
+// Builds every learned index over every dataset and reports segment
+// counts, memory, build time and measured error windows — a standalone
+// tour of the index library (no LSM-tree involved).
+//
+//   ./index_explorer [num_keys]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report.h"
+#include "index/rmi.h"
+#include "util/env.h"
+#include "workload/dataset.h"
+
+using namespace lilsm;
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+  Env* env = Env::Default();
+
+  for (Dataset dataset : kAllDatasets) {
+    std::vector<Key> keys = GenerateKeys(dataset, n, 42);
+    ReportTable table(std::string("index explorer: ") +
+                      DatasetName(dataset) + " (" + std::to_string(n) +
+                      " keys, boundary 64)");
+    table.SetHeader({"index", "segments", "memory", "bytes/key",
+                     "build_ms", "max_window"});
+    for (IndexType type : kAllIndexTypes) {
+      auto index = CreateIndex(type);
+      IndexConfig config = IndexConfig::FromPositionBoundary(64);
+      const uint64_t t0 = env->NowNanos();
+      Status s = index->Build(keys.data(), keys.size(), config);
+      const double build_ms = (env->NowNanos() - t0) / 1e6;
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", IndexTypeName(type),
+                     s.ToString().c_str());
+        return 1;
+      }
+      // Measure the widest window the index actually returns.
+      size_t max_window = 0;
+      for (size_t i = 0; i < keys.size(); i += 17) {
+        max_window = std::max(max_window, index->Predict(keys[i]).width());
+      }
+      char per_key[32];
+      std::snprintf(per_key, sizeof(per_key), "%.3f",
+                    static_cast<double>(index->MemoryUsage()) / n);
+      table.AddRow({IndexTypeName(type),
+                    std::to_string(index->SegmentCount()),
+                    FormatBytes(static_cast<double>(index->MemoryUsage())),
+                    per_key, FormatMicros(build_ms),
+                    std::to_string(max_window)});
+    }
+    table.Emit();
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Applies the paper's Section 6 tuning guidelines to a described workload:
+// give it a memory budget and a read/write mix, get a configuration and
+// the rationale behind it.
+//
+//   ./tuning_advisor [budget_bytes] [write_fraction] [dataset]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tuning_advisor.h"
+
+using namespace lilsm;
+
+int main(int argc, char** argv) {
+  TuningRequest request;
+  request.index_memory_budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (4 << 20);
+  request.workload.write_fraction =
+      argc > 2 ? std::strtod(argv[2], nullptr) : 0.1;
+  request.workload.point_lookup_fraction =
+      1.0 - request.workload.write_fraction - 0.05;
+  request.workload.range_lookup_fraction = 0.05;
+  Dataset dataset = Dataset::kRandom;
+  if (argc > 3 && !ParseDataset(argv[3], &dataset)) {
+    std::fprintf(stderr, "unknown dataset %s\n", argv[3]);
+    return 1;
+  }
+  request.sample_keys = GenerateKeys(dataset, 100'000, 7);
+  request.total_keys = 6'400'000;  // the paper's dataset size
+  request.value_size = 1000;
+
+  std::printf("workload: %.0f%% point lookups, %.0f%% ranges, %.0f%% writes\n",
+              100 * request.workload.point_lookup_fraction,
+              100 * request.workload.range_lookup_fraction,
+              100 * request.workload.write_fraction);
+  std::printf("index memory budget: %zu bytes; dataset sample: %s\n\n",
+              request.index_memory_budget, DatasetName(dataset));
+
+  TuningRecommendation rec;
+  Status s = TuningAdvisor::Recommend(request, &rec);
+  if (!s.ok()) {
+    std::fprintf(stderr, "advisor: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("recommended configuration: %s\n", rec.setup.ToString().c_str());
+  std::printf("  SSTable target size:   %llu MiB\n",
+              static_cast<unsigned long long>(rec.sstable_target_size >> 20));
+  std::printf("  estimated index memory: %zu bytes\n",
+              rec.estimated_index_memory);
+  std::printf("  diminishing-returns boundary: %u entries (one I/O block)\n\n",
+              rec.diminishing_returns_boundary);
+  std::printf("rationale:\n");
+  for (const std::string& line : rec.rationale) {
+    std::printf("  * %s\n", line.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Runs a YCSB workload against the testbed and prints latency, memory and
+// I/O metrics — the paper's Figure 12 for one configuration.
+//
+//   ./ycsb_demo [workload A-F] [index type] [position boundary]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report.h"
+#include "core/testbed.h"
+
+using namespace lilsm;
+
+int main(int argc, char** argv) {
+  YcsbWorkload workload = YcsbWorkload::kB;
+  if (argc > 1 && !ParseYcsbWorkload(argv[1], &workload)) {
+    std::fprintf(stderr, "unknown workload %s (use A-F)\n", argv[1]);
+    return 1;
+  }
+  IndexSetup setup;
+  setup.type = IndexType::kPGM;
+  setup.position_boundary = 64;
+  if (argc > 2 && !ParseIndexType(argv[2], &setup.type)) {
+    std::fprintf(stderr, "unknown index type %s\n", argv[2]);
+    return 1;
+  }
+  if (argc > 3) {
+    setup.position_boundary =
+        static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10));
+  }
+
+  Testbed::Options options;
+  options.dir = "/tmp/lilsm_ycsb_demo";
+  options.defaults = ExperimentDefaults::FromEnvironment();
+  options.defaults.num_keys = 100'000;
+  options.setup = setup;
+  options.sim = SimEnv::OptionsFromEnvironment();
+
+  std::printf("loading %zu keys (%s dataset), index %s...\n",
+              options.defaults.num_keys,
+              DatasetName(options.defaults.dataset), setup.ToString().c_str());
+  std::unique_ptr<Testbed> bed;
+  Status s = Testbed::Create(options, &bed);
+  if (!s.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  RunMetrics metrics;
+  const size_t ops = options.defaults.num_ops;
+  std::printf("running %zu YCSB-%s operations...\n\n", ops,
+              YcsbWorkloadName(workload));
+  s = bed->RunYcsb(workload, ops, &metrics);
+  if (!s.ok()) {
+    std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  ReportTable table(std::string("YCSB-") + YcsbWorkloadName(workload) +
+                    " with " + setup.ToString());
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"mean latency (us/op)", FormatMicros(metrics.MeanLatencyUs())});
+  table.AddRow({"p99 latency (us/op)", FormatMicros(metrics.P99LatencyUs())});
+  table.AddRow({"index memory (bytes)", std::to_string(metrics.index_memory)});
+  table.AddRow({"filter memory (bytes)",
+                std::to_string(metrics.filter_memory)});
+  table.AddRow({"preads", std::to_string(metrics.io_reads)});
+  table.AddRow({"4KiB blocks fetched", std::to_string(metrics.io_blocks)});
+  table.Emit();
+
+  std::printf("engine stats:\n%s", metrics.stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bloom/bloom.h"
+
+#include <algorithm>
+
+#include "bloom/hash.h"
+
+namespace lilsm {
+
+namespace {
+
+uint32_t BloomHash(const Slice& key) { return Hash(key.data(), key.size(), 0xbc9f1d34); }
+
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key),
+      // k = ln(2) * bits/key rounds to the FPR-optimal probe count.
+      k_(std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30)) {}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  if (bits_per_key_ <= 0) return;
+  hashes_.push_back(BloomHash(key));
+}
+
+void BloomFilterBuilder::Finish(std::string* dst) {
+  if (bits_per_key_ <= 0 || hashes_.empty()) {
+    hashes_.clear();
+    return;
+  }
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  // Small filters have disproportionate FPR; floor at 64 bits.
+  bits = std::max<size_t>(64, bits);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const size_t init_size = dst->size();
+  dst->resize(init_size + bytes, 0);
+  dst->push_back(static_cast<char>(k_));  // remember probe count
+  char* array = dst->data() + init_size;
+  for (uint32_t h : hashes_) {
+    // Double hashing: successive probes derived from one hash value.
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < k_; j++) {
+      const uint32_t bitpos = h % bits;
+      array[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  hashes_.clear();
+}
+
+bool BloomFilterReader::KeyMayMatch(const Slice& key) const {
+  const size_t len = filter_.size();
+  if (len < 2) return true;  // empty or malformed: never exclude
+
+  const char* array = filter_.data();
+  const size_t bits = (len - 1) * 8;
+  const int k = array[len - 1];
+  if (k > 30 || k < 1) return true;  // reserved/corrupt: be conservative
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace lilsm

@@ -1,0 +1,47 @@
+// Bloom filter with double hashing, following LevelDB's filter policy.
+// The paper configures 10 bits per key on every table.
+#ifndef LILSM_BLOOM_BLOOM_H_
+#define LILSM_BLOOM_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace lilsm {
+
+class BloomFilterBuilder {
+ public:
+  /// bits_per_key = 0 disables the filter (CreateFilter returns empty).
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(const Slice& key);
+  size_t NumKeys() const { return hashes_.size(); }
+
+  /// Appends the filter bytes for all added keys to `dst` and resets.
+  void Finish(std::string* dst);
+
+ private:
+  const int bits_per_key_;
+  const int k_;  // number of probes
+  std::vector<uint32_t> hashes_;
+};
+
+class BloomFilterReader {
+ public:
+  /// `filter` must outlive the reader (it points into table memory).
+  explicit BloomFilterReader(Slice filter) : filter_(filter) {}
+
+  /// False means the key is definitely absent; true means "maybe present"
+  /// (with ~1% false positives at 10 bits/key). An empty filter always
+  /// returns true.
+  bool KeyMayMatch(const Slice& key) const;
+
+ private:
+  Slice filter_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_BLOOM_BLOOM_H_

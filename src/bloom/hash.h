@@ -1,0 +1,25 @@
+// Hash functions for bloom filters and the table cache.
+#ifndef LILSM_BLOOM_HASH_H_
+#define LILSM_BLOOM_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lilsm {
+
+/// MurmurHash-style 32-bit hash of a byte range (LevelDB's Hash()).
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+/// 64-bit mix for integer keys (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace lilsm
+
+#endif  // LILSM_BLOOM_HASH_H_

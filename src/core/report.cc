@@ -1,0 +1,103 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace lilsm {
+
+void ReportTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void ReportTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); i++) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out = "== " + title_ + " ==\n";
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); i++) {
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out.push_back('\n');
+  };
+  if (!header_.empty()) {
+    append_row(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    out.append(total, '-');
+    out.push_back('\n');
+  }
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string ReportTable::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); i++) {
+      out += row[i];
+      if (i + 1 < row.size()) out.push_back(',');
+    }
+    out.push_back('\n');
+  };
+  if (!header_.empty()) append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void ReportTable::Emit() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fputc('\n', stdout);
+  if (const char* prefix = std::getenv("LILSM_CSV")) {
+    std::string slug;
+    for (char c : title_) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug.push_back(static_cast<char>(std::tolower(c)));
+      } else if (!slug.empty() && slug.back() != '_') {
+        slug.push_back('_');
+      }
+    }
+    std::ofstream file(std::string(prefix) + slug + ".csv");
+    file << ToCsv();
+  }
+}
+
+std::string FormatMicros(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", us);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t count) {
+  return std::to_string(count);
+}
+
+}  // namespace lilsm

@@ -1,0 +1,44 @@
+// Table/CSV emitters for the benchmark binaries: aligned console tables
+// that mirror the paper's figures plus machine-readable CSV via
+// LILSM_CSV=<path prefix>.
+#ifndef LILSM_CORE_REPORT_H_
+#define LILSM_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace lilsm {
+
+class ReportTable {
+ public:
+  /// `title` names the experiment (e.g. "Figure 6 (random): latency us").
+  explicit ReportTable(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders an aligned console table.
+  std::string ToString() const;
+  /// Renders CSV (header + rows).
+  std::string ToCsv() const;
+
+  /// Prints to stdout and, when the LILSM_CSV environment variable is set,
+  /// writes "<prefix><slug(title)>.csv".
+  void Emit() const;
+
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers shared by the benches.
+std::string FormatMicros(double us);
+std::string FormatBytes(double bytes);
+std::string FormatCount(uint64_t count);
+
+}  // namespace lilsm
+
+#endif  // LILSM_CORE_REPORT_H_

@@ -1,0 +1,68 @@
+// TuningAdvisor: an executable form of the paper's Section 6 tuning
+// guidelines. Given a memory budget, a workload profile, and a dataset
+// sample, it recommends (index type, position boundary, SSTable size) and
+// explains each choice with the guideline it applies:
+//
+//   1. Prioritize position boundary over index-type micro-optimizations.
+//   2. Increase index granularity (larger SSTables) to free memory.
+//   3. Allocate memory with diminishing returns in mind: stop shrinking
+//      the boundary once a segment fits in one I/O block.
+#ifndef LILSM_CORE_TUNING_ADVISOR_H_
+#define LILSM_CORE_TUNING_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace lilsm {
+
+struct WorkloadProfile {
+  double point_lookup_fraction = 0.8;
+  double range_lookup_fraction = 0.1;
+  double write_fraction = 0.1;
+  /// Mean range length for range lookups.
+  size_t mean_range_length = 32;
+};
+
+struct TuningRequest {
+  /// Total index memory budget in bytes.
+  size_t index_memory_budget = 1 << 20;
+  /// Representative sample of the key distribution (sorted unique).
+  std::vector<Key> sample_keys;
+  /// Total dataset size the sample represents.
+  size_t total_keys = 0;
+  uint32_t key_size = 24;
+  uint32_t value_size = 1000;
+  uint32_t io_block_size = 4096;
+  WorkloadProfile workload;
+};
+
+struct TuningRecommendation {
+  IndexSetup setup;
+  uint64_t sstable_target_size = 64 << 20;
+  /// Estimated index memory at the recommendation, scaled to total_keys.
+  size_t estimated_index_memory = 0;
+  /// Boundary below which further memory buys no latency (guideline 3).
+  uint32_t diminishing_returns_boundary = 0;
+  /// Human-readable rationale, one line per applied guideline.
+  std::vector<std::string> rationale;
+};
+
+class TuningAdvisor {
+ public:
+  /// Evaluates candidate configurations on the sample (building real
+  /// indexes in memory) and applies the paper's guidelines.
+  static Status Recommend(const TuningRequest& request,
+                          TuningRecommendation* recommendation);
+
+  /// Measured index memory for (type, boundary) on a key sample, scaled
+  /// to `total_keys`. Exposed for the ablation bench.
+  static size_t EstimateIndexMemory(IndexType type, uint32_t boundary,
+                                    const std::vector<Key>& sample,
+                                    size_t total_keys, uint32_t key_size);
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_CORE_TUNING_ADVISOR_H_

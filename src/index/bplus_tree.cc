@@ -1,0 +1,80 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lilsm {
+
+void SegmentBTree::Clear() {
+  nodes_.clear();
+  root_ = 0;
+  height_ = 0;
+}
+
+void SegmentBTree::BulkLoad(const std::vector<Key>& keys, uint32_t fanout) {
+  Clear();
+  if (keys.empty()) return;
+  fanout = std::max<uint32_t>(2, fanout);
+
+  // Build leaves left to right.
+  std::vector<uint32_t> level;  // node ids of the current level
+  for (size_t start = 0; start < keys.size(); start += fanout) {
+    Node node;
+    node.leaf = true;
+    node.first_value = start;
+    size_t end = std::min(keys.size(), start + fanout);
+    node.keys.assign(keys.begin() + start, keys.begin() + end);
+    node.keys.shrink_to_fit();
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(node));
+  }
+  height_ = 1;
+
+  // Build internal levels bottom-up until a single root remains.
+  while (level.size() > 1) {
+    std::vector<uint32_t> parent_level;
+    for (size_t start = 0; start < level.size(); start += fanout) {
+      Node node;
+      node.leaf = false;
+      size_t end = std::min(level.size(), start + fanout);
+      for (size_t i = start; i < end; i++) {
+        node.keys.push_back(nodes_[level[i]].keys.front());
+        node.children.push_back(level[i]);
+      }
+      node.keys.shrink_to_fit();
+      node.children.shrink_to_fit();
+      parent_level.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(node));
+    }
+    level.swap(parent_level);
+    height_++;
+  }
+  root_ = level.front();
+}
+
+size_t SegmentBTree::Find(Key key) const {
+  assert(!nodes_.empty());
+  uint32_t node_id = root_;
+  while (true) {
+    const Node& node = nodes_[node_id];
+    auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+    size_t slot = (it == node.keys.begin())
+                      ? 0
+                      : static_cast<size_t>(it - node.keys.begin()) - 1;
+    if (node.leaf) {
+      return node.first_value + slot;
+    }
+    node_id = node.children[slot];
+  }
+}
+
+size_t SegmentBTree::MemoryUsage() const {
+  size_t total = sizeof(*this) + nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += node.keys.capacity() * sizeof(Key);
+    total += node.children.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+}  // namespace lilsm

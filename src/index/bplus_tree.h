@@ -1,0 +1,48 @@
+// SegmentBTree: a bulk-loaded in-memory B+-tree mapping keys to the index
+// of the last entry <= key. FITing-Tree uses it as the inner index over
+// segment first-keys (paper Figure 2B); the extra pointer structure is what
+// gives FITing-Tree its higher memory footprint relative to PLR's plain
+// sorted array.
+#ifndef LILSM_INDEX_BPLUS_TREE_H_
+#define LILSM_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/index.h"
+
+namespace lilsm {
+
+class SegmentBTree {
+ public:
+  /// Builds the tree over strictly increasing `keys`; value of keys[i] is i.
+  /// fanout must be >= 2.
+  void BulkLoad(const std::vector<Key>& keys, uint32_t fanout);
+
+  /// Index of the last key <= `key`; 0 if `key` precedes all keys.
+  /// Valid only after BulkLoad with a non-empty key set.
+  size_t Find(Key key) const;
+
+  size_t MemoryUsage() const;
+  size_t height() const { return height_; }
+  bool empty() const { return nodes_.empty(); }
+  void Clear();
+
+ private:
+  struct Node {
+    std::vector<Key> keys;
+    // Internal nodes: children[i] is the node id for keys[i].
+    // Leaves: children is empty; value = first_value + offset.
+    std::vector<uint32_t> children;
+    uint64_t first_value = 0;
+    bool leaf = false;
+  };
+
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t height_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,35 @@
+// FencePointerIndex: the traditional LSM-tree index (paper Figure 1B).
+// Stores the smallest key of every position-boundary-sized range; lookups
+// binary-search the stored keys. This is the baseline every learned index
+// is compared against ("FP" in the paper's figures).
+#ifndef LILSM_INDEX_FENCE_H_
+#define LILSM_INDEX_FENCE_H_
+
+#include <vector>
+
+#include "index/index.h"
+
+namespace lilsm {
+
+class FencePointerIndex final : public LearnedIndex {
+ public:
+  IndexType type() const override { return IndexType::kFencePointer; }
+
+  Status Build(const Key* keys, size_t n, const IndexConfig& config) override;
+  PredictResult Predict(Key key) const override;
+  size_t num_keys() const override { return n_; }
+  size_t SegmentCount() const override { return fences_.size(); }
+  size_t MemoryUsage() const override;
+  void EncodeTo(std::string* dst) const override;
+  Status DecodeFrom(Slice* input) override;
+
+ private:
+  std::vector<Key> fences_;  // fences_[i] = keys[i * step_]
+  uint32_t step_ = 1;        // entries per fence == position boundary
+  uint32_t stored_key_bytes_ = 24;
+  size_t n_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_FENCE_H_

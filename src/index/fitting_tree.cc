@@ -1,0 +1,65 @@
+#include "index/fitting_tree.h"
+
+#include <algorithm>
+
+#include "index/segment_io.h"
+
+namespace lilsm {
+
+Status FitingTreeIndex::Build(const Key* keys, size_t n,
+                              const IndexConfig& config) {
+  Status s = CheckStrictlyIncreasing(keys, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  fanout_ = std::max<uint32_t>(2, config.btree_fanout);
+  n_ = n;
+  segments_ = GreedyPla(keys, n, epsilon_);
+  RebuildTree();
+  return Status::OK();
+}
+
+void FitingTreeIndex::RebuildTree() {
+  std::vector<Key> segment_keys;
+  segment_keys.reserve(segments_.size());
+  for (const LinearSegment& seg : segments_) {
+    segment_keys.push_back(seg.first_key);
+  }
+  tree_.BulkLoad(segment_keys, fanout_);
+}
+
+PredictResult FitingTreeIndex::Predict(Key key) const {
+  if (n_ == 0 || segments_.empty()) return PredictResult{};
+  const LinearSegment& seg = segments_[tree_.Find(key)];
+  const Key anchored = key < seg.first_key ? seg.first_key : key;
+  return ClampPrediction(seg.PredictF(anchored), n_, epsilon_);
+}
+
+size_t FitingTreeIndex::MemoryUsage() const {
+  return sizeof(*this) + segments_.capacity() * sizeof(LinearSegment) +
+         tree_.MemoryUsage();
+}
+
+void FitingTreeIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, n_);
+  PutVarint32(dst, epsilon_);
+  PutVarint32(dst, fanout_);
+  EncodeSegments(segments_, dst);
+}
+
+Status FitingTreeIndex::DecodeFrom(Slice* input) {
+  uint64_t n = 0;
+  uint32_t epsilon = 0, fanout = 0;
+  if (!GetVarint64(input, &n) || !GetVarint32(input, &epsilon) ||
+      !GetVarint32(input, &fanout) || fanout < 2) {
+    return Status::Corruption("fiting-tree index: bad header");
+  }
+  Status s = DecodeSegments(input, &segments_);
+  if (!s.ok()) return s;
+  n_ = n;
+  epsilon_ = epsilon;
+  fanout_ = fanout;
+  RebuildTree();
+  return Status::OK();
+}
+
+}  // namespace lilsm

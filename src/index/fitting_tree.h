@@ -1,0 +1,38 @@
+// FitingTreeIndex: greedy shrinking-cone segments indexed by an in-memory
+// B+-tree (paper Figure 2B). Same segmentation as PLR; the inner index
+// trades memory for segment-lookup speed.
+#ifndef LILSM_INDEX_FITTING_TREE_H_
+#define LILSM_INDEX_FITTING_TREE_H_
+
+#include <vector>
+
+#include "index/bplus_tree.h"
+#include "index/pla.h"
+
+namespace lilsm {
+
+class FitingTreeIndex final : public LearnedIndex {
+ public:
+  IndexType type() const override { return IndexType::kFITingTree; }
+
+  Status Build(const Key* keys, size_t n, const IndexConfig& config) override;
+  PredictResult Predict(Key key) const override;
+  size_t num_keys() const override { return n_; }
+  size_t SegmentCount() const override { return segments_.size(); }
+  size_t MemoryUsage() const override;
+  void EncodeTo(std::string* dst) const override;
+  Status DecodeFrom(Slice* input) override;
+
+ private:
+  void RebuildTree();
+
+  std::vector<LinearSegment> segments_;
+  SegmentBTree tree_;
+  uint32_t epsilon_ = 0;
+  uint32_t fanout_ = 16;
+  size_t n_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_FITTING_TREE_H_

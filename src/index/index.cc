@@ -1,0 +1,111 @@
+#include "index/index.h"
+
+#include "index/fence.h"
+#include "index/fitting_tree.h"
+#include "index/pgm.h"
+#include "index/plex.h"
+#include "index/plr.h"
+#include "index/radix_spline.h"
+#include "index/rmi.h"
+#include "util/coding.h"
+
+namespace lilsm {
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kFencePointer:
+      return "FP";
+    case IndexType::kPLR:
+      return "PLR";
+    case IndexType::kFITingTree:
+      return "FT";
+    case IndexType::kPGM:
+      return "PGM";
+    case IndexType::kRadixSpline:
+      return "RS";
+    case IndexType::kPLEX:
+      return "PLEX";
+    case IndexType::kRMI:
+      return "RMI";
+  }
+  return "unknown";
+}
+
+bool ParseIndexType(const std::string& name, IndexType* type) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "fp" || lower == "fence" || lower == "fencepointer") {
+    *type = IndexType::kFencePointer;
+  } else if (lower == "plr") {
+    *type = IndexType::kPLR;
+  } else if (lower == "ft" || lower == "fiting-tree" || lower == "fitingtree" ||
+             lower == "fitting-tree" || lower == "fittingtree") {
+    *type = IndexType::kFITingTree;
+  } else if (lower == "pgm") {
+    *type = IndexType::kPGM;
+  } else if (lower == "rs" || lower == "radixspline") {
+    *type = IndexType::kRadixSpline;
+  } else if (lower == "plex") {
+    *type = IndexType::kPLEX;
+  } else if (lower == "rmi") {
+    *type = IndexType::kRMI;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<LearnedIndex> CreateIndex(IndexType type) {
+  switch (type) {
+    case IndexType::kFencePointer:
+      return std::make_unique<FencePointerIndex>();
+    case IndexType::kPLR:
+      return std::make_unique<PlrIndex>();
+    case IndexType::kFITingTree:
+      return std::make_unique<FitingTreeIndex>();
+    case IndexType::kPGM:
+      return std::make_unique<PgmIndex>();
+    case IndexType::kRadixSpline:
+      return std::make_unique<RadixSplineIndex>();
+    case IndexType::kPLEX:
+      return std::make_unique<PlexIndex>();
+    case IndexType::kRMI:
+      return std::make_unique<RmiIndex>();
+  }
+  return nullptr;
+}
+
+void EncodeIndexWithType(const LearnedIndex& index, std::string* dst) {
+  dst->push_back(static_cast<char>(index.type()));
+  index.EncodeTo(dst);
+}
+
+Status DecodeIndexWithType(Slice* input,
+                           std::unique_ptr<LearnedIndex>* result) {
+  if (input->empty()) {
+    return Status::Corruption("index blob: empty");
+  }
+  uint8_t tag = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (tag > static_cast<uint8_t>(IndexType::kRMI)) {
+    return Status::Corruption("index blob: unknown index type tag");
+  }
+  auto index = CreateIndex(static_cast<IndexType>(tag));
+  Status s = index->DecodeFrom(input);
+  if (!s.ok()) return s;
+  *result = std::move(index);
+  return Status::OK();
+}
+
+Status CheckStrictlyIncreasing(const Key* keys, size_t n) {
+  for (size_t i = 1; i < n; i++) {
+    if (keys[i] <= keys[i - 1]) {
+      return Status::InvalidArgument(
+          "index build requires strictly increasing keys");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lilsm

@@ -1,0 +1,141 @@
+// The unified learned-index interface of the testbed (paper Section 4).
+//
+// Every index is built over a strictly increasing array of u64 keys and
+// answers Predict(key) with a position estimate plus an inclusive [lo, hi]
+// range guaranteed to contain the true position if the key is present.
+// The range width is the paper's "position boundary" (2 * epsilon).
+//
+// Seven implementations are provided, matching the paper's six
+// LSM-compatible learned indexes plus the traditional fence-pointer
+// baseline:
+//   FencePointer, PLR, FITing-Tree, PGM, RadixSpline, PLEX, RMI.
+#ifndef LILSM_INDEX_INDEX_H_
+#define LILSM_INDEX_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lilsm {
+
+/// Learned indexes operate on unsigned 64-bit keys; the storage layer maps
+/// its fixed-width big-endian user keys to/from this type losslessly.
+using Key = uint64_t;
+
+enum class IndexType : uint8_t {
+  kFencePointer = 0,
+  kPLR = 1,
+  kFITingTree = 2,
+  kPGM = 3,
+  kRadixSpline = 4,
+  kPLEX = 5,
+  kRMI = 6,
+};
+
+inline constexpr IndexType kAllIndexTypes[] = {
+    IndexType::kFencePointer, IndexType::kPLR,  IndexType::kFITingTree,
+    IndexType::kPGM,          IndexType::kRadixSpline,
+    IndexType::kPLEX,         IndexType::kRMI,
+};
+
+/// Short display name used in benchmark output ("FP", "PGM", ...).
+const char* IndexTypeName(IndexType type);
+/// Parses both short and long spellings; returns false on unknown names.
+bool ParseIndexType(const std::string& name, IndexType* type);
+
+/// Tuning knobs for all index types; unknown knobs are ignored by types
+/// they do not apply to (paper Section 4.1: the unified configuration
+/// space keys on epsilon; the rest are per-type structure parameters).
+struct IndexConfig {
+  /// Error bound: predictions are within +-epsilon entries, so the
+  /// position boundary is 2 * epsilon.
+  uint32_t epsilon = 32;
+  /// PGM: error bound of the recursive internal levels (paper default 4).
+  uint32_t epsilon_recursive = 4;
+  /// RadixSpline: number of radix-table prefix bits (paper default 1).
+  uint32_t radix_bits = 1;
+  /// FITing-Tree: B+-tree fanout over segments.
+  uint32_t btree_fanout = 16;
+  /// PLEX: maximum spline points scanned in a hist-tree leaf before the
+  /// node splits further (its self-tuning threshold).
+  uint32_t plex_leaf_threshold = 16;
+  /// RMI: number of second-level models; 0 derives it from epsilon and n
+  /// so that RMI lands near the requested position boundary.
+  uint32_t rmi_leaf_models = 0;
+  /// Width of the stored user keys. Fence pointers must retain the raw key
+  /// bytes (the paper uses 24-byte keys), whereas learned models keep only
+  /// their numeric interpretation; this drives FP's memory accounting.
+  uint32_t stored_key_bytes = 24;
+
+  /// Convenience: the paper's "position boundary" view of epsilon.
+  uint32_t position_boundary() const { return 2 * epsilon; }
+  static IndexConfig FromPositionBoundary(uint32_t boundary) {
+    IndexConfig cfg;
+    cfg.epsilon = boundary < 2 ? 1 : boundary / 2;
+    return cfg;
+  }
+};
+
+/// Result of a position prediction. Bounds are inclusive and clamped to
+/// [0, n-1]; if the key exists its position is in [lo, hi].
+struct PredictResult {
+  size_t pos = 0;
+  size_t lo = 0;
+  size_t hi = 0;
+
+  size_t width() const { return hi - lo + 1; }
+};
+
+class LearnedIndex {
+ public:
+  virtual ~LearnedIndex() = default;
+
+  virtual IndexType type() const = 0;
+
+  /// Trains the index over `n` strictly increasing keys. Replaces any
+  /// previous state. Returns InvalidArgument on unsorted/duplicate input.
+  virtual Status Build(const Key* keys, size_t n,
+                       const IndexConfig& config) = 0;
+
+  /// Predicts the position of `key`. Valid only after a successful Build
+  /// (or DecodeFrom) with n > 0.
+  virtual PredictResult Predict(Key key) const = 0;
+
+  /// Number of keys the index was built over.
+  virtual size_t num_keys() const = 0;
+
+  /// Number of leaf segments / spline intervals / leaf models: the unit
+  /// whose metadata dominates index memory (paper Section 5.2).
+  virtual size_t SegmentCount() const = 0;
+
+  /// In-memory footprint in bytes of the query-time structure.
+  virtual size_t MemoryUsage() const = 0;
+
+  /// Serializes the trained structure (without the keys).
+  virtual void EncodeTo(std::string* dst) const = 0;
+  /// Restores a structure produced by EncodeTo; consumes from `input`.
+  virtual Status DecodeFrom(Slice* input) = 0;
+
+  const char* Name() const { return IndexTypeName(type()); }
+};
+
+/// Creates an empty (untrained) index of the given type.
+std::unique_ptr<LearnedIndex> CreateIndex(IndexType type);
+
+/// Envelope serialization: a type tag followed by EncodeTo payload, so a
+/// table file can be opened without knowing its index type in advance.
+void EncodeIndexWithType(const LearnedIndex& index, std::string* dst);
+Status DecodeIndexWithType(Slice* input,
+                           std::unique_ptr<LearnedIndex>* result);
+
+/// Shared validation used by all Build implementations.
+Status CheckStrictlyIncreasing(const Key* keys, size_t n);
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_INDEX_H_

@@ -1,0 +1,134 @@
+#include "index/pgm.h"
+
+#include <algorithm>
+
+#include "index/segment_io.h"
+
+namespace lilsm {
+
+Status PgmIndex::Build(const Key* keys, size_t n, const IndexConfig& config) {
+  Status s = CheckStrictlyIncreasing(keys, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  epsilon_recursive_ = std::max<uint32_t>(1, config.epsilon_recursive);
+  n_ = n;
+  levels_.clear();
+  if (n == 0) return Status::OK();
+
+  levels_.push_back(OptimalPla(keys, n, epsilon_));
+
+  // Recursively index segment first-keys until one segment remains.
+  while (levels_.back().size() > 1) {
+    const std::vector<LinearSegment>& below = levels_.back();
+    std::vector<LinearSegment> level;
+    OptimalPlaBuilder builder(epsilon_recursive_);
+    for (size_t i = 0; i < below.size(); i++) {
+      if (!builder.AddPoint(below[i].first_key, static_cast<int64_t>(i))) {
+        level.push_back(builder.Finish());
+        builder.AddPoint(below[i].first_key, static_cast<int64_t>(i));
+      }
+    }
+    if (builder.has_points()) {
+      level.push_back(builder.Finish());
+    }
+    levels_.push_back(std::move(level));
+  }
+  return Status::OK();
+}
+
+PredictResult PgmIndex::Predict(Key key) const {
+  if (n_ == 0 || levels_.empty()) return PredictResult{};
+
+  // Descend from the root, each level narrowing to one segment below.
+  size_t idx = 0;  // segment index within the current level
+  for (size_t lvl = levels_.size() - 1; lvl >= 1; lvl--) {
+    const LinearSegment& seg = levels_[lvl][idx];
+    const std::vector<LinearSegment>& below = levels_[lvl - 1];
+    const Key anchored = key < seg.first_key ? seg.first_key : key;
+    double pred = seg.PredictF(anchored);
+    // A query key can fall past the segment's last trained point, where the
+    // model is unconstrained; clamp by the next segment's intercept (its
+    // prediction for its own first key), as the PGM-index does, so the
+    // search window below still covers the true rank.
+    if (idx + 1 < levels_[lvl].size()) {
+      pred = std::min(pred, levels_[lvl][idx + 1].intercept);
+    }
+    if (pred < 0) pred = 0;
+    const size_t center = std::min(
+        below.size() - 1, static_cast<size_t>(pred));
+    // +-(epsilon_recursive + 2): +1 absorbs the floor of the prediction,
+    // +1 the clamp's own epsilon_recursive-bounded error.
+    const size_t margin = epsilon_recursive_ + 2;
+    const size_t lo = center >= margin ? center - margin : 0;
+    const size_t hi = std::min(below.size() - 1, center + margin);
+    // Last segment in [lo, hi] with first_key <= key.
+    auto first = below.begin() + lo;
+    auto last = below.begin() + hi + 1;
+    auto it = std::upper_bound(
+        first, last, key,
+        [](Key k, const LinearSegment& s) { return k < s.first_key; });
+    idx = (it == first) ? lo : static_cast<size_t>(it - below.begin()) - 1;
+    // The window provably covers the true rank for non-negative segment
+    // slopes; fall back to a full search if a degenerate model violated it
+    // (correctness must never depend on the models).
+    const bool miss_left = below[idx].first_key > key && idx > 0;
+    const bool miss_right =
+        idx + 1 < below.size() && below[idx + 1].first_key <= key;
+    if (miss_left || miss_right) {
+      auto safe = std::upper_bound(
+          below.begin(), below.end(), key,
+          [](Key k, const LinearSegment& s) { return k < s.first_key; });
+      idx = (safe == below.begin())
+                ? 0
+                : static_cast<size_t>(safe - below.begin()) - 1;
+    }
+  }
+
+  const LinearSegment& leaf = levels_[0][idx];
+  const Key anchored = key < leaf.first_key ? leaf.first_key : key;
+  return ClampPrediction(leaf.PredictF(anchored), n_, epsilon_);
+}
+
+size_t PgmIndex::MemoryUsage() const {
+  size_t total = sizeof(*this) + levels_.capacity() * sizeof(levels_[0]);
+  for (const auto& level : levels_) {
+    total += level.capacity() * sizeof(LinearSegment);
+  }
+  return total;
+}
+
+void PgmIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, n_);
+  PutVarint32(dst, epsilon_);
+  PutVarint32(dst, epsilon_recursive_);
+  PutVarint32(dst, static_cast<uint32_t>(levels_.size()));
+  for (const auto& level : levels_) {
+    EncodeSegments(level, dst);
+  }
+}
+
+Status PgmIndex::DecodeFrom(Slice* input) {
+  uint64_t n = 0;
+  uint32_t epsilon = 0, epsilon_recursive = 0, num_levels = 0;
+  if (!GetVarint64(input, &n) || !GetVarint32(input, &epsilon) ||
+      !GetVarint32(input, &epsilon_recursive) ||
+      !GetVarint32(input, &num_levels)) {
+    return Status::Corruption("pgm index: bad header");
+  }
+  levels_.clear();
+  levels_.resize(num_levels);
+  for (uint32_t i = 0; i < num_levels; i++) {
+    Status s = DecodeSegments(input, &levels_[i]);
+    if (!s.ok()) return s;
+  }
+  if (num_levels > 0 &&
+      (levels_.back().size() != 1 || levels_.front().empty())) {
+    return Status::Corruption("pgm index: malformed level structure");
+  }
+  n_ = n;
+  epsilon_ = epsilon;
+  epsilon_recursive_ = epsilon_recursive;
+  return Status::OK();
+}
+
+}  // namespace lilsm

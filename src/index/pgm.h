@@ -1,0 +1,43 @@
+// PgmIndex: the Piecewise Geometric Model index (paper Figure 2C).
+// Leaf segments come from the optimal streaming PLA (provably minimal
+// segment count for a given epsilon); internal levels recursively index the
+// segment first-keys with error bound epsilon_recursive (paper default 4).
+#ifndef LILSM_INDEX_PGM_H_
+#define LILSM_INDEX_PGM_H_
+
+#include <vector>
+
+#include "index/pla.h"
+
+namespace lilsm {
+
+class PgmIndex final : public LearnedIndex {
+ public:
+  IndexType type() const override { return IndexType::kPGM; }
+
+  Status Build(const Key* keys, size_t n, const IndexConfig& config) override;
+  PredictResult Predict(Key key) const override;
+  size_t num_keys() const override { return n_; }
+  size_t SegmentCount() const override {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+  size_t MemoryUsage() const override;
+  void EncodeTo(std::string* dst) const override;
+  Status DecodeFrom(Slice* input) override;
+
+  /// Number of levels including the leaf level (>= 1 once built).
+  size_t Height() const { return levels_.size(); }
+
+ private:
+  // levels_[0]: epsilon-bounded segments over the data positions;
+  // levels_[k>0]: epsilon_recursive-bounded segments over the first-keys of
+  // level k-1. The top level always has exactly one segment.
+  std::vector<std::vector<LinearSegment>> levels_;
+  uint32_t epsilon_ = 0;
+  uint32_t epsilon_recursive_ = 4;
+  size_t n_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_PGM_H_

@@ -1,0 +1,239 @@
+#include "index/pla.h"
+
+#include <cassert>
+#include <limits>
+
+namespace lilsm {
+
+// ---------------------------------------------------------------------------
+// GreedyPlaBuilder: shrinking cone anchored at the segment's first point.
+// ---------------------------------------------------------------------------
+
+bool GreedyPlaBuilder::AddPoint(Key x, int64_t y) {
+  if (count_ == 0) {
+    first_x_ = x;
+    first_y_ = static_cast<double>(y);
+    last_x_ = x;
+    slope_lo_ = 0;
+    slope_hi_ = std::numeric_limits<double>::infinity();
+    count_ = 1;
+    return true;
+  }
+  assert(x > last_x_);
+  const double dx = static_cast<double>(x - first_x_);
+  const double dy = static_cast<double>(y) - first_y_;
+  // The line anchored at (first_x_, first_y_) must pass within +-epsilon of
+  // (x, y): its slope must lie in [(dy - eps)/dx, (dy + eps)/dx].
+  const double lo = (dy - epsilon_) / dx;
+  const double hi = (dy + epsilon_) / dx;
+  const double new_lo = lo > slope_lo_ ? lo : slope_lo_;
+  const double new_hi = hi < slope_hi_ ? hi : slope_hi_;
+  if (new_lo > new_hi) {
+    return false;
+  }
+  slope_lo_ = new_lo;
+  slope_hi_ = new_hi;
+  last_x_ = x;
+  count_++;
+  return true;
+}
+
+LinearSegment GreedyPlaBuilder::Finish() {
+  assert(count_ > 0);
+  LinearSegment seg;
+  seg.first_key = first_x_;
+  seg.intercept = first_y_;
+  if (count_ == 1 || slope_hi_ == std::numeric_limits<double>::infinity()) {
+    seg.slope = 0.0;
+  } else {
+    seg.slope = (slope_lo_ + slope_hi_) / 2.0;
+  }
+  count_ = 0;
+  return seg;
+}
+
+std::vector<LinearSegment> GreedyPla(const Key* keys, size_t n,
+                                     uint32_t epsilon) {
+  std::vector<LinearSegment> segments;
+  GreedyPlaBuilder builder(epsilon);
+  for (size_t i = 0; i < n; i++) {
+    if (!builder.AddPoint(keys[i], static_cast<int64_t>(i))) {
+      segments.push_back(builder.Finish());
+      builder.AddPoint(keys[i], static_cast<int64_t>(i));
+    }
+  }
+  if (builder.has_points()) {
+    segments.push_back(builder.Finish());
+  }
+  return segments;
+}
+
+// ---------------------------------------------------------------------------
+// OptimalPlaBuilder: PGM-index streaming convex-hull algorithm.
+// ---------------------------------------------------------------------------
+
+OptimalPlaBuilder::OptimalPlaBuilder(uint32_t epsilon)
+    : epsilon_(static_cast<int64_t>(epsilon)) {
+  lower_.reserve(1024);
+  upper_.reserve(1024);
+}
+
+bool OptimalPlaBuilder::AddPoint(Key x, int64_t y) {
+  const P p1{static_cast<__int128>(x), static_cast<__int128>(y) + epsilon_};
+  const P p2{static_cast<__int128>(x), static_cast<__int128>(y) - epsilon_};
+
+  if (points_in_hull_ > 0 && x <= last_x_) {
+    // Strictly increasing x is a precondition; treat violations as a
+    // forced segment break so callers cannot corrupt the hull.
+    assert(false && "OptimalPlaBuilder: non-increasing x");
+    return false;
+  }
+
+  if (points_in_hull_ == 0) {
+    first_x_ = x;
+    last_x_ = x;
+    rect_[0] = p1;
+    rect_[1] = p2;
+    upper_.clear();
+    lower_.clear();
+    upper_.push_back(p1);
+    lower_.push_back(p2);
+    upper_start_ = lower_start_ = 0;
+    points_in_hull_ = 1;
+    return true;
+  }
+
+  if (points_in_hull_ == 1) {
+    last_x_ = x;
+    rect_[2] = p2;
+    rect_[3] = p1;
+    upper_.push_back(p1);
+    lower_.push_back(p2);
+    points_in_hull_ = 2;
+    return true;
+  }
+
+  const V slope1 = Sub(rect_[2], rect_[0]);  // current maximum slope
+  const V slope2 = Sub(rect_[3], rect_[1]);  // current minimum slope
+  const bool outside_line1 = Sub(p1, rect_[2]) < slope1;
+  const bool outside_line2 = Sub(p2, rect_[3]) > slope2;
+  if (outside_line1 || outside_line2) {
+    return false;  // feasible region would become empty
+  }
+
+  if (Sub(p1, rect_[1]) < slope2) {
+    // p1 tightens the minimum slope: scan the lower hull for the support
+    // point minimizing the slope to p1.
+    V min_v = Sub(lower_[lower_start_], p1);
+    size_t min_i = lower_start_;
+    for (size_t i = lower_start_ + 1; i < lower_.size(); i++) {
+      V val = Sub(lower_[i], p1);
+      if (val > min_v) break;
+      min_v = val;
+      min_i = i;
+    }
+    rect_[1] = lower_[min_i];
+    rect_[3] = p1;
+    lower_start_ = min_i;
+
+    size_t end = upper_.size();
+    while (end >= upper_start_ + 2 &&
+           Cross(upper_[end - 2], upper_[end - 1], p1) <= 0) {
+      --end;
+    }
+    upper_.resize(end);
+    upper_.push_back(p1);
+  }
+
+  if (Sub(p2, rect_[0]) > slope1) {
+    // p2 tightens the maximum slope: scan the upper hull for the support
+    // point maximizing the slope to p2.
+    V max_v = Sub(upper_[upper_start_], p2);
+    size_t max_i = upper_start_;
+    for (size_t i = upper_start_ + 1; i < upper_.size(); i++) {
+      V val = Sub(upper_[i], p2);
+      if (val < max_v) break;
+      max_v = val;
+      max_i = i;
+    }
+    rect_[0] = upper_[max_i];
+    rect_[2] = p2;
+    upper_start_ = max_i;
+
+    size_t end = lower_.size();
+    while (end >= lower_start_ + 2 &&
+           Cross(lower_[end - 2], lower_[end - 1], p2) >= 0) {
+      --end;
+    }
+    lower_.resize(end);
+    lower_.push_back(p2);
+  }
+
+  points_in_hull_++;
+  last_x_ = x;
+  return true;
+}
+
+LinearSegment OptimalPlaBuilder::Finish() {
+  assert(points_in_hull_ > 0);
+  LinearSegment seg;
+  seg.first_key = first_x_;
+
+  if (points_in_hull_ == 1) {
+    seg.slope = 0.0;
+    seg.intercept =
+        static_cast<double>(rect_[0].y + rect_[1].y) / 2.0;  // == y
+    points_in_hull_ = 0;
+    return seg;
+  }
+
+  // Intersection of the two extreme-slope support lines.
+  const V slope1 = Sub(rect_[2], rect_[0]);
+  const V slope2 = Sub(rect_[3], rect_[1]);
+  long double i_x, i_y;
+  if (slope1 == slope2) {
+    i_x = static_cast<long double>(rect_[0].x);
+    i_y = static_cast<long double>(rect_[0].y);
+  } else {
+    const V p0p1 = Sub(rect_[1], rect_[0]);
+    const __int128 a = slope1.dx * slope2.dy - slope1.dy * slope2.dx;
+    const long double b =
+        static_cast<long double>(p0p1.dx * slope2.dy - p0p1.dy * slope2.dx) /
+        static_cast<long double>(a);
+    i_x = static_cast<long double>(rect_[0].x) +
+          b * static_cast<long double>(slope1.dx);
+    i_y = static_cast<long double>(rect_[0].y) +
+          b * static_cast<long double>(slope1.dy);
+  }
+
+  const long double max_slope = static_cast<long double>(slope1.dy) /
+                                static_cast<long double>(slope1.dx);
+  const long double min_slope = static_cast<long double>(slope2.dy) /
+                                static_cast<long double>(slope2.dx);
+  const long double slope = (min_slope + max_slope) / 2.0L;
+  const long double intercept =
+      i_y - (i_x - static_cast<long double>(first_x_)) * slope;
+
+  seg.slope = static_cast<double>(slope);
+  seg.intercept = static_cast<double>(intercept);
+  points_in_hull_ = 0;
+  return seg;
+}
+
+std::vector<LinearSegment> OptimalPla(const Key* keys, size_t n,
+                                      uint32_t epsilon) {
+  std::vector<LinearSegment> segments;
+  OptimalPlaBuilder builder(epsilon);
+  for (size_t i = 0; i < n; i++) {
+    if (!builder.AddPoint(keys[i], static_cast<int64_t>(i))) {
+      segments.push_back(builder.Finish());
+      builder.AddPoint(keys[i], static_cast<int64_t>(i));
+    }
+  }
+  if (builder.has_points()) {
+    segments.push_back(builder.Finish());
+  }
+  return segments;
+}
+
+}  // namespace lilsm

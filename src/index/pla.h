@@ -1,0 +1,115 @@
+// Piecewise linear approximation (PLA) builders shared by the learned
+// indexes:
+//
+//  * GreedyPla — the shrinking-cone algorithm used by Bourbon's PLR and by
+//    FITing-Tree: anchor a segment at its first point and narrow the
+//    feasible slope cone point by point.
+//  * OptimalPla — the streaming convex-hull algorithm of the PGM-index
+//    (O'Rourke's feasibility test): produces the provably minimum number of
+//    epsilon-bounded segments in a single left-to-right pass.
+//
+// Both guarantee |predicted(keys[i]) - i| <= epsilon for every indexed key.
+#ifndef LILSM_INDEX_PLA_H_
+#define LILSM_INDEX_PLA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/index.h"
+
+namespace lilsm {
+
+/// One epsilon-bounded linear segment: position(key) ~= slope * (key -
+/// first_key) + intercept for keys in [first_key, next segment's first_key).
+struct LinearSegment {
+  Key first_key = 0;
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double PredictF(Key key) const {
+    return slope * static_cast<double>(key - first_key) + intercept;
+  }
+};
+
+/// Greedy shrinking-cone segmentation (PLR / FITing-Tree).
+std::vector<LinearSegment> GreedyPla(const Key* keys, size_t n,
+                                     uint32_t epsilon);
+
+/// Optimal streaming segmentation (PGM). `positions` may be null, in which
+/// case position i is used for keys[i]; PGM's recursive levels pass
+/// explicit positions when indexing segment keys.
+std::vector<LinearSegment> OptimalPla(const Key* keys, size_t n,
+                                      uint32_t epsilon);
+
+/// Streaming optimal PLA over arbitrary (x, y) pairs with strictly
+/// increasing x. Used directly by PGM's recursive construction.
+class OptimalPlaBuilder {
+ public:
+  explicit OptimalPlaBuilder(uint32_t epsilon);
+
+  /// Tries to extend the current segment with (x, y). Returns false when
+  /// the point cannot be covered: the caller must take Finish(), then
+  /// start a new segment (the same point is accepted afterwards).
+  bool AddPoint(Key x, int64_t y);
+
+  /// Closes the current segment. Valid when at least one point was added
+  /// since the last Finish().
+  LinearSegment Finish();
+
+  bool has_points() const { return points_in_hull_ > 0; }
+
+ private:
+  struct P {
+    __int128 x;
+    __int128 y;
+  };
+
+  static __int128 Cross(const P& o, const P& a, const P& b) {
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+  }
+
+  // Slope comparison by cross-multiplication, replicating the PGM-index
+  // convention: vectors compared together always share a dx sign.
+  struct V {
+    __int128 dx;
+    __int128 dy;
+    bool operator<(const V& o) const { return dy * o.dx < o.dy * dx; }
+    bool operator>(const V& o) const { return dy * o.dx > o.dy * dx; }
+    bool operator==(const V& o) const { return dy * o.dx == o.dy * dx; }
+  };
+
+  static V Sub(const P& a, const P& b) { return V{a.x - b.x, a.y - b.y}; }
+
+  const int64_t epsilon_;
+  size_t points_in_hull_ = 0;
+  P rect_[4] = {};
+  std::vector<P> lower_;
+  std::vector<P> upper_;
+  size_t lower_start_ = 0;
+  size_t upper_start_ = 0;
+  Key first_x_ = 0;
+  Key last_x_ = 0;
+};
+
+/// Greedy shrinking-cone counterpart usable in streaming form.
+class GreedyPlaBuilder {
+ public:
+  explicit GreedyPlaBuilder(uint32_t epsilon) : epsilon_(epsilon) {}
+
+  bool AddPoint(Key x, int64_t y);
+  LinearSegment Finish();
+  bool has_points() const { return count_ > 0; }
+
+ private:
+  const double epsilon_;
+  size_t count_ = 0;
+  Key first_x_ = 0;
+  double first_y_ = 0;
+  Key last_x_ = 0;
+  double slope_lo_ = 0;
+  double slope_hi_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_PLA_H_

@@ -1,0 +1,170 @@
+#include "index/plex.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "index/segment_io.h"
+
+namespace lilsm {
+
+Status PlexIndex::Build(const Key* keys, size_t n, const IndexConfig& config) {
+  Status s = CheckStrictlyIncreasing(keys, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  leaf_threshold_ = std::max<uint32_t>(2, config.plex_leaf_threshold);
+  n_ = n;
+  points_ = BuildSplineCorridor(keys, n, epsilon_);
+  BuildHistTree();
+  return Status::OK();
+}
+
+void PlexIndex::BuildHistTree() {
+  nodes_.clear();
+  root_ = -1;
+  if (points_.size() <= 1) return;
+  const Key min_key = points_.front().x;
+  const Key range = points_.back().x - min_key;
+  const uint32_t span_bits =
+      range == 0 ? 1 : 64 - static_cast<uint32_t>(std::countl_zero(range));
+  root_ = BuildNode(0, points_.size(), min_key, span_bits);
+}
+
+int32_t PlexIndex::BuildNode(size_t lo, size_t hi, Key base,
+                             uint32_t span_bits) {
+  const size_t count = hi - lo;
+  if (count <= leaf_threshold_ || span_bits == 0) {
+    return -1;
+  }
+
+  // Self-tuning fanout: enough bins that an average bin holds roughly
+  // leaf_threshold points, bounded by the remaining key span.
+  uint32_t bits = static_cast<uint32_t>(
+      std::bit_width(count / static_cast<size_t>(leaf_threshold_)));
+  bits = std::min(bits, span_bits);
+  bits = std::min<uint32_t>(bits, 16);
+  bits = std::max<uint32_t>(bits, 1);
+  const uint32_t shift = span_bits - bits;
+  const size_t num_bins = size_t{1} << bits;
+
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    HistNode& node = nodes_.back();
+    node.base = base;
+    node.shift = shift;
+    node.child.assign(num_bins, -1);
+    node.bin_start.assign(num_bins + 1, 0);
+  }
+
+  // Partition [lo, hi) by bin; points are sorted so bins are contiguous.
+  std::vector<uint32_t> bin_start(num_bins + 1, 0);
+  {
+    size_t i = lo;
+    for (size_t b = 0; b < num_bins; b++) {
+      bin_start[b] = static_cast<uint32_t>(i);
+      while (i < hi &&
+             ((points_[i].x - base) >> shift) == static_cast<Key>(b)) {
+        i++;
+      }
+    }
+    bin_start[num_bins] = static_cast<uint32_t>(hi);
+  }
+
+  for (size_t b = 0; b < num_bins; b++) {
+    const size_t bin_lo = bin_start[b];
+    const size_t bin_hi = bin_start[b + 1];
+    if (bin_hi - bin_lo > leaf_threshold_) {
+      const Key child_base = base + (static_cast<Key>(b) << shift);
+      // Note: BuildNode may reallocate nodes_, so write through the id.
+      int32_t child = BuildNode(bin_lo, bin_hi, child_base, shift);
+      nodes_[node_id].child[b] = child;
+    }
+  }
+  nodes_[node_id].bin_start = std::move(bin_start);
+  return node_id;
+}
+
+PredictResult PlexIndex::Predict(Key key) const {
+  if (n_ == 0 || points_.empty()) return PredictResult{};
+  if (points_.size() == 1 || key <= points_.front().x) {
+    return ClampPrediction(0.0, n_, epsilon_);
+  }
+  if (key >= points_.back().x) {
+    return ClampPrediction(static_cast<double>(points_.back().y), n_,
+                           epsilon_);
+  }
+
+  size_t search_lo = 0;
+  size_t search_hi = points_.size();
+  int32_t node_id = root_;
+  while (node_id >= 0) {
+    const HistNode& node = nodes_[node_id];
+    const size_t num_bins = node.child.size();
+    size_t b = static_cast<size_t>((key - node.base) >> node.shift);
+    if (b >= num_bins) b = num_bins - 1;
+    search_lo = node.bin_start[b];
+    // +1: the first spline point with x >= key may be the first point of
+    // the next bin (same reasoning as the radix table upper bound).
+    search_hi = std::min<size_t>(points_.size(), node.bin_start[b + 1] + 1);
+    node_id = node.child[b];
+  }
+
+  auto it = std::lower_bound(
+      points_.begin() + search_lo, points_.begin() + search_hi, key,
+      [](const SplinePoint& p, Key k) { return p.x < k; });
+  size_t upper = static_cast<size_t>(it - points_.begin());
+  if (upper == 0) upper = 1;
+  const size_t seg = upper - 1;
+  return ClampPrediction(InterpolateSpline(points_, seg, key), n_, epsilon_);
+}
+
+size_t PlexIndex::TreeHeight() const {
+  if (root_ < 0) return 0;
+  // Iterative depth computation over the child arrays.
+  size_t max_depth = 1;
+  std::vector<std::pair<int32_t, size_t>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (int32_t child : nodes_[id].child) {
+      if (child >= 0) stack.emplace_back(child, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+size_t PlexIndex::MemoryUsage() const {
+  size_t total = sizeof(*this) + points_.capacity() * sizeof(SplinePoint) +
+                 nodes_.capacity() * sizeof(HistNode);
+  for (const HistNode& node : nodes_) {
+    total += node.child.capacity() * sizeof(int32_t);
+    total += node.bin_start.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+void PlexIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, n_);
+  PutVarint32(dst, epsilon_);
+  PutVarint32(dst, leaf_threshold_);
+  EncodeSplinePoints(points_, dst);
+}
+
+Status PlexIndex::DecodeFrom(Slice* input) {
+  uint64_t n = 0;
+  uint32_t epsilon = 0, leaf_threshold = 0;
+  if (!GetVarint64(input, &n) || !GetVarint32(input, &epsilon) ||
+      !GetVarint32(input, &leaf_threshold) || leaf_threshold < 2) {
+    return Status::Corruption("plex index: bad header");
+  }
+  Status s = DecodeSplinePoints(input, &points_);
+  if (!s.ok()) return s;
+  n_ = n;
+  epsilon_ = epsilon;
+  leaf_threshold_ = leaf_threshold;
+  BuildHistTree();
+  return Status::OK();
+}
+
+}  // namespace lilsm

@@ -1,0 +1,58 @@
+// PlexIndex (paper Figure 2E): spline corridor plus a hierarchical,
+// self-tuning hist/radix tree over the spline points. Each tree node picks
+// its own fanout from the local point count so that every leaf scans at
+// most `plex_leaf_threshold` spline points; this is the self-tuning that
+// costs PLEX extra training time (paper Section 5.3 measures ~10-15% of
+// compaction versus <5% for the others).
+#ifndef LILSM_INDEX_PLEX_H_
+#define LILSM_INDEX_PLEX_H_
+
+#include <vector>
+
+#include "index/spline.h"
+
+namespace lilsm {
+
+class PlexIndex final : public LearnedIndex {
+ public:
+  IndexType type() const override { return IndexType::kPLEX; }
+
+  Status Build(const Key* keys, size_t n, const IndexConfig& config) override;
+  PredictResult Predict(Key key) const override;
+  size_t num_keys() const override { return n_; }
+  size_t SegmentCount() const override {
+    return points_.empty() ? 0 : points_.size() - 1;
+  }
+  size_t MemoryUsage() const override;
+  void EncodeTo(std::string* dst) const override;
+  Status DecodeFrom(Slice* input) override;
+
+  /// Hist-tree depth (for tests/ablation).
+  size_t TreeHeight() const;
+
+ private:
+  struct HistNode {
+    Key base = 0;       // smallest key covered by this node
+    uint32_t shift = 0; // bin = (key - base) >> shift
+    // Per bin: child node id, or leaf spline range. bin_start[i] is the
+    // first spline index in bin i; bin_start has 2^bits + 1 entries.
+    std::vector<int32_t> child;      // -1 = leaf bin
+    std::vector<uint32_t> bin_start;
+  };
+
+  void BuildHistTree();
+  /// Builds the subtree over points_[lo, hi) covering keys
+  /// [base, base + 2^span_bits); returns the node id or -1 for leaf ranges.
+  int32_t BuildNode(size_t lo, size_t hi, Key base, uint32_t span_bits);
+
+  std::vector<SplinePoint> points_;
+  std::vector<HistNode> nodes_;
+  int32_t root_ = -1;
+  uint32_t leaf_threshold_ = 16;
+  uint32_t epsilon_ = 0;
+  size_t n_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_PLEX_H_

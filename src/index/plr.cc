@@ -1,0 +1,52 @@
+#include "index/plr.h"
+
+#include <algorithm>
+
+#include "index/segment_io.h"
+
+namespace lilsm {
+
+Status PlrIndex::Build(const Key* keys, size_t n, const IndexConfig& config) {
+  Status s = CheckStrictlyIncreasing(keys, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  n_ = n;
+  segments_ = GreedyPla(keys, n, epsilon_);
+  return Status::OK();
+}
+
+PredictResult PlrIndex::Predict(Key key) const {
+  if (n_ == 0 || segments_.empty()) return PredictResult{};
+  // Last segment whose first_key <= key.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), key,
+      [](Key k, const LinearSegment& s) { return k < s.first_key; });
+  const LinearSegment& seg = (it == segments_.begin()) ? *it : *(it - 1);
+  const Key anchored = key < seg.first_key ? seg.first_key : key;
+  return ClampPrediction(seg.PredictF(anchored), n_, epsilon_);
+}
+
+size_t PlrIndex::MemoryUsage() const {
+  return sizeof(*this) + segments_.capacity() * sizeof(LinearSegment);
+}
+
+void PlrIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, n_);
+  PutVarint32(dst, epsilon_);
+  EncodeSegments(segments_, dst);
+}
+
+Status PlrIndex::DecodeFrom(Slice* input) {
+  uint64_t n = 0;
+  uint32_t epsilon = 0;
+  if (!GetVarint64(input, &n) || !GetVarint32(input, &epsilon)) {
+    return Status::Corruption("plr index: bad header");
+  }
+  Status s = DecodeSegments(input, &segments_);
+  if (!s.ok()) return s;
+  n_ = n;
+  epsilon_ = epsilon;
+  return Status::OK();
+}
+
+}  // namespace lilsm

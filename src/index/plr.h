@@ -1,0 +1,34 @@
+// PlrIndex: Bourbon-style Piece-wise Linear Regression (paper Figure 2A).
+// Greedy shrinking-cone segmentation; segments are indexed by a plain
+// sorted array searched with binary search — the lightest-weight inner
+// index among the learned index types.
+#ifndef LILSM_INDEX_PLR_H_
+#define LILSM_INDEX_PLR_H_
+
+#include <vector>
+
+#include "index/pla.h"
+
+namespace lilsm {
+
+class PlrIndex final : public LearnedIndex {
+ public:
+  IndexType type() const override { return IndexType::kPLR; }
+
+  Status Build(const Key* keys, size_t n, const IndexConfig& config) override;
+  PredictResult Predict(Key key) const override;
+  size_t num_keys() const override { return n_; }
+  size_t SegmentCount() const override { return segments_.size(); }
+  size_t MemoryUsage() const override;
+  void EncodeTo(std::string* dst) const override;
+  Status DecodeFrom(Slice* input) override;
+
+ private:
+  std::vector<LinearSegment> segments_;
+  uint32_t epsilon_ = 0;
+  size_t n_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_PLR_H_

@@ -1,0 +1,102 @@
+#include "index/radix_spline.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "index/segment_io.h"
+
+namespace lilsm {
+
+Status RadixSplineIndex::Build(const Key* keys, size_t n,
+                               const IndexConfig& config) {
+  Status s = CheckStrictlyIncreasing(keys, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  radix_bits_ = std::min<uint32_t>(24, std::max<uint32_t>(1, config.radix_bits));
+  n_ = n;
+  points_ = BuildSplineCorridor(keys, n, epsilon_);
+  RebuildRadixTable();
+  return Status::OK();
+}
+
+void RadixSplineIndex::RebuildRadixTable() {
+  radix_table_.clear();
+  if (points_.empty()) return;
+  min_key_ = points_.front().x;
+  const Key range = points_.back().x - min_key_;
+  const uint32_t range_bits =
+      range == 0 ? 1 : 64 - static_cast<uint32_t>(std::countl_zero(range));
+  shift_ = range_bits > radix_bits_ ? range_bits - radix_bits_ : 0;
+
+  const size_t table_size = (size_t{1} << radix_bits_) + 2;
+  radix_table_.assign(table_size, static_cast<uint32_t>(points_.size()));
+  // radix_table_[p] = first spline index whose prefix >= p.
+  size_t prev_prefix = 0;
+  radix_table_[0] = 0;
+  for (size_t i = 0; i < points_.size(); i++) {
+    const size_t prefix =
+        static_cast<size_t>((points_[i].x - min_key_) >> shift_);
+    for (size_t p = prev_prefix + 1; p <= prefix; p++) {
+      radix_table_[p] = static_cast<uint32_t>(i);
+    }
+    prev_prefix = prefix;
+  }
+  for (size_t p = prev_prefix + 1; p < table_size; p++) {
+    radix_table_[p] = static_cast<uint32_t>(points_.size());
+  }
+}
+
+PredictResult RadixSplineIndex::Predict(Key key) const {
+  if (n_ == 0 || points_.empty()) return PredictResult{};
+  if (points_.size() == 1 || key <= points_.front().x) {
+    return ClampPrediction(0.0, n_, epsilon_);
+  }
+  if (key >= points_.back().x) {
+    return ClampPrediction(static_cast<double>(points_.back().y), n_,
+                           epsilon_);
+  }
+
+  const size_t prefix = static_cast<size_t>((key - min_key_) >> shift_);
+  const size_t begin = radix_table_[prefix];
+  const size_t end =
+      std::min<size_t>(points_.size(), radix_table_[prefix + 1] + 1);
+  // First spline point with x >= key lies in [begin, end).
+  auto it = std::lower_bound(
+      points_.begin() + begin, points_.begin() + end, key,
+      [](const SplinePoint& p, Key k) { return p.x < k; });
+  size_t upper = static_cast<size_t>(it - points_.begin());
+  if (upper == 0) upper = 1;
+  const size_t seg = upper - 1;
+  return ClampPrediction(InterpolateSpline(points_, seg, key), n_, epsilon_);
+}
+
+size_t RadixSplineIndex::MemoryUsage() const {
+  return sizeof(*this) + points_.capacity() * sizeof(SplinePoint) +
+         radix_table_.capacity() * sizeof(uint32_t);
+}
+
+void RadixSplineIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, n_);
+  PutVarint32(dst, epsilon_);
+  PutVarint32(dst, radix_bits_);
+  EncodeSplinePoints(points_, dst);
+}
+
+Status RadixSplineIndex::DecodeFrom(Slice* input) {
+  uint64_t n = 0;
+  uint32_t epsilon = 0, radix_bits = 0;
+  if (!GetVarint64(input, &n) || !GetVarint32(input, &epsilon) ||
+      !GetVarint32(input, &radix_bits) || radix_bits == 0 ||
+      radix_bits > 24) {
+    return Status::Corruption("radix-spline index: bad header");
+  }
+  Status s = DecodeSplinePoints(input, &points_);
+  if (!s.ok()) return s;
+  n_ = n;
+  epsilon_ = epsilon;
+  radix_bits_ = radix_bits;
+  RebuildRadixTable();
+  return Status::OK();
+}
+
+}  // namespace lilsm

@@ -1,0 +1,41 @@
+// RadixSplineIndex (paper Figure 2D): greedy spline corridor over the data
+// plus a flat radix table mapping key prefixes to spline-point ranges.
+// RadixBits defaults to 1, the value the paper finds best in LSM-trees.
+#ifndef LILSM_INDEX_RADIX_SPLINE_H_
+#define LILSM_INDEX_RADIX_SPLINE_H_
+
+#include <vector>
+
+#include "index/spline.h"
+
+namespace lilsm {
+
+class RadixSplineIndex final : public LearnedIndex {
+ public:
+  IndexType type() const override { return IndexType::kRadixSpline; }
+
+  Status Build(const Key* keys, size_t n, const IndexConfig& config) override;
+  PredictResult Predict(Key key) const override;
+  size_t num_keys() const override { return n_; }
+  size_t SegmentCount() const override {
+    return points_.empty() ? 0 : points_.size() - 1;
+  }
+  size_t MemoryUsage() const override;
+  void EncodeTo(std::string* dst) const override;
+  Status DecodeFrom(Slice* input) override;
+
+ private:
+  void RebuildRadixTable();
+
+  std::vector<SplinePoint> points_;
+  std::vector<uint32_t> radix_table_;  // prefix -> first spline idx >= prefix
+  uint32_t radix_bits_ = 1;
+  uint32_t shift_ = 0;
+  Key min_key_ = 0;
+  uint32_t epsilon_ = 0;
+  size_t n_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_RADIX_SPLINE_H_

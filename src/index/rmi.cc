@@ -1,0 +1,226 @@
+#include "index/rmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/segment_io.h"
+
+namespace lilsm {
+
+namespace {
+
+/// Least-squares fit of y = slope * x + intercept over (xs[i], i + y0).
+/// Mean-centered accumulation keeps the fit stable for 64-bit keys.
+void FitLinear(const Key* xs, size_t n, double y0, double* slope,
+               double* intercept) {
+  if (n == 0) {
+    *slope = 0;
+    *intercept = y0;
+    return;
+  }
+  if (n == 1) {
+    *slope = 0;
+    *intercept = y0;
+    return;
+  }
+  long double mean_x = 0, mean_y = 0;
+  for (size_t i = 0; i < n; i++) {
+    mean_x += static_cast<long double>(xs[i]);
+    mean_y += static_cast<long double>(y0) + i;
+  }
+  mean_x /= n;
+  mean_y /= n;
+  long double sxy = 0, sxx = 0;
+  for (size_t i = 0; i < n; i++) {
+    const long double dx = static_cast<long double>(xs[i]) - mean_x;
+    const long double dy =
+        (static_cast<long double>(y0) + i) - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+  }
+  if (sxx == 0) {
+    *slope = 0;
+    *intercept = static_cast<double>(mean_y);
+    return;
+  }
+  *slope = static_cast<double>(sxy / sxx);
+  *intercept = static_cast<double>(mean_y - (sxy / sxx) * mean_x);
+}
+
+}  // namespace
+
+size_t RmiIndex::LeafFor(Key key) const {
+  const double p = root_.Predict(static_cast<double>(key));
+  const double scaled =
+      p * static_cast<double>(leaves_.size()) / static_cast<double>(n_);
+  if (scaled <= 0) return 0;
+  const size_t leaf = static_cast<size_t>(scaled);
+  return std::min(leaf, leaves_.size() - 1);
+}
+
+void RmiIndex::TrainWithLeafCount(const Key* keys, size_t n,
+                                  size_t leaf_count) {
+  leaves_.assign(leaf_count, Leaf{});
+  n_ = n;
+
+  FitLinear(keys, n, 0.0, &root_.slope, &root_.intercept);
+  // A least-squares fit over increasing data has non-negative slope, so
+  // leaf assignment below is monotone and ranges are contiguous.
+
+  size_t start = 0;
+  for (size_t leaf_id = 0; leaf_id < leaf_count; leaf_id++) {
+    // Keys routed to this leaf form the contiguous range [start, end).
+    size_t end = start;
+    while (end < n && LeafFor(keys[end]) == leaf_id) end++;
+
+    Leaf& leaf = leaves_[leaf_id];
+    if (end == start) {
+      // Empty leaf: constant model at the boundary position.
+      leaf.model.slope = 0;
+      leaf.model.intercept = static_cast<double>(start);
+      leaf.err_lo = 0;
+      leaf.err_hi = 0;
+    } else {
+      FitLinear(keys + start, end - start, static_cast<double>(start),
+                &leaf.model.slope, &leaf.model.intercept);
+      int64_t err_lo = 0, err_hi = 0;
+      for (size_t i = start; i < end; i++) {
+        double pred = leaf.model.Predict(static_cast<double>(keys[i]));
+        if (pred < 0) pred = 0;
+        const double max_pos = static_cast<double>(n - 1);
+        if (pred > max_pos) pred = max_pos;
+        const int64_t diff =
+            static_cast<int64_t>(i) - static_cast<int64_t>(pred);
+        err_lo = std::min(err_lo, diff);
+        err_hi = std::max(err_hi, diff);
+      }
+      leaf.err_lo = static_cast<int32_t>(err_lo);
+      leaf.err_hi = static_cast<int32_t>(err_hi);
+    }
+    start = end;
+  }
+}
+
+Status RmiIndex::Build(const Key* keys, size_t n, const IndexConfig& config) {
+  Status s = CheckStrictlyIncreasing(keys, n);
+  if (!s.ok()) return s;
+  epsilon_target_ = std::max<uint32_t>(1, config.epsilon);
+  n_ = n;
+  leaves_.clear();
+  if (n == 0) return Status::OK();
+
+  if (config.rmi_leaf_models > 0) {
+    TrainWithLeafCount(keys, n, std::min<size_t>(config.rmi_leaf_models, n));
+    return Status::OK();
+  }
+
+  // Derive the second-level size from the epsilon target: start with leaves
+  // covering ~4*epsilon keys (smooth data usually lands well below the
+  // target) and double until the p90 leaf error window fits, mirroring how
+  // the paper tunes RMI by growing the second level.
+  size_t leaf_count = std::max<size_t>(
+      1, n / std::max<size_t>(1, 4 * static_cast<size_t>(epsilon_target_)));
+  for (int round = 0; round < 6; round++) {
+    TrainWithLeafCount(keys, n, std::min(leaf_count, n));
+    // p90 of per-leaf half-window.
+    std::vector<int64_t> half_windows;
+    half_windows.reserve(leaves_.size());
+    for (const Leaf& leaf : leaves_) {
+      half_windows.push_back(
+          std::max<int64_t>(-leaf.err_lo, leaf.err_hi));
+    }
+    std::nth_element(half_windows.begin(),
+                     half_windows.begin() + half_windows.size() * 9 / 10,
+                     half_windows.end());
+    const int64_t p90 = half_windows[half_windows.size() * 9 / 10];
+    if (p90 <= static_cast<int64_t>(epsilon_target_) || leaf_count >= n) {
+      break;
+    }
+    leaf_count *= 2;
+  }
+  return Status::OK();
+}
+
+PredictResult RmiIndex::Predict(Key key) const {
+  PredictResult r;
+  if (n_ == 0 || leaves_.empty()) return r;
+  const Leaf& leaf = leaves_[LeafFor(key)];
+  double pred = leaf.model.Predict(static_cast<double>(key));
+  if (pred < 0) pred = 0;
+  const double max_pos = static_cast<double>(n_ - 1);
+  if (pred > max_pos) pred = max_pos;
+  const size_t pos = static_cast<size_t>(pred);
+  const int64_t lo64 = static_cast<int64_t>(pos) + leaf.err_lo;
+  const int64_t hi64 = static_cast<int64_t>(pos) + leaf.err_hi + 1;
+  r.pos = pos;
+  r.lo = lo64 < 0 ? 0 : std::min<size_t>(static_cast<size_t>(lo64), n_ - 1);
+  r.hi = hi64 < 0 ? 0 : std::min<size_t>(static_cast<size_t>(hi64), n_ - 1);
+  if (r.lo > r.hi) std::swap(r.lo, r.hi);
+  r.pos = std::clamp(r.pos, r.lo, r.hi);
+  return r;
+}
+
+double RmiIndex::MeanErrorWindow() const {
+  if (leaves_.empty()) return 0;
+  double total = 0;
+  for (const Leaf& leaf : leaves_) {
+    total += static_cast<double>(leaf.err_hi - leaf.err_lo + 1);
+  }
+  return total / static_cast<double>(leaves_.size());
+}
+
+size_t RmiIndex::MaxErrorWindow() const {
+  size_t max_window = 0;
+  for (const Leaf& leaf : leaves_) {
+    max_window = std::max<size_t>(
+        max_window, static_cast<size_t>(leaf.err_hi - leaf.err_lo + 1));
+  }
+  return max_window;
+}
+
+size_t RmiIndex::MemoryUsage() const {
+  return sizeof(*this) + leaves_.capacity() * sizeof(Leaf);
+}
+
+void RmiIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, n_);
+  PutVarint32(dst, epsilon_target_);
+  PutDouble(dst, root_.slope);
+  PutDouble(dst, root_.intercept);
+  PutVarint64(dst, leaves_.size());
+  for (const Leaf& leaf : leaves_) {
+    PutDouble(dst, leaf.model.slope);
+    PutDouble(dst, leaf.model.intercept);
+    PutFixed32(dst, static_cast<uint32_t>(leaf.err_lo));
+    PutFixed32(dst, static_cast<uint32_t>(leaf.err_hi));
+  }
+}
+
+Status RmiIndex::DecodeFrom(Slice* input) {
+  uint64_t n = 0, leaf_count = 0;
+  uint32_t epsilon_target = 0;
+  if (!GetVarint64(input, &n) || !GetVarint32(input, &epsilon_target) ||
+      !GetDouble(input, &root_.slope) || !GetDouble(input, &root_.intercept) ||
+      !GetVarint64(input, &leaf_count)) {
+    return Status::Corruption("rmi index: bad header");
+  }
+  leaves_.clear();
+  leaves_.reserve(leaf_count);
+  for (uint64_t i = 0; i < leaf_count; i++) {
+    Leaf leaf;
+    uint32_t lo = 0, hi = 0;
+    if (!GetDouble(input, &leaf.model.slope) ||
+        !GetDouble(input, &leaf.model.intercept) || !GetFixed32(input, &lo) ||
+        !GetFixed32(input, &hi)) {
+      return Status::Corruption("rmi index: truncated");
+    }
+    leaf.err_lo = static_cast<int32_t>(lo);
+    leaf.err_hi = static_cast<int32_t>(hi);
+    leaves_.push_back(leaf);
+  }
+  n_ = n;
+  epsilon_target_ = epsilon_target;
+  return Status::OK();
+}
+
+}  // namespace lilsm

@@ -1,0 +1,61 @@
+// RmiIndex (paper Figure 2F): a two-level Recursive Model Index. The root
+// linear model routes a key to one of L second-level linear models; each
+// leaf records its exact signed error bounds during training, so the
+// position boundary is a trained property rather than a preset (the paper
+// varies it by adjusting the second-level size).
+#ifndef LILSM_INDEX_RMI_H_
+#define LILSM_INDEX_RMI_H_
+
+#include <vector>
+
+#include "index/index.h"
+
+namespace lilsm {
+
+class RmiIndex final : public LearnedIndex {
+ public:
+  IndexType type() const override { return IndexType::kRMI; }
+
+  Status Build(const Key* keys, size_t n, const IndexConfig& config) override;
+  PredictResult Predict(Key key) const override;
+  size_t num_keys() const override { return n_; }
+  size_t SegmentCount() const override { return leaves_.size(); }
+  size_t MemoryUsage() const override;
+  void EncodeTo(std::string* dst) const override;
+  Status DecodeFrom(Slice* input) override;
+
+  /// Mean over leaves of the trained error-window width (the effective
+  /// position boundary RMI achieved; reported by the benches).
+  double MeanErrorWindow() const;
+  /// Maximum trained error window across leaves.
+  size_t MaxErrorWindow() const;
+
+ private:
+  struct LinearModel {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double Predict(double x) const { return slope * x + intercept; }
+  };
+
+  struct Leaf {
+    LinearModel model;
+    // Signed error bounds recorded during training:
+    //   true_pos - floor(pred) is in [err_lo, err_hi] for every trained key.
+    int32_t err_lo = 0;
+    int32_t err_hi = 0;
+  };
+
+  /// Trains with an explicit second-level size (one adaptive round of
+  /// Build may call this several times to hit the epsilon target).
+  void TrainWithLeafCount(const Key* keys, size_t n, size_t leaf_count);
+  size_t LeafFor(Key key) const;
+
+  LinearModel root_;
+  std::vector<Leaf> leaves_;
+  size_t n_ = 0;
+  uint32_t epsilon_target_ = 0;  // informational; bounds come from training
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_RMI_H_

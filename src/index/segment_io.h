@@ -1,0 +1,79 @@
+// Serialization helpers shared by the index implementations.
+#ifndef LILSM_INDEX_SEGMENT_IO_H_
+#define LILSM_INDEX_SEGMENT_IO_H_
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "index/pla.h"
+#include "util/coding.h"
+
+namespace lilsm {
+
+inline void PutDouble(std::string* dst, double v) {
+  PutFixed64(dst, std::bit_cast<uint64_t>(v));
+}
+
+inline bool GetDouble(Slice* input, double* v) {
+  uint64_t bits = 0;
+  if (!GetFixed64(input, &bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+inline void EncodeSegments(const std::vector<LinearSegment>& segments,
+                           std::string* dst) {
+  PutVarint64(dst, segments.size());
+  for (const LinearSegment& s : segments) {
+    PutFixed64(dst, s.first_key);
+    PutDouble(dst, s.slope);
+    PutDouble(dst, s.intercept);
+  }
+}
+
+inline Status DecodeSegments(Slice* input,
+                             std::vector<LinearSegment>* segments) {
+  uint64_t count = 0;
+  if (!GetVarint64(input, &count)) {
+    return Status::Corruption("segments: bad count");
+  }
+  segments->clear();
+  segments->reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    LinearSegment s;
+    if (!GetFixed64(input, &s.first_key) || !GetDouble(input, &s.slope) ||
+        !GetDouble(input, &s.intercept)) {
+      return Status::Corruption("segments: truncated");
+    }
+    segments->push_back(s);
+  }
+  return Status::OK();
+}
+
+/// Clamps a floating prediction into [0, n-1] with an inclusive
+/// +-epsilon window, the contract of PredictResult.
+///
+/// The upper bound carries one extra entry: the models guarantee
+/// |prediction - true| <= epsilon in exact arithmetic, and the double
+/// round-trip can exceed it by strictly less than one position (the
+/// PGM-index widens its own search window the same way). Flooring the
+/// prediction already over-protects the lower side.
+inline PredictResult ClampPrediction(double predicted, size_t n,
+                                     uint32_t epsilon) {
+  PredictResult r;
+  if (n == 0) return r;
+  double p = predicted;
+  if (p < 0) p = 0;
+  const double max_pos = static_cast<double>(n - 1);
+  if (p > max_pos) p = max_pos;
+  r.pos = static_cast<size_t>(p);
+  const size_t eps = epsilon;
+  r.lo = r.pos >= eps ? r.pos - eps : 0;
+  r.hi = r.pos + eps + 1 <= n - 1 ? r.pos + eps + 1 : n - 1;
+  return r;
+}
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_SEGMENT_IO_H_

@@ -1,0 +1,100 @@
+#include "index/spline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/coding.h"
+
+namespace lilsm {
+
+std::vector<SplinePoint> BuildSplineCorridor(const Key* keys, size_t n,
+                                             uint32_t epsilon) {
+  std::vector<SplinePoint> points;
+  if (n == 0) return points;
+  const double eps = std::max<uint32_t>(1, epsilon);
+
+  points.push_back(SplinePoint{keys[0], 0});
+  if (n == 1) return points;
+
+  SplinePoint base = points.back();
+  SplinePoint prev{keys[1], 1};
+  // Feasible slope corridor from `base` keeping every skipped point within
+  // +-epsilon of the interpolated line.
+  double slope_lo = (1.0 - eps) / static_cast<double>(keys[1] - base.x);
+  double slope_hi = (1.0 + eps) / static_cast<double>(keys[1] - base.x);
+
+  for (size_t i = 2; i < n; i++) {
+    const double dx = static_cast<double>(keys[i] - base.x);
+    const double dy = static_cast<double>(i) - static_cast<double>(base.y);
+    const double slope = dy / dx;
+    if (slope < slope_lo || slope > slope_hi) {
+      // The line base->keys[i] would leave the corridor: emit `prev` as a
+      // spline point and restart the corridor from it.
+      points.push_back(prev);
+      base = prev;
+      const double ndx = static_cast<double>(keys[i] - base.x);
+      const double ndy = static_cast<double>(i) - static_cast<double>(base.y);
+      slope_lo = (ndy - eps) / ndx;
+      slope_hi = (ndy + eps) / ndx;
+    } else {
+      slope_lo = std::max(slope_lo, (dy - eps) / dx);
+      slope_hi = std::min(slope_hi, (dy + eps) / dx);
+    }
+    prev = SplinePoint{keys[i], i};
+  }
+  points.push_back(prev);  // the last key is always a spline point
+  return points;
+}
+
+double InterpolateSpline(const std::vector<SplinePoint>& points, size_t i,
+                         Key key) {
+  assert(i + 1 < points.size());
+  const SplinePoint& a = points[i];
+  const SplinePoint& b = points[i + 1];
+  if (key <= a.x) return static_cast<double>(a.y);
+  if (key >= b.x) return static_cast<double>(b.y);
+  const double frac = static_cast<double>(key - a.x) /
+                      static_cast<double>(b.x - a.x);
+  return static_cast<double>(a.y) +
+         frac * static_cast<double>(b.y - a.y);
+}
+
+size_t FindSplineSegment(const std::vector<SplinePoint>& points, Key key) {
+  assert(points.size() >= 2);
+  auto it = std::upper_bound(
+      points.begin(), points.end(), key,
+      [](Key k, const SplinePoint& p) { return k < p.x; });
+  size_t i = (it == points.begin())
+                 ? 0
+                 : static_cast<size_t>(it - points.begin()) - 1;
+  return std::min(i, points.size() - 2);
+}
+
+void EncodeSplinePoints(const std::vector<SplinePoint>& points,
+                        std::string* dst) {
+  PutVarint64(dst, points.size());
+  for (const SplinePoint& p : points) {
+    PutFixed64(dst, p.x);
+    PutVarint64(dst, p.y);
+  }
+}
+
+Status DecodeSplinePoints(Slice* input, std::vector<SplinePoint>* points) {
+  uint64_t count = 0;
+  if (!GetVarint64(input, &count)) {
+    return Status::Corruption("spline: bad count");
+  }
+  points->clear();
+  points->reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    SplinePoint p;
+    if (!GetFixed64(input, &p.x) || !GetVarint64(input, &p.y)) {
+      return Status::Corruption("spline: truncated");
+    }
+    points->push_back(p);
+  }
+  return Status::OK();
+}
+
+}  // namespace lilsm

@@ -1,0 +1,40 @@
+// Greedy spline corridor construction shared by RadixSpline and PLEX.
+// Produces a subset of the data points ("spline points", always including
+// the first and last key) such that linear interpolation between adjacent
+// spline points predicts every data position within +-epsilon.
+#ifndef LILSM_INDEX_SPLINE_H_
+#define LILSM_INDEX_SPLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/index.h"
+
+namespace lilsm {
+
+struct SplinePoint {
+  Key x = 0;
+  uint64_t y = 0;  // position of x in the data
+};
+
+/// Single-pass corridor algorithm (Neumann & Michel; used by RadixSpline).
+std::vector<SplinePoint> BuildSplineCorridor(const Key* keys, size_t n,
+                                             uint32_t epsilon);
+
+/// Interpolates the position of `key` within the spline segment
+/// [points[i], points[i+1]]; `i + 1 < points.size()` is required.
+double InterpolateSpline(const std::vector<SplinePoint>& points, size_t i,
+                         Key key);
+
+/// Index of the spline segment containing key: largest i with
+/// points[i].x <= key, clamped to [0, points.size() - 2].
+/// A binary-search fallback used by tests and by PLEX leaves.
+size_t FindSplineSegment(const std::vector<SplinePoint>& points, Key key);
+
+void EncodeSplinePoints(const std::vector<SplinePoint>& points,
+                        std::string* dst);
+Status DecodeSplinePoints(Slice* input, std::vector<SplinePoint>* points);
+
+}  // namespace lilsm
+
+#endif  // LILSM_INDEX_SPLINE_H_

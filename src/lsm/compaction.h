@@ -1,0 +1,45 @@
+// CompactionJob: merges the picked input files into new tables at the next
+// level, training the configured learned index for every output table and
+// recording the paper's Figure 9 breakdown (KV I/O vs. model training vs.
+// model writing).
+#ifndef LILSM_LSM_COMPACTION_H_
+#define LILSM_LSM_COMPACTION_H_
+
+#include <string>
+
+#include "lsm/table_cache.h"
+#include "lsm/version.h"
+
+namespace lilsm {
+
+struct CompactionContext {
+  Env* env = nullptr;
+  Stats* stats = nullptr;
+  TableCache* table_cache = nullptr;
+  VersionSet* versions = nullptr;
+  std::string dbname;
+  uint64_t sstable_target_size = 0;
+};
+
+class CompactionJob {
+ public:
+  explicit CompactionJob(const CompactionContext& ctx) : ctx_(ctx) {}
+
+  /// Merges pick.inputs (level L) with pick.next_inputs (level L+1) into
+  /// new tables at level L+1, dropping shadowed versions and, when no
+  /// deeper level may contain the key, tombstones. Records the resulting
+  /// file swaps into *edit (the caller applies it).
+  Status Run(const VersionSet::CompactionPick& pick, const Version& base,
+             VersionEdit* edit);
+
+ private:
+  Status FinishOutput(TableBuilder* builder, uint64_t file_number,
+                      Key smallest, Key largest, int output_level,
+                      VersionEdit* edit);
+
+  CompactionContext ctx_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_COMPACTION_H_

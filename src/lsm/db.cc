@@ -1,0 +1,603 @@
+#include "lsm/db.h"
+
+#include <algorithm>
+#include <set>
+
+#include "lsm/compaction.h"
+#include "lsm/db_iter.h"
+#include "lsm/level_index.h"
+#include "lsm/memtable.h"
+#include "lsm/merger.h"
+#include "lsm/table_cache.h"
+#include "lsm/version.h"
+#include "lsm/wal.h"
+
+namespace lilsm {
+
+namespace {
+
+class DBImpl final : public DB {
+ public:
+  DBImpl(const DBOptions& options, std::string dbname)
+      : options_(options),
+        dbname_(std::move(dbname)),
+        env_(options.env != nullptr ? options.env : Env::Default()) {
+    versions_ = std::make_unique<VersionSet>(env_, dbname_);
+    table_cache_ = std::make_unique<TableCache>(MakeTableOptions(), dbname_,
+                                                options_.max_open_tables);
+    level_indexes_ = std::make_unique<LevelIndexStore>(env_, &stats_);
+    mem_ = std::make_unique<MemTable>();
+  }
+
+  ~DBImpl() override {
+    if (wal_ != nullptr) {
+      wal_->Sync();
+      wal_->Close();
+    }
+  }
+
+  Status Init() {
+    Status s = env_->CreateDir(dbname_);
+    if (!s.ok()) return s;
+    const bool exists = env_->FileExists(CurrentFileName(dbname_));
+    if (exists && options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_, "already exists");
+    }
+    if (!exists && !options_.create_if_missing) {
+      return Status::InvalidArgument(dbname_, "does not exist");
+    }
+
+    if (!exists) {
+      s = versions_->CreateNew();
+      if (!s.ok()) return s;
+      return RollWal();
+    }
+
+    s = versions_->Recover();
+    if (!s.ok()) return s;
+    s = ReplayWals();
+    if (!s.ok()) return s;
+    s = RollWal();
+    if (!s.ok()) return s;
+    if (!mem_->empty()) {
+      // Persist recovered updates so the old WAL can be retired.
+      s = WriteLevel0Table();
+      if (!s.ok()) return s;
+    } else {
+      VersionEdit edit;
+      edit.SetLogNumber(wal_number_);
+      s = versions_->LogAndApply(&edit);
+      if (!s.ok()) return s;
+    }
+    return RemoveObsoleteFiles();
+  }
+
+  Status Put(Key key, const Slice& value) override {
+    WriteBatch batch;
+    batch.Put(key, value);
+    return Write(&batch);
+  }
+
+  Status Delete(Key key) override {
+    WriteBatch batch;
+    batch.Delete(key);
+    return Write(&batch);
+  }
+
+  Status Write(WriteBatch* batch) override {
+    if (batch->Count() == 0) return Status::OK();
+    const SequenceNumber seq = versions_->last_sequence() + 1;
+    WriteBatch::SetSequence(batch, seq);
+
+    Status s = wal_->AddRecord(batch->Contents());
+    if (!s.ok()) return s;
+    if (options_.sync_wal) {
+      s = wal_->Sync();
+    } else {
+      s = wal_->Flush();
+    }
+    if (!s.ok()) return s;
+
+    s = batch->InsertInto(mem_.get(), seq);
+    if (!s.ok()) return s;
+    versions_->SetLastSequence(seq + batch->Count() - 1);
+    stats_.Add(Counter::kWrites, batch->Count());
+
+    if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
+      s = WriteLevel0Table();
+      if (!s.ok()) return s;
+      s = CompactUntilStable();
+    }
+    return s;
+  }
+
+  Status Get(Key key, std::string* value) override {
+    stats_.Add(Counter::kPointLookups);
+
+    {
+      ScopedTimer timer(&stats_, Timer::kMemtableGet, env_);
+      ValueType type;
+      if (mem_->Get(key, versions_->last_sequence(), value, &type)) {
+        return type == kTypeValue ? Status::OK()
+                                  : Status::NotFound("deleted");
+      }
+    }
+
+    const Version& v = versions_->current();
+
+    // Level 0: files may overlap; scan newest-first.
+    {
+      const uint64_t level_start = env_->NowNanos();
+      bool consulted = false;
+      for (const FileMeta& meta : v.files(0)) {
+        if (key < meta.smallest || key > meta.largest) continue;
+        consulted = true;
+        stats_.Add(Counter::kTablesConsulted);
+        bool found = false;
+        uint64_t tag = 0;
+        Status s = TableGet(meta, /*level=*/0, key, value, &tag, &found);
+        if (!s.ok()) return s;
+        if (found) {
+          stats_.AddLevelRead(0, env_->NowNanos() - level_start);
+          return TagType(tag) == kTypeValue ? Status::OK()
+                                            : Status::NotFound("deleted");
+        }
+      }
+      if (consulted) {
+        stats_.AddLevelRead(0, env_->NowNanos() - level_start);
+      }
+    }
+
+    for (int level = 1; level < kNumLevels; level++) {
+      if (v.NumFiles(level) == 0) continue;
+      const uint64_t level_start = env_->NowNanos();
+      int file_idx;
+      {
+        ScopedTimer timer(&stats_, Timer::kTableLookup, env_);
+        file_idx = v.FindFile(level, key);
+      }
+      if (file_idx < 0) continue;
+      stats_.Add(Counter::kTablesConsulted);
+      bool found = false;
+      uint64_t tag = 0;
+      Status s = TableGetAtLevel(v, level, static_cast<size_t>(file_idx), key,
+                                 value, &tag, &found);
+      if (!s.ok()) return s;
+      stats_.AddLevelRead(level, env_->NowNanos() - level_start);
+      if (found) {
+        return TagType(tag) == kTypeValue ? Status::OK()
+                                          : Status::NotFound("deleted");
+      }
+    }
+    return Status::NotFound("not found");
+  }
+
+  std::unique_ptr<Iterator> NewIterator() override {
+    std::vector<std::unique_ptr<TableIterator>> children;
+    children.push_back(mem_->NewIterator());
+    const Version& v = versions_->current();
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v.files(level)) {
+        std::shared_ptr<TableReader> reader;
+        Status s = table_cache_->GetReader(meta.number, &reader);
+        if (!s.ok()) {
+          // Surface the failure through an empty iterator carrying status.
+          return NewDBIterator(NewMergingIterator({}), 0);
+        }
+        children.push_back(reader->NewIterator());
+      }
+    }
+    return NewDBIterator(NewMergingIterator(std::move(children)),
+                         versions_->last_sequence());
+  }
+
+  Status RangeLookup(Key start, size_t count,
+                     std::vector<std::pair<Key, std::string>>* out) override {
+    stats_.Add(Counter::kRangeLookups);
+    out->clear();
+    out->reserve(count);
+    auto iter = NewIterator();
+    for (iter->Seek(start); iter->Valid() && out->size() < count;
+         iter->Next()) {
+      out->emplace_back(iter->key(), iter->value().ToString());
+    }
+    return iter->status();
+  }
+
+  Status FlushMemTable() override {
+    Status s = WriteLevel0Table();
+    if (!s.ok()) return s;
+    return CompactUntilStable();
+  }
+
+  Status CompactUntilStable() override {
+    while (true) {
+      VersionSet::CompactionPick pick;
+      if (!versions_->PickCompaction(options_.l0_compaction_trigger,
+                                     options_.write_buffer_size,
+                                     options_.size_ratio, &pick)) {
+        return Status::OK();
+      }
+      Status s = RunCompaction(pick);
+      if (!s.ok()) return s;
+    }
+  }
+
+  Status CompactAll() override {
+    Status s = WriteLevel0Table();
+    if (!s.ok()) return s;
+    for (int level = 0; level < kNumLevels - 1; level++) {
+      VersionSet::CompactionPick pick;
+      if (!versions_->PickFullCompaction(level, &pick)) continue;
+      // Stop pushing once this is the deepest populated level.
+      bool deeper = false;
+      for (int l = level + 1; l < kNumLevels; l++) {
+        if (versions_->current().NumFiles(l) > 0) deeper = true;
+      }
+      if (!deeper && level > 0) break;
+      s = RunCompaction(pick);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Status ReconfigureIndexes(IndexType type, const IndexConfig& config) override {
+    options_.index_type = type;
+    options_.index_config = config;
+    table_cache_->SetIndexOptions(type, config);
+    const Version& v = versions_->current();
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v.files(level)) {
+        std::shared_ptr<TableReader> reader;
+        Status s = table_cache_->GetReader(meta.number, &reader);
+        if (!s.ok()) return s;
+        s = reader->RetrainIndex(type, config);
+        if (!s.ok()) return s;
+      }
+    }
+    level_indexes_->InvalidateAll();
+    return Status::OK();
+  }
+
+  void SetIndexGranularity(IndexGranularity granularity) override {
+    options_.index_granularity = granularity;
+  }
+
+  size_t TotalIndexMemory() override {
+    if (options_.index_granularity == IndexGranularity::kLevel) {
+      EnsureLevelModels();
+      // L0 stays file-grained (its files overlap).
+      size_t total = level_indexes_->MemoryUsage();
+      for (const FileMeta& meta : versions_->current().files(0)) {
+        std::shared_ptr<TableReader> reader;
+        if (table_cache_->GetReader(meta.number, &reader).ok()) {
+          total += reader->IndexMemoryUsage();
+        }
+      }
+      return total;
+    }
+    size_t total = 0;
+    const Version& v = versions_->current();
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v.files(level)) {
+        std::shared_ptr<TableReader> reader;
+        if (table_cache_->GetReader(meta.number, &reader).ok()) {
+          total += reader->IndexMemoryUsage();
+        }
+      }
+    }
+    return total;
+  }
+
+  size_t TotalFilterMemory() override {
+    size_t total = 0;
+    const Version& v = versions_->current();
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v.files(level)) {
+        std::shared_ptr<TableReader> reader;
+        if (table_cache_->GetReader(meta.number, &reader).ok()) {
+          total += reader->FilterMemoryUsage();
+        }
+      }
+    }
+    return total;
+  }
+
+  size_t LevelIndexMemory(int level) override {
+    if (level < 0 || level >= kNumLevels) return 0;
+    if (options_.index_granularity == IndexGranularity::kLevel && level > 0) {
+      EnsureLevelModels();
+      return level_indexes_->MemoryUsage();  // per-store; see store API
+    }
+    size_t total = 0;
+    for (const FileMeta& meta : versions_->current().files(level)) {
+      std::shared_ptr<TableReader> reader;
+      if (table_cache_->GetReader(meta.number, &reader).ok()) {
+        total += reader->IndexMemoryUsage();
+      }
+    }
+    return total;
+  }
+
+  int NumFilesAtLevel(int level) override {
+    return versions_->current().NumFiles(level);
+  }
+  uint64_t BytesAtLevel(int level) override {
+    return versions_->current().LevelBytes(level);
+  }
+  uint64_t EntriesAtLevel(int level) override {
+    return versions_->current().LevelEntries(level);
+  }
+  SequenceNumber LastSequence() override {
+    return versions_->last_sequence();
+  }
+
+  Stats* stats() override { return &stats_; }
+
+ private:
+  TableOptions MakeTableOptions() const {
+    TableOptions topts;
+    topts.env = env_;
+    topts.stats = const_cast<Stats*>(&stats_);
+    topts.format = options_.table_format;
+    topts.key_size = options_.key_size;
+    topts.value_size = options_.value_size;
+    topts.bloom_bits_per_key = options_.bloom_bits_per_key;
+    topts.index_type = options_.index_type;
+    topts.index_config = options_.index_config;
+    topts.index_config.stored_key_bytes = options_.key_size;
+    return topts;
+  }
+
+  Status RollWal() {
+    const uint64_t number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> file;
+    Status s = env_->NewWritableFile(WalFileName(dbname_, number), &file);
+    if (!s.ok()) return s;
+    if (wal_ != nullptr) {
+      wal_->Sync();
+      wal_->Close();
+    }
+    wal_ = std::make_unique<LogWriter>(std::move(file));
+    wal_number_ = number;
+    return Status::OK();
+  }
+
+  Status ReplayWals() {
+    std::vector<std::string> children;
+    Status s = env_->GetChildren(dbname_, &children);
+    if (!s.ok()) return s;
+    std::vector<uint64_t> wals;
+    for (const std::string& name : children) {
+      uint64_t number = 0;
+      if (ParseFileName(name, &number) == FileKind::kWalFile &&
+          number >= versions_->log_number()) {
+        wals.push_back(number);
+      }
+    }
+    std::sort(wals.begin(), wals.end());
+    for (uint64_t number : wals) {
+      std::unique_ptr<SequentialFile> file;
+      s = env_->NewSequentialFile(WalFileName(dbname_, number), &file);
+      if (!s.ok()) return s;
+      LogReader reader(std::move(file));
+      std::string record;
+      while (reader.ReadRecord(&record)) {
+        WriteBatch batch;
+        s = WriteBatch::SetContents(&batch, record);
+        if (!s.ok()) return s;
+        const SequenceNumber seq = WriteBatch::Sequence(batch);
+        s = batch.InsertInto(mem_.get(), seq);
+        if (!s.ok()) return s;
+        const SequenceNumber last = seq + batch.Count() - 1;
+        if (last > versions_->last_sequence()) {
+          versions_->SetLastSequence(last);
+        }
+      }
+      versions_->MarkFileNumberUsed(number);
+      // A torn tail record is expected after a crash; replay stops there.
+    }
+    return Status::OK();
+  }
+
+  /// Flushes the memtable into a level-0 table (newest version per key
+  /// wins; tombstones are preserved).
+  Status WriteLevel0Table() {
+    if (mem_->empty()) return Status::OK();
+    ScopedTimer total_timer(&stats_, Timer::kCompactTotal, env_);
+    stats_.Add(Counter::kFlushes);
+
+    const uint64_t number = versions_->NewFileNumber();
+    std::unique_ptr<TableBuilder> builder;
+    Status s = NewTableBuilder(table_cache_->options(),
+                               TableFileName(dbname_, number), &builder);
+    if (!s.ok()) return s;
+
+    FileMeta meta;
+    meta.number = number;
+    bool first = true;
+    bool has_key = false;
+    Key last_key = 0;
+    auto iter = mem_->NewIterator();
+    {
+      const uint64_t kv_start = env_->NowNanos();
+      for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+        const Key key = iter->key();
+        if (has_key && key == last_key) continue;  // older version
+        has_key = true;
+        last_key = key;
+        s = builder->Add(key, iter->tag(), iter->value());
+        if (!s.ok()) {
+          builder->Abandon();
+          return s;
+        }
+        if (first) {
+          meta.smallest = key;
+          first = false;
+        }
+        meta.largest = key;
+      }
+      stats_.AddTime(Timer::kCompactKvIo, env_->NowNanos() - kv_start);
+    }
+
+    meta.entries = builder->NumEntries();
+    s = builder->Finish();
+    if (!s.ok()) return s;
+    meta.file_size = builder->FileSize();
+
+    // Retire the current WAL: its contents are now durable in the table.
+    const uint64_t old_wal = wal_number_;
+    s = RollWal();
+    if (!s.ok()) return s;
+    (void)old_wal;
+
+    VersionEdit edit;
+    edit.AddFile(0, meta);
+    edit.SetLogNumber(wal_number_);
+    s = versions_->LogAndApply(&edit);
+    if (!s.ok()) return s;
+
+    mem_ = std::make_unique<MemTable>();
+    return RemoveObsoleteFiles();
+  }
+
+  Status RunCompaction(const VersionSet::CompactionPick& pick) {
+    CompactionContext ctx;
+    ctx.env = env_;
+    ctx.stats = &stats_;
+    ctx.table_cache = table_cache_.get();
+    ctx.versions = versions_.get();
+    ctx.dbname = dbname_;
+    ctx.sstable_target_size = options_.sstable_target_size;
+
+    CompactionJob job(ctx);
+    VersionEdit edit;
+    Status s = job.Run(pick, versions_->current(), &edit);
+    if (!s.ok()) return s;
+    s = versions_->LogAndApply(&edit);
+    if (!s.ok()) return s;
+    for (const auto& [level, number] : edit.deleted_files_) {
+      (void)level;
+      table_cache_->Evict(number);
+    }
+    return RemoveObsoleteFiles();
+  }
+
+  Status RemoveObsoleteFiles() {
+    std::set<uint64_t> live;
+    const Version& v = versions_->current();
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v.files(level)) {
+        live.insert(meta.number);
+      }
+    }
+    std::vector<std::string> children;
+    Status s = env_->GetChildren(dbname_, &children);
+    if (!s.ok()) return s;
+    for (const std::string& name : children) {
+      uint64_t number = 0;
+      bool keep = true;
+      switch (ParseFileName(name, &number)) {
+        case FileKind::kTableFile:
+          keep = live.count(number) > 0;
+          break;
+        case FileKind::kWalFile:
+          keep = number >= versions_->log_number() || number == wal_number_;
+          break;
+        case FileKind::kManifestFile:
+          keep = number >= versions_->manifest_number();
+          break;
+        case FileKind::kTempFile:
+          keep = false;
+          break;
+        default:
+          keep = true;
+          break;
+      }
+      if (!keep) {
+        if (ParseFileName(name, &number) == FileKind::kTableFile) {
+          table_cache_->Evict(number);
+        }
+        env_->RemoveFile(dbname_ + "/" + name);
+      }
+    }
+    return Status::OK();
+  }
+
+  void EnsureLevelModels() {
+    const Version& v = versions_->current();
+    for (int level = 1; level < kNumLevels; level++) {
+      if (v.NumFiles(level) == 0) continue;
+      level_indexes_->EnsureBuilt(level, v.files(level), table_cache_.get(),
+                                  options_.index_type, options_.index_config,
+                                  versions_->stamp());
+    }
+  }
+
+  /// Per-file lookup honoring the configured granularity.
+  Status TableGetAtLevel(const Version& v, int level, size_t file_idx,
+                         Key key, std::string* value, uint64_t* tag,
+                         bool* found) {
+    const FileMeta& meta = v.files(level)[file_idx];
+    if (options_.index_granularity == IndexGranularity::kLevel && level > 0 &&
+        options_.table_format == TableFormat::kSegmented) {
+      Status s = level_indexes_->EnsureBuilt(
+          level, v.files(level), table_cache_.get(), options_.index_type,
+          options_.index_config, versions_->stamp());
+      if (!s.ok()) return s;
+      size_t lo = 0, hi = 0;
+      if (level_indexes_->PredictInFile(level, key, file_idx, &lo, &hi)) {
+        std::shared_ptr<TableReader> reader;
+        s = table_cache_->GetReader(meta.number, &reader);
+        if (!s.ok()) return s;
+        return reader->GetWithBounds(key, lo, hi, value, tag, found);
+      }
+    }
+    return TableGet(meta, level, key, value, tag, found);
+  }
+
+  Status TableGet(const FileMeta& meta, int /*level*/, Key key,
+                  std::string* value, uint64_t* tag, bool* found) {
+    std::shared_ptr<TableReader> reader;
+    Status s = table_cache_->GetReader(meta.number, &reader);
+    if (!s.ok()) return s;
+    return reader->Get(key, value, tag, found);
+  }
+
+  DBOptions options_;
+  const std::string dbname_;
+  Env* const env_;
+  Stats stats_;
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<LogWriter> wal_;
+  uint64_t wal_number_ = 0;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<TableCache> table_cache_;
+  std::unique_ptr<LevelIndexStore> level_indexes_;
+};
+
+}  // namespace
+
+Status DB::Open(const DBOptions& options, const std::string& name,
+                std::unique_ptr<DB>* dbptr) {
+  auto impl = std::make_unique<DBImpl>(options, name);
+  Status s = impl->Init();
+  if (!s.ok()) return s;
+  *dbptr = std::move(impl);
+  return Status::OK();
+}
+
+Status DB::Destroy(const DBOptions& options, const std::string& name) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  std::vector<std::string> children;
+  Status s = env->GetChildren(name, &children);
+  if (s.IsNotFound() || s.IsIOError()) return Status::OK();  // nothing there
+  for (const std::string& child : children) {
+    if (child == "." || child == "..") continue;
+    env->RemoveFile(name + "/" + child);
+  }
+  env->RemoveDir(name);
+  return Status::OK();
+}
+
+}  // namespace lilsm

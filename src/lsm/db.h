@@ -1,0 +1,128 @@
+// DB: the LSM-tree key-value store of the testbed — a LevelDB-style engine
+// (write buffer + WAL, leveled compaction with size ratio T, partial
+// compactions, bloom filters) whose per-table index is pluggable: any of
+// the paper's six learned indexes or the traditional fence pointers, at
+// file or level granularity.
+//
+// The engine is deliberately single-threaded with inline (synchronous)
+// flushes and compactions, which makes every measurement the benches take
+// deterministic; see DESIGN.md for how this maps to the paper's setup.
+#ifndef LILSM_LSM_DB_H_
+#define LILSM_LSM_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "lsm/db_iter.h"
+#include "lsm/dbformat.h"
+#include "lsm/write_batch.h"
+#include "table/table.h"
+#include "util/stats.h"
+
+namespace lilsm {
+
+/// The paper's index-granularity axis: one model per SSTable, or one model
+/// per level (Dai et al.'s LevelModel).
+enum class IndexGranularity : uint8_t {
+  kFile = 0,
+  kLevel = 1,
+};
+
+struct DBOptions {
+  Env* env = nullptr;  // defaults to Env::Default()
+
+  /// Memtable capacity before a flush (paper Figure 9 uses 64 MiB).
+  size_t write_buffer_size = 4 << 20;
+  /// LSM size ratio T between adjacent level capacities (paper: 10).
+  int size_ratio = 10;
+  /// Target size of one SSTable — the index-granularity knob.
+  uint64_t sstable_target_size = 2 << 20;
+  /// Number of L0 files triggering an L0 -> L1 compaction.
+  int l0_compaction_trigger = 4;
+
+  int bloom_bits_per_key = 10;
+
+  /// Entry geometry (paper: 24-byte keys, 1000-byte values). The segmented
+  /// format requires every value to have exactly value_size bytes.
+  uint32_t key_size = 24;
+  uint32_t value_size = 100;
+
+  TableFormat table_format = TableFormat::kSegmented;
+  IndexType index_type = IndexType::kPGM;
+  IndexConfig index_config;
+  IndexGranularity index_granularity = IndexGranularity::kFile;
+
+  /// fdatasync the WAL on every write (off for benchmarks, matching the
+  /// paper's setup; recovery tests turn it on).
+  bool sync_wal = false;
+
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  size_t max_open_tables = 4096;
+};
+
+class DB {
+ public:
+  /// Opens (creating or recovering) the database at `name`.
+  static Status Open(const DBOptions& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  virtual ~DB() = default;
+
+  virtual Status Put(Key key, const Slice& value) = 0;
+  virtual Status Delete(Key key) = 0;
+  virtual Status Write(WriteBatch* batch) = 0;
+
+  /// Point lookup; NotFound if absent or deleted.
+  virtual Status Get(Key key, std::string* value) = 0;
+
+  /// Iterator over live entries; invalidated by subsequent writes.
+  virtual std::unique_ptr<Iterator> NewIterator() = 0;
+
+  /// Range lookup: up to `count` entries starting at the first key >=
+  /// `start` (the paper's range workload).
+  virtual Status RangeLookup(Key start, size_t count,
+                             std::vector<std::pair<Key, std::string>>* out) = 0;
+
+  /// Flushes the memtable to level 0 (no-op when empty).
+  virtual Status FlushMemTable() = 0;
+  /// Runs compactions until every level is within capacity.
+  virtual Status CompactUntilStable() = 0;
+  /// Full merge of every populated level into the one below, top-down —
+  /// the precondition the paper notes for level-granularity models.
+  virtual Status CompactAll() = 0;
+
+  // ---- experiment support ----
+
+  /// Swaps the in-memory index of every live table (and level model) to a
+  /// new type/config without rewriting data files. Subsequent flushes and
+  /// compactions also train the new configuration.
+  virtual Status ReconfigureIndexes(IndexType type,
+                                    const IndexConfig& config) = 0;
+  /// Changes the index granularity (file- or level-grained lookups).
+  virtual void SetIndexGranularity(IndexGranularity granularity) = 0;
+
+  /// Index-only memory across live tables (level models when granularity
+  /// is kLevel), excluding bloom filters — the paper's "Memory (B)" axis.
+  virtual size_t TotalIndexMemory() = 0;
+  /// Bloom filter memory across live tables.
+  virtual size_t TotalFilterMemory() = 0;
+  /// Index memory attributed to one level (Figure 10).
+  virtual size_t LevelIndexMemory(int level) = 0;
+
+  virtual int NumFilesAtLevel(int level) = 0;
+  virtual uint64_t BytesAtLevel(int level) = 0;
+  virtual uint64_t EntriesAtLevel(int level) = 0;
+  virtual SequenceNumber LastSequence() = 0;
+
+  /// Measurement sink for all engine instrumentation.
+  virtual Stats* stats() = 0;
+
+  /// Destroys the database contents at `name` (files + directory).
+  static Status Destroy(const DBOptions& options, const std::string& name);
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_DB_H_

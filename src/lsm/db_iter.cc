@@ -1,0 +1,90 @@
+#include "lsm/db_iter.h"
+
+#include <cassert>
+
+namespace lilsm {
+
+namespace {
+
+class DBIter final : public Iterator {
+ public:
+  DBIter(std::unique_ptr<TableIterator> internal, SequenceNumber sequence)
+      : internal_(std::move(internal)), sequence_(sequence) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    internal_->SeekToFirst();
+    has_skip_key_ = false;
+    FindNextUserEntry();
+  }
+
+  void Seek(Key target) override {
+    internal_->Seek(target);
+    has_skip_key_ = false;
+    FindNextUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    skip_key_ = internal_->key();
+    has_skip_key_ = true;
+    internal_->Next();
+    FindNextUserEntry();
+  }
+
+  Key key() const override {
+    assert(valid_);
+    return internal_->key();
+  }
+
+  Slice value() const override {
+    assert(valid_);
+    return internal_->value();
+  }
+
+  Status status() const override { return internal_->status(); }
+
+ private:
+  /// Advances internal_ to the next visible, live, newest-version entry.
+  void FindNextUserEntry() {
+    valid_ = false;
+    while (internal_->Valid()) {
+      const Key user_key = internal_->key();
+      const uint64_t tag = internal_->tag();
+      if (TagSequence(tag) > sequence_) {
+        // Not visible at this snapshot.
+        internal_->Next();
+        continue;
+      }
+      if (has_skip_key_ && user_key == skip_key_) {
+        // Older version of an already-emitted (or deleted) key.
+        internal_->Next();
+        continue;
+      }
+      if (TagType(tag) == kTypeDeletion) {
+        skip_key_ = user_key;
+        has_skip_key_ = true;
+        internal_->Next();
+        continue;
+      }
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::unique_ptr<TableIterator> internal_;
+  const SequenceNumber sequence_;
+  Key skip_key_ = 0;
+  bool has_skip_key_ = false;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewDBIterator(
+    std::unique_ptr<TableIterator> internal, SequenceNumber sequence) {
+  return std::make_unique<DBIter>(std::move(internal), sequence);
+}
+
+}  // namespace lilsm

@@ -1,0 +1,35 @@
+// DBIter: turns the internal-key merging iterator into the user-visible
+// iterator — newest version wins, tombstones and shadowed versions are
+// skipped, and entries newer than the iterator's snapshot are invisible.
+#ifndef LILSM_LSM_DB_ITER_H_
+#define LILSM_LSM_DB_ITER_H_
+
+#include <memory>
+
+#include "lsm/dbformat.h"
+#include "table/table.h"
+
+namespace lilsm {
+
+/// User-facing iterator over (key, value); see DB::NewIterator.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void Seek(Key target) = 0;
+  virtual void Next() = 0;
+
+  virtual Key key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+/// Wraps an internal merging iterator; `sequence` bounds visibility.
+std::unique_ptr<Iterator> NewDBIterator(
+    std::unique_ptr<TableIterator> internal, SequenceNumber sequence);
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_DB_ITER_H_

@@ -1,0 +1,64 @@
+#include "lsm/dbformat.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lilsm {
+
+namespace {
+
+std::string MakeFileName(const std::string& dbname, uint64_t number,
+                         const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06" PRIu64 ".%s", number, suffix);
+  return dbname + buf;
+}
+
+}  // namespace
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "lst");
+}
+
+std::string WalFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "log");
+}
+
+std::string ManifestFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/MANIFEST-%06" PRIu64, number);
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+std::string TempFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "tmp");
+}
+
+FileKind ParseFileName(const std::string& name, uint64_t* number) {
+  *number = 0;
+  if (name == "CURRENT") return FileKind::kCurrentFile;
+  if (name.rfind("MANIFEST-", 0) == 0) {
+    char* end = nullptr;
+    *number = std::strtoull(name.c_str() + 9, &end, 10);
+    if (end != nullptr && *end == '\0') return FileKind::kManifestFile;
+    return FileKind::kUnknown;
+  }
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos || dot == 0) return FileKind::kUnknown;
+  for (size_t i = 0; i < dot; i++) {
+    if (name[i] < '0' || name[i] > '9') return FileKind::kUnknown;
+  }
+  *number = std::strtoull(name.substr(0, dot).c_str(), nullptr, 10);
+  const std::string suffix = name.substr(dot + 1);
+  if (suffix == "lst") return FileKind::kTableFile;
+  if (suffix == "log") return FileKind::kWalFile;
+  if (suffix == "tmp") return FileKind::kTempFile;
+  return FileKind::kUnknown;
+}
+
+}  // namespace lilsm

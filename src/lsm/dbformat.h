@@ -1,0 +1,64 @@
+// Internal key format and database file naming.
+//
+// Every entry carries a tag = (sequence << 8) | ValueType, LevelDB's
+// internal-key trailer. Ordering is (user key ascending, sequence
+// descending) so the newest version of a key sorts first.
+#ifndef LILSM_LSM_DBFORMAT_H_
+#define LILSM_LSM_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/index.h"
+
+namespace lilsm {
+
+using SequenceNumber = uint64_t;
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0,
+  kTypeValue = 1,
+};
+
+constexpr SequenceNumber kMaxSequenceNumber = (uint64_t{1} << 56) - 1;
+
+inline uint64_t PackTag(SequenceNumber seq, ValueType type) {
+  return (seq << 8) | static_cast<uint64_t>(type);
+}
+inline SequenceNumber TagSequence(uint64_t tag) { return tag >> 8; }
+inline ValueType TagType(uint64_t tag) {
+  return static_cast<ValueType>(tag & 0xff);
+}
+
+/// Orders (key, tag) with newest-first within a user key.
+inline bool InternalKeyLess(Key a_key, uint64_t a_tag, Key b_key,
+                            uint64_t b_tag) {
+  if (a_key != b_key) return a_key < b_key;
+  return a_tag > b_tag;  // higher sequence first
+}
+
+constexpr int kNumLevels = 7;
+
+// ---- file naming (LevelDB conventions) ----
+
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string WalFileName(const std::string& dbname, uint64_t number);
+std::string ManifestFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+enum class FileKind {
+  kTableFile,
+  kWalFile,
+  kManifestFile,
+  kCurrentFile,
+  kTempFile,
+  kUnknown,
+};
+
+/// Parses a directory entry name; sets *number for numbered kinds.
+FileKind ParseFileName(const std::string& name, uint64_t* number);
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_DBFORMAT_H_

@@ -1,0 +1,91 @@
+#include "lsm/level_index.h"
+
+#include <algorithm>
+
+namespace lilsm {
+
+Status LevelIndexStore::EnsureBuilt(int level,
+                                    const std::vector<FileMeta>& files,
+                                    TableCache* cache, IndexType type,
+                                    const IndexConfig& config,
+                                    uint64_t stamp) {
+  LevelModel& model = models_[level];
+  if (model.valid && model.stamp == stamp) return Status::OK();
+  model.valid = false;
+  if (files.empty()) return Status::OK();
+
+  ScopedTimer timer(stats_, Timer::kLevelIndexBuild, env_);
+
+  std::vector<Key> all_keys;
+  model.cumulative.assign(1, 0);
+  for (const FileMeta& meta : files) {
+    std::shared_ptr<TableReader> reader;
+    Status s = cache->GetReader(meta.number, &reader);
+    if (!s.ok()) return s;
+    std::vector<Key> keys;
+    s = reader->ReadAllKeys(&keys);
+    if (!s.ok()) return s;
+    all_keys.insert(all_keys.end(), keys.begin(), keys.end());
+    model.cumulative.push_back(all_keys.size());
+  }
+
+  model.index = CreateIndex(type);
+  Status s = model.index->Build(all_keys.data(), all_keys.size(), config);
+  if (!s.ok()) return s;
+  if (stats_ != nullptr) stats_->Add(Counter::kModelsTrained);
+  model.stamp = stamp;
+  model.valid = true;
+  return Status::OK();
+}
+
+bool LevelIndexStore::PredictInFile(int level, Key key, size_t file_idx,
+                                    size_t* local_lo, size_t* local_hi) const {
+  const LevelModel& model = models_[level];
+  if (!model.valid || file_idx + 1 >= model.cumulative.size()) return false;
+
+  const PredictResult r = model.index->Predict(key);
+  const uint64_t base = model.cumulative[file_idx];
+  const uint64_t limit = model.cumulative[file_idx + 1];  // exclusive
+  if (limit == base) return false;
+
+  // Intersect the global window with the file's range; a present key's
+  // true global position lies in both.
+  const uint64_t glo = std::max<uint64_t>(r.lo, base);
+  const uint64_t ghi = std::min<uint64_t>(r.hi, limit - 1);
+  if (glo > ghi) {
+    // Model window misses the file (possible for absent keys): search the
+    // nearest in-file block.
+    *local_lo = r.hi < base ? 0 : (limit - 1 - base);
+    *local_hi = *local_lo;
+    return true;
+  }
+  *local_lo = static_cast<size_t>(glo - base);
+  *local_hi = static_cast<size_t>(ghi - base);
+  return true;
+}
+
+void LevelIndexStore::InvalidateAll() {
+  for (LevelModel& model : models_) {
+    model.valid = false;
+    model.index.reset();
+    model.cumulative.clear();
+  }
+}
+
+size_t LevelIndexStore::SegmentCount(int level) const {
+  const LevelModel& model = models_[level];
+  return model.valid ? model.index->SegmentCount() : 0;
+}
+
+size_t LevelIndexStore::MemoryUsage() const {
+  size_t total = 0;
+  for (const LevelModel& model : models_) {
+    if (model.valid) {
+      total += model.index->MemoryUsage();
+      total += model.cumulative.capacity() * sizeof(uint64_t);
+    }
+  }
+  return total;
+}
+
+}  // namespace lilsm

@@ -1,0 +1,59 @@
+// LevelIndexStore: level-granularity learned models (the "LevelModel" of
+// Dai et al. evaluated by the paper's Figure 8). One model per level is
+// trained over the concatenated keys of the level's files; predictions are
+// global positions translated into per-file entry bounds.
+//
+// Models are built lazily on first use and invalidated by the VersionSet
+// stamp, so a read-only workload pays the build cost once (accounted under
+// Timer::kLevelIndexBuild).
+#ifndef LILSM_LSM_LEVEL_INDEX_H_
+#define LILSM_LSM_LEVEL_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/table_cache.h"
+#include "lsm/version.h"
+
+namespace lilsm {
+
+class LevelIndexStore {
+ public:
+  LevelIndexStore(Env* env, Stats* stats) : env_(env), stats_(stats) {}
+
+  /// Ensures the model for `level` matches `stamp`, rebuilding from the
+  /// level's files if not. No-op for empty levels.
+  Status EnsureBuilt(int level, const std::vector<FileMeta>& files,
+                     TableCache* cache, IndexType type,
+                     const IndexConfig& config, uint64_t stamp);
+
+  /// Translates a global prediction for `key` into entry bounds local to
+  /// `file_idx` (the file, found by metadata, that may contain the key).
+  /// Returns false if no model is available for the level.
+  bool PredictInFile(int level, Key key, size_t file_idx, size_t* local_lo,
+                     size_t* local_hi) const;
+
+  void InvalidateAll();
+  bool HasModel(int level) const { return models_[level].valid; }
+  size_t SegmentCount(int level) const;
+
+  /// Memory of all live level models.
+  size_t MemoryUsage() const;
+
+ private:
+  struct LevelModel {
+    std::unique_ptr<LearnedIndex> index;
+    // cumulative[i] = total entries of files [0, i); size = files + 1.
+    std::vector<uint64_t> cumulative;
+    uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  Env* const env_;
+  Stats* const stats_;
+  LevelModel models_[kNumLevels];
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_LEVEL_INDEX_H_

@@ -1,0 +1,100 @@
+#include "lsm/memtable.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace lilsm {
+
+namespace {
+
+Key EntryKey(const char* entry) { return DecodeFixed64(entry); }
+uint64_t EntryTag(const char* entry) { return DecodeFixed64(entry + 8); }
+
+Slice EntryValue(const char* entry) {
+  Slice input(entry + 16, 5);
+  uint32_t vlen = 0;
+  GetVarint32(&input, &vlen);
+  return Slice(input.data(), vlen);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  const Key a_key = EntryKey(a);
+  const Key b_key = EntryKey(b);
+  if (a_key != b_key) return a_key < b_key ? -1 : 1;
+  const uint64_t a_tag = EntryTag(a);
+  const uint64_t b_tag = EntryTag(b);
+  if (a_tag != b_tag) return a_tag > b_tag ? -1 : 1;  // newest first
+  return 0;
+}
+
+MemTable::MemTable() : table_(KeyComparator(), &arena_) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, Key key,
+                   const Slice& value) {
+  const size_t encoded_len =
+      16 + VarintLength(value.size()) + value.size();
+  char* buf = arena_.Allocate(encoded_len);
+  EncodeFixed64(buf, key);
+  EncodeFixed64(buf + 8, PackTag(seq, type));
+  char* p = EncodeVarint32(buf + 16, static_cast<uint32_t>(value.size()));
+  std::memcpy(p, value.data(), value.size());
+  table_.Insert(buf);
+  num_entries_++;
+}
+
+bool MemTable::Get(Key key, SequenceNumber snapshot, std::string* value,
+                   ValueType* type) const {
+  // Seek to the newest visible version: tags sort descending, so the entry
+  // with tag <= PackTag(snapshot, 0xff) comes first at this key.
+  char target[16];
+  EncodeFixed64(target, key);
+  EncodeFixed64(target + 8, PackTag(snapshot, static_cast<ValueType>(0xff)));
+  Table::Iterator iter(&table_);
+  iter.Seek(target);
+  if (!iter.Valid()) return false;
+  const char* entry = iter.key();
+  if (EntryKey(entry) != key) return false;
+  *type = TagType(EntryTag(entry));
+  if (*type == kTypeValue) {
+    Slice v = EntryValue(entry);
+    value->assign(v.data(), v.size());
+  } else {
+    value->clear();
+  }
+  return true;
+}
+
+/// Adapts the skiplist iterator to the TableIterator interface so the
+/// merging iterator can consume memtable and table sources uniformly.
+class MemTableIterator final : public TableIterator {
+ public:
+  explicit MemTableIterator(const MemTable* mem) : iter_(&mem->table_) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(Key target) override {
+    char buf[16];
+    EncodeFixed64(buf, target);
+    EncodeFixed64(buf + 8, PackTag(kMaxSequenceNumber,
+                                   static_cast<ValueType>(0xff)));
+    iter_.Seek(buf);
+  }
+  void Next() override { iter_.Next(); }
+
+  Key key() const override { return EntryKey(iter_.key()); }
+  uint64_t tag() const override { return EntryTag(iter_.key()); }
+  Slice value() const override { return EntryValue(iter_.key()); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+};
+
+std::unique_ptr<TableIterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(this);
+}
+
+}  // namespace lilsm

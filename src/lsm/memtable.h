@@ -1,0 +1,55 @@
+// MemTable: the in-memory write buffer. Entries live in an arena-backed
+// skiplist ordered by (user key asc, sequence desc); multiple versions of a
+// key coexist until the flush deduplicates them.
+#ifndef LILSM_LSM_MEMTABLE_H_
+#define LILSM_LSM_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/skiplist.h"
+#include "table/table.h"
+
+namespace lilsm {
+
+class MemTable {
+ public:
+  MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Add(SequenceNumber seq, ValueType type, Key key, const Slice& value);
+
+  /// Looks up the newest version of `key` at or below `snapshot`.
+  /// Returns true if an entry (including a tombstone) was found; tombstones
+  /// set *type to kTypeDeletion and leave *value empty.
+  bool Get(Key key, SequenceNumber snapshot, std::string* value,
+           ValueType* type) const;
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  uint64_t NumEntries() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Iterator in internal-key order, compatible with the merging iterator.
+  std::unique_ptr<TableIterator> NewIterator() const;
+
+ private:
+  // Entry layout in the arena: fixed64 key | fixed64 tag | varint32 vlen |
+  // value bytes.
+  struct KeyComparator {
+    int operator()(const char* a, const char* b) const;
+  };
+  using Table = SkipList<const char*, KeyComparator>;
+
+  friend class MemTableIterator;
+
+  Arena arena_;
+  Table table_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_MEMTABLE_H_

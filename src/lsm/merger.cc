@@ -1,0 +1,86 @@
+#include "lsm/merger.h"
+
+#include <cassert>
+
+#include "lsm/dbformat.h"
+
+namespace lilsm {
+
+namespace {
+
+/// Straightforward N-way merge; N is the number of L0 files + levels and is
+/// small, so a linear minimum scan beats heap bookkeeping in practice.
+class MergingIterator final : public TableIterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<TableIterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+  }
+
+  void Seek(Key target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+  }
+
+  void Next() override {
+    assert(Valid());
+    current_->Next();
+    FindSmallest();
+  }
+
+  Key key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+  uint64_t tag() const override {
+    assert(Valid());
+    return current_->tag();
+  }
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    TableIterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (smallest == nullptr ||
+          InternalKeyLess(child->key(), child->tag(), smallest->key(),
+                          smallest->tag())) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  std::vector<std::unique_ptr<TableIterator>> children_;
+  TableIterator* current_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<TableIterator> NewMergingIterator(
+    std::vector<std::unique_ptr<TableIterator>> children) {
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+}  // namespace lilsm

@@ -1,0 +1,18 @@
+// Merging iterator over multiple TableIterator sources in internal-key
+// order (user key ascending, sequence descending).
+#ifndef LILSM_LSM_MERGER_H_
+#define LILSM_LSM_MERGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "table/table.h"
+
+namespace lilsm {
+
+std::unique_ptr<TableIterator> NewMergingIterator(
+    std::vector<std::unique_ptr<TableIterator>> children);
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_MERGER_H_

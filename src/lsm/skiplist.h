@@ -1,0 +1,137 @@
+// Arena-backed skiplist, the memtable's core structure (LevelDB design,
+// simplified for the single-writer engine: no atomics needed because reads
+// and writes never race in this testbed).
+#ifndef LILSM_LSM_SKIPLIST_H_
+#define LILSM_LSM_SKIPLIST_H_
+
+#include <cassert>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace lilsm {
+
+template <typename K, class Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(K{}, kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeef) {
+    for (int i = 0; i < kMaxHeight; i++) {
+      head_->SetNext(i, nullptr);
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key; no duplicate (per the comparator) may already be present.
+  void Insert(const K& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || !Equal(key, x->key));
+
+    const int height = RandomHeight();
+    if (height > max_height_) {
+      for (int i = max_height_; i < height; i++) {
+        prev[i] = head_;
+      }
+      max_height_ = height;
+    }
+
+    x = NewNode(key, height);
+    for (int i = 0; i < height; i++) {
+      x->SetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, x);
+    }
+  }
+
+  bool Contains(const K& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const K& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Seek(const K& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const K& k) : key(k) {}
+    K key;
+
+    Node* Next(int n) { return next_[n]; }
+    void SetNext(int n, Node* x) { next_[n] = x; }
+
+    // Over-allocated via the arena: next_[height] pointers.
+    Node* next_[1];
+  };
+
+  Node* NewNode(const K& key, int height) {
+    char* const mem = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(Node*) * (height - 1));
+    return new (mem) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+      height++;
+    }
+    return height;
+  }
+
+  bool Equal(const K& a, const K& b) const { return compare_(a, b) == 0; }
+
+  Node* FindGreaterOrEqual(const K& key, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) {
+          return next;
+        }
+        level--;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  int max_height_;
+  Random rnd_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_SKIPLIST_H_

@@ -1,0 +1,64 @@
+#include "lsm/table_cache.h"
+
+namespace lilsm {
+
+TableCache::TableCache(const TableOptions& options, std::string dbname,
+                       size_t capacity)
+    : options_(options),
+      dbname_(std::move(dbname)),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+Status TableCache::GetReader(uint64_t file_number,
+                             std::shared_ptr<TableReader>* reader) {
+  auto it = map_.find(file_number);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    *reader = it->second->reader;
+    return Status::OK();
+  }
+
+  std::unique_ptr<TableReader> opened;
+  Status s = OpenTable(options_, TableFileName(dbname_, file_number), &opened);
+  if (!s.ok()) return s;
+
+  lru_.push_front(Entry{file_number, std::shared_ptr<TableReader>(
+                                          opened.release())});
+  map_[file_number] = lru_.begin();
+  *reader = lru_.front().reader;
+
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().file_number);
+    lru_.pop_back();
+  }
+  return Status::OK();
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  auto it = map_.find(file_number);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void TableCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+size_t TableCache::TotalIndexMemory() const {
+  size_t total = 0;
+  for (const Entry& entry : lru_) {
+    total += entry.reader->IndexMemoryUsage();
+  }
+  return total;
+}
+
+size_t TableCache::TotalFilterMemory() const {
+  size_t total = 0;
+  for (const Entry& entry : lru_) {
+    total += entry.reader->FilterMemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace lilsm

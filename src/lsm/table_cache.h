@@ -1,0 +1,57 @@
+// TableCache: LRU cache of open table readers keyed by file number.
+#ifndef LILSM_LSM_TABLE_CACHE_H_
+#define LILSM_LSM_TABLE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "lsm/dbformat.h"
+#include "table/table.h"
+
+namespace lilsm {
+
+class TableCache {
+ public:
+  TableCache(const TableOptions& options, std::string dbname, size_t capacity);
+
+  /// Returns the (possibly cached) reader for the table file.
+  Status GetReader(uint64_t file_number,
+                   std::shared_ptr<TableReader>* reader);
+
+  /// Drops a file's reader (after the file is deleted by a compaction).
+  void Evict(uint64_t file_number);
+
+  void Clear();
+  size_t size() const { return map_.size(); }
+  const TableOptions& options() const { return options_; }
+
+  /// Updates the index configuration used for newly built tables; callers
+  /// retrain existing readers separately (DB::ReconfigureIndexes).
+  void SetIndexOptions(IndexType type, const IndexConfig& config) {
+    options_.index_type = type;
+    options_.index_config = config;
+  }
+
+  /// Total in-memory footprint of cached indexes (excluding filters).
+  size_t TotalIndexMemory() const;
+  /// Total in-memory footprint of cached bloom filters.
+  size_t TotalFilterMemory() const;
+
+ private:
+  struct Entry {
+    uint64_t file_number;
+    std::shared_ptr<TableReader> reader;
+  };
+
+  TableOptions options_;
+  const std::string dbname_;
+  const size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_TABLE_CACHE_H_

@@ -1,0 +1,164 @@
+// Version / VersionEdit / VersionSet: immutable per-level file metadata,
+// manifest persistence, and compaction picking — the LevelDB architecture
+// reduced to what a single-threaded engine needs.
+#ifndef LILSM_LSM_VERSION_H_
+#define LILSM_LSM_VERSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/wal.h"
+#include "util/env.h"
+
+namespace lilsm {
+
+struct FileMeta {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  uint64_t entries = 0;
+  Key smallest = 0;
+  Key largest = 0;
+};
+
+class VersionEdit {
+ public:
+  void Clear();
+
+  void SetLogNumber(uint64_t num) {
+    has_log_number_ = true;
+    log_number_ = num;
+  }
+  void SetNextFileNumber(uint64_t num) {
+    has_next_file_number_ = true;
+    next_file_number_ = num;
+  }
+  void SetLastSequence(SequenceNumber seq) {
+    has_last_sequence_ = true;
+    last_sequence_ = seq;
+  }
+  void SetCompactPointer(int level, Key key) {
+    compact_pointers_.emplace_back(level, key);
+  }
+  void AddFile(int level, const FileMeta& meta) {
+    new_files_.emplace_back(level, meta);
+  }
+  void RemoveFile(int level, uint64_t number) {
+    deleted_files_.emplace_back(level, number);
+  }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+
+  // Open fields: the edit is a short-lived carrier between the writer and
+  // VersionSet::Apply.
+  bool has_log_number_ = false;
+  bool has_next_file_number_ = false;
+  bool has_last_sequence_ = false;
+  uint64_t log_number_ = 0;
+  uint64_t next_file_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+  std::vector<std::pair<int, Key>> compact_pointers_;
+  std::vector<std::pair<int, uint64_t>> deleted_files_;
+  std::vector<std::pair<int, FileMeta>> new_files_;
+};
+
+/// A snapshot of the LSM-tree shape. Level 0 holds possibly overlapping
+/// files ordered newest-first (descending file number); levels >= 1 hold
+/// disjoint files sorted by smallest key.
+class Version {
+ public:
+  int NumFiles(int level) const {
+    return static_cast<int>(files_[level].size());
+  }
+  uint64_t LevelBytes(int level) const;
+  uint64_t LevelEntries(int level) const;
+  const std::vector<FileMeta>& files(int level) const {
+    return files_[level];
+  }
+
+  /// Highest level containing any file (-1 when empty).
+  int MaxPopulatedLevel() const;
+
+  /// For levels >= 1: index of the single file whose range may contain
+  /// `key`, or -1. For level 0 use files() directly (newest first).
+  int FindFile(int level, Key key) const;
+
+  /// Files in `level` overlapping [smallest, largest].
+  std::vector<FileMeta> GetOverlapping(int level, Key smallest,
+                                       Key largest) const;
+
+  /// True if any file in a level deeper than `level` may contain `key`
+  /// (governs tombstone dropping during compaction).
+  bool KeyMayExistBelow(int level, Key key) const;
+
+  std::vector<FileMeta> files_[kNumLevels];
+};
+
+class VersionSet {
+ public:
+  VersionSet(Env* env, std::string dbname);
+
+  /// Initializes a fresh database: writes MANIFEST + CURRENT.
+  Status CreateNew();
+  /// Recovers state from CURRENT + MANIFEST.
+  Status Recover();
+
+  /// Persists the edit to the manifest and applies it to current().
+  Status LogAndApply(VersionEdit* edit);
+
+  const Version& current() const { return current_; }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  void MarkFileNumberUsed(uint64_t number) {
+    if (next_file_number_ <= number) next_file_number_ = number + 1;
+  }
+  SequenceNumber last_sequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+  uint64_t log_number() const { return log_number_; }
+  uint64_t manifest_number() const { return manifest_number_; }
+
+  /// Monotone stamp bumped by every LogAndApply; consumers (level models)
+  /// use it to detect stale caches.
+  uint64_t stamp() const { return stamp_; }
+
+  struct CompactionPick {
+    int level = -1;
+    std::vector<FileMeta> inputs;       // from `level`
+    std::vector<FileMeta> next_inputs;  // overlapping files in level + 1
+  };
+
+  /// Chooses the compaction the tree needs most, LevelDB-style: level 0 by
+  /// file count against `l0_trigger`, deeper levels by size against
+  /// base_bytes * size_ratio^level. Returns false when no level is over
+  /// its capacity.
+  bool PickCompaction(int l0_trigger, uint64_t base_bytes, int size_ratio,
+                      CompactionPick* pick);
+
+  /// The full-merge pick used by manual/level-granularity compactions:
+  /// all files of `level` plus everything overlapping below.
+  bool PickFullCompaction(int level, CompactionPick* pick);
+
+ private:
+  Status WriteSnapshot(LogWriter* writer);
+  void Apply(const VersionEdit& edit);
+  Status InstallManifest(uint64_t manifest_number);
+
+  Env* const env_;
+  const std::string dbname_;
+  Version current_;
+  std::unique_ptr<LogWriter> manifest_;
+  uint64_t manifest_number_ = 0;
+  uint64_t manifest_edits_ = 0;
+  uint64_t next_file_number_ = 2;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t log_number_ = 0;
+  uint64_t stamp_ = 0;
+  Key compact_pointer_[kNumLevels] = {};
+  bool has_compact_pointer_[kNumLevels] = {};
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_VERSION_H_

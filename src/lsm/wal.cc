@@ -1,0 +1,53 @@
+#include "lsm/wal.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace lilsm {
+
+Status LogWriter::AddRecord(const Slice& record) {
+  char header[8];
+  EncodeFixed32(header,
+                crc32c::Mask(crc32c::Value(record.data(), record.size())));
+  EncodeFixed32(header + 4, static_cast<uint32_t>(record.size()));
+  Status s = file_->Append(Slice(header, 8));
+  if (!s.ok()) return s;
+  return file_->Append(record);
+}
+
+bool LogReader::ReadRecord(std::string* record) {
+  char header[8];
+  Slice contents;
+  Status s = file_->Read(8, &contents, header);
+  if (!s.ok() || contents.size() == 0) {
+    return false;  // clean EOF
+  }
+  if (contents.size() < 8) {
+    hit_corruption_ = true;  // torn header
+    return false;
+  }
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(contents.data()));
+  const uint32_t length = DecodeFixed32(contents.data() + 4);
+  if (length > (1u << 30)) {
+    hit_corruption_ = true;
+    return false;
+  }
+  record->resize(length);
+  Slice payload;
+  s = file_->Read(length, &payload, record->data());
+  if (!s.ok() || payload.size() < length) {
+    hit_corruption_ = true;  // torn payload
+    return false;
+  }
+  if (crc32c::Value(payload.data(), payload.size()) != expected_crc) {
+    hit_corruption_ = true;
+    return false;
+  }
+  // `payload` may point into the env's buffer rather than `record`.
+  if (payload.data() != record->data()) {
+    record->assign(payload.data(), payload.size());
+  }
+  return true;
+}
+
+}  // namespace lilsm

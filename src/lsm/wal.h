@@ -1,0 +1,47 @@
+// Write-ahead log (also used for the MANIFEST): a sequence of records, each
+//   masked crc32c (4B) | payload length (4B) | payload.
+// Replay stops cleanly at a torn or corrupt tail record, which is the crash
+// durability contract the recovery tests exercise.
+#ifndef LILSM_LSM_WAL_H_
+#define LILSM_LSM_WAL_H_
+
+#include <memory>
+#include <string>
+
+#include "util/env.h"
+
+namespace lilsm {
+
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  Status AddRecord(const Slice& record);
+  Status Flush() { return file_->Flush(); }
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+class LogReader {
+ public:
+  explicit LogReader(std::unique_ptr<SequentialFile> file)
+      : file_(std::move(file)) {}
+
+  /// Reads the next record into *record. Returns false at EOF or at the
+  /// first corrupt/torn record (in which case corruption() reports it).
+  bool ReadRecord(std::string* record);
+
+  bool hit_corruption() const { return hit_corruption_; }
+
+ private:
+  std::unique_ptr<SequentialFile> file_;
+  bool hit_corruption_ = false;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_LSM_WAL_H_

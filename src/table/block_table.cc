@@ -1,0 +1,493 @@
+#include "table/block_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace lilsm {
+
+namespace {
+
+/// Block meta payload for the block format.
+struct BlockMeta {
+  uint32_t key_size = 0;
+  uint64_t count = 0;
+  Key min_key = 0;
+  Key max_key = 0;
+  uint64_t index_block_entries = 0;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, 2);  // format version (1 = segmented)
+    PutVarint32(dst, key_size);
+    PutVarint64(dst, count);
+    PutFixed64(dst, min_key);
+    PutFixed64(dst, max_key);
+    PutVarint64(dst, index_block_entries);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    uint32_t version = 0;
+    if (!GetVarint32(input, &version) || version != 2 ||
+        !GetVarint32(input, &key_size) || !GetVarint64(input, &count) ||
+        !GetFixed64(input, &min_key) || !GetFixed64(input, &max_key) ||
+        !GetVarint64(input, &index_block_entries) || key_size < 8) {
+      return Status::Corruption("block table: bad meta block");
+    }
+    return Status::OK();
+  }
+};
+
+Slice BloomKey(Key key, char* buf) {
+  EncodeFixed64(buf, key);
+  return Slice(buf, 8);
+}
+
+size_t SharedPrefix(const std::string& a, const char* b, size_t b_len) {
+  const size_t limit = std::min(a.size(), b_len);
+  size_t shared = 0;
+  while (shared < limit && a[shared] == b[shared]) shared++;
+  return shared;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+BlockTableBuilder::BlockTableBuilder(const TableOptions& options,
+                                     const std::string& fname)
+    : options_(options), bloom_(options.bloom_bits_per_key) {
+  assert(options_.env != nullptr);
+  status_ = options_.env->NewWritableFile(fname, &file_);
+}
+
+BlockTableBuilder::~BlockTableBuilder() {
+  if (!finished_ && file_ != nullptr) {
+    file_->Close();
+  }
+}
+
+Status BlockTableBuilder::Add(Key key, uint64_t tag, const Slice& value) {
+  if (!status_.ok()) return status_;
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  if (has_entries_ && key <= max_key_) {
+    status_ = Status::InvalidArgument("keys must be strictly increasing");
+    return status_;
+  }
+
+  char key_bytes[64];
+  assert(options_.key_size <= sizeof(key_bytes));
+  EncodeUserKey(key, options_.key_size, key_bytes);
+
+  // Restart point every kRestartInterval entries: full key stored.
+  size_t shared = 0;
+  if (entries_in_block_ % kRestartInterval == 0) {
+    restarts_.push_back(static_cast<uint32_t>(block_buf_.size()));
+  } else {
+    shared = SharedPrefix(last_key_bytes_, key_bytes, options_.key_size);
+  }
+  const size_t non_shared = options_.key_size - shared;
+
+  PutVarint32(&block_buf_, static_cast<uint32_t>(shared));
+  PutVarint32(&block_buf_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&block_buf_, static_cast<uint32_t>(value.size()));
+  block_buf_.append(key_bytes + shared, non_shared);
+  PutFixed64(&block_buf_, tag);
+  block_buf_.append(value.data(), value.size());
+
+  last_key_bytes_.assign(key_bytes, options_.key_size);
+  block_last_key_ = key;
+  entries_in_block_++;
+  num_entries_++;
+  char bloom_buf[8];
+  bloom_.AddKey(BloomKey(key, bloom_buf));
+  if (!has_entries_) {
+    min_key_ = key;
+    has_entries_ = true;
+  }
+  max_key_ = key;
+
+  if (block_buf_.size() >= kTargetBlockSize) {
+    FlushBlock();
+  }
+  return status_;
+}
+
+void BlockTableBuilder::FlushBlock() {
+  if (entries_in_block_ == 0 || !status_.ok()) return;
+  // Append the restart array + its length.
+  for (uint32_t restart : restarts_) {
+    PutFixed32(&block_buf_, restart);
+  }
+  PutFixed32(&block_buf_, static_cast<uint32_t>(restarts_.size()));
+
+  BlockHandle handle;
+  status_ = WriteChecksummedBlock(file_.get(), offset_, block_buf_, &handle);
+  if (status_.ok()) {
+    offset_ += handle.size;
+    index_entries_.emplace_back(block_last_key_, handle);
+  }
+  block_buf_.clear();
+  restarts_.clear();
+  entries_in_block_ = 0;
+  last_key_bytes_.clear();
+}
+
+Status BlockTableBuilder::Finish() {
+  if (!status_.ok()) return status_;
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  FlushBlock();
+  if (!status_.ok()) return status_;
+  finished_ = true;
+
+  Footer footer;
+
+  std::string bloom_block;
+  bloom_.Finish(&bloom_block);
+  status_ = WriteChecksummedBlock(file_.get(), offset_, bloom_block,
+                                  &footer.bloom_handle);
+  if (!status_.ok()) return status_;
+  offset_ += footer.bloom_handle.size;
+
+  // Index block: the per-block fence pointers.
+  std::string index_block;
+  PutVarint64(&index_block, index_entries_.size());
+  for (const auto& [last_key, handle] : index_entries_) {
+    PutFixed64(&index_block, last_key);
+    handle.EncodeTo(&index_block);
+  }
+  status_ = WriteChecksummedBlock(file_.get(), offset_, index_block,
+                                  &footer.index_handle);
+  if (!status_.ok()) return status_;
+  offset_ += footer.index_handle.size;
+
+  BlockMeta meta;
+  meta.key_size = options_.key_size;
+  meta.count = num_entries_;
+  meta.min_key = min_key_;
+  meta.max_key = max_key_;
+  meta.index_block_entries = index_entries_.size();
+  std::string meta_block;
+  meta.EncodeTo(&meta_block);
+  status_ = WriteChecksummedBlock(file_.get(), offset_, meta_block,
+                                  &footer.meta_handle);
+  if (!status_.ok()) return status_;
+  offset_ += footer.meta_handle.size;
+
+  std::string footer_block;
+  footer.EncodeTo(&footer_block);
+  status_ = file_->Append(footer_block);
+  if (!status_.ok()) return status_;
+  offset_ += footer_block.size();
+
+  status_ = file_->Sync();
+  if (status_.ok()) status_ = file_->Close();
+  file_.reset();
+  return status_;
+}
+
+void BlockTableBuilder::Abandon() {
+  finished_ = true;
+  if (file_ != nullptr) {
+    file_->Close();
+    file_.reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BlockParser
+// ---------------------------------------------------------------------------
+
+BlockParser::BlockParser(const std::string* contents, uint32_t key_size)
+    : contents_(contents), key_size_(key_size) {
+  if (contents_->size() < 4) {
+    status_ = Status::Corruption("block: too small");
+    return;
+  }
+  num_restarts_ = DecodeFixed32(contents_->data() + contents_->size() - 4);
+  const size_t restart_bytes = (num_restarts_ + 1) * 4;
+  if (restart_bytes > contents_->size()) {
+    status_ = Status::Corruption("block: bad restart count");
+    return;
+  }
+  data_end_ = contents_->size() - restart_bytes;
+}
+
+uint32_t BlockParser::RestartPoint(size_t i) const {
+  return DecodeFixed32(contents_->data() + data_end_ + i * 4);
+}
+
+bool BlockParser::ParseCurrent() {
+  if (current_ >= data_end_) {
+    valid_ = false;
+    return false;
+  }
+  Slice input(contents_->data() + current_, data_end_ - current_);
+  uint32_t shared = 0, non_shared = 0, value_len = 0;
+  if (!GetVarint32(&input, &shared) || !GetVarint32(&input, &non_shared) ||
+      !GetVarint32(&input, &value_len) ||
+      input.size() < non_shared + 8 + value_len ||
+      shared + non_shared != key_size_ || shared > key_bytes_.size()) {
+    status_ = Status::Corruption("block: malformed entry");
+    valid_ = false;
+    return false;
+  }
+  key_bytes_.resize(shared);
+  key_bytes_.append(input.data(), non_shared);
+  input.remove_prefix(non_shared);
+  key_ = DecodeUserKey(key_bytes_.data());
+  tag_ = DecodeFixed64(input.data());
+  input.remove_prefix(8);
+  value_ = Slice(input.data(), value_len);
+  next_ = static_cast<size_t>(input.data() + value_len - contents_->data());
+  valid_ = true;
+  return true;
+}
+
+void BlockParser::SeekToFirst() {
+  if (!status_.ok()) return;
+  current_ = 0;
+  key_bytes_.clear();
+  ParseCurrent();
+}
+
+void BlockParser::Seek(Key target) {
+  if (!status_.ok()) return;
+  // Binary search restart points for the last restart with key < target,
+  // then scan forward.
+  size_t lo = 0, hi = num_restarts_;
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    // Restart entries store the full key; peek at it.
+    Slice input(contents_->data() + RestartPoint(mid),
+                data_end_ - RestartPoint(mid));
+    uint32_t shared = 0, non_shared = 0, value_len = 0;
+    if (!GetVarint32(&input, &shared) || !GetVarint32(&input, &non_shared) ||
+        !GetVarint32(&input, &value_len) || shared != 0 ||
+        non_shared < 8) {
+      status_ = Status::Corruption("block: malformed restart entry");
+      valid_ = false;
+      return;
+    }
+    const Key restart_key = DecodeUserKey(input.data());
+    if (restart_key < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  current_ = RestartPoint(lo);
+  key_bytes_.clear();
+  while (ParseCurrent() && key_ < target) {
+    current_ = next_;
+  }
+}
+
+void BlockParser::Next() {
+  assert(valid_);
+  current_ = next_;
+  ParseCurrent();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Status BlockTableReader::Open(const TableOptions& options,
+                              const std::string& fname,
+                              std::unique_ptr<TableReader>* reader) {
+  std::unique_ptr<BlockTableReader> r(new BlockTableReader(options));
+  Status s = options.env->NewRandomAccessFile(fname, &r->file_);
+  if (!s.ok()) return s;
+  uint64_t file_size = 0;
+  s = options.env->GetFileSize(fname, &file_size);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = ReadFooter(r->file_.get(), file_size, &footer);
+  if (!s.ok()) return s;
+
+  std::string meta_block;
+  s = ReadChecksummedBlock(r->file_.get(), footer.meta_handle, &meta_block);
+  if (!s.ok()) return s;
+  BlockMeta meta;
+  Slice meta_input(meta_block);
+  s = meta.DecodeFrom(&meta_input);
+  if (!s.ok()) return s;
+  r->key_size_ = meta.key_size;
+  r->count_ = meta.count;
+  r->min_key_ = meta.min_key;
+  r->max_key_ = meta.max_key;
+
+  s = ReadChecksummedBlock(r->file_.get(), footer.bloom_handle,
+                           &r->bloom_data_);
+  if (!s.ok()) return s;
+
+  std::string index_block;
+  s = ReadChecksummedBlock(r->file_.get(), footer.index_handle, &index_block);
+  if (!s.ok()) return s;
+  Slice input(index_block);
+  uint64_t num_blocks = 0;
+  if (!GetVarint64(&input, &num_blocks) ||
+      num_blocks != meta.index_block_entries) {
+    return Status::Corruption("block table: bad index block");
+  }
+  r->blocks_.reserve(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; i++) {
+    BlockEntry entry;
+    if (!GetFixed64(&input, &entry.last_key) ||
+        !entry.handle.DecodeFrom(&input)) {
+      return Status::Corruption("block table: truncated index block");
+    }
+    r->blocks_.push_back(entry);
+  }
+
+  *reader = std::move(r);
+  return Status::OK();
+}
+
+size_t BlockTableReader::FindBlock(Key key) const {
+  auto it = std::lower_bound(
+      blocks_.begin(), blocks_.end(), key,
+      [](const BlockEntry& b, Key k) { return b.last_key < k; });
+  return static_cast<size_t>(it - blocks_.begin());
+}
+
+Status BlockTableReader::ReadBlock(size_t block_idx,
+                                   std::string* contents) const {
+  ScopedTimer timer(options_.stats, Timer::kDiskRead, options_.env);
+  return ReadChecksummedBlock(file_.get(), blocks_[block_idx].handle,
+                              contents);
+}
+
+Status BlockTableReader::Get(Key key, std::string* value, uint64_t* tag,
+                             bool* found) {
+  *found = false;
+  if (count_ == 0 || key < min_key_ || key > max_key_) return Status::OK();
+
+  {
+    ScopedTimer timer(options_.stats, Timer::kBloomCheck, options_.env);
+    char bloom_buf[8];
+    BloomFilterReader bloom{Slice(bloom_data_)};
+    if (!bloom.KeyMayMatch(BloomKey(key, bloom_buf))) {
+      if (options_.stats != nullptr) {
+        options_.stats->Add(Counter::kBloomNegatives);
+      }
+      return Status::OK();
+    }
+  }
+
+  size_t block_idx;
+  {
+    ScopedTimer timer(options_.stats, Timer::kIndexPredict, options_.env);
+    block_idx = FindBlock(key);
+  }
+  if (block_idx >= blocks_.size()) return Status::OK();
+
+  std::string contents;
+  Status s = ReadBlock(block_idx, &contents);
+  if (!s.ok()) return s;
+
+  ScopedTimer timer(options_.stats, Timer::kBinarySearch, options_.env);
+  BlockParser parser(&contents, key_size_);
+  parser.Seek(key);
+  if (!parser.status().ok()) return parser.status();
+  if (parser.Valid() && parser.key() == key) {
+    *tag = parser.tag();
+    value->assign(parser.value().data(), parser.value().size());
+    *found = true;
+    if (options_.stats != nullptr) {
+      options_.stats->Add(Counter::kBloomTruePositive);
+    }
+  } else if (options_.stats != nullptr) {
+    options_.stats->Add(Counter::kBloomFalsePositive);
+  }
+  return Status::OK();
+}
+
+size_t BlockTableReader::IndexMemoryUsage() const {
+  return blocks_.capacity() * sizeof(BlockEntry);
+}
+
+Status BlockTableReader::ReadAllKeys(std::vector<Key>* keys) {
+  keys->clear();
+  keys->reserve(count_);
+  auto it = NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    keys->push_back(it->key());
+  }
+  return it->status();
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+class BlockTableIterator final : public TableIterator {
+ public:
+  explicit BlockTableIterator(BlockTableReader* reader) : reader_(reader) {}
+
+  bool Valid() const override {
+    return status_.ok() && parser_ != nullptr && parser_->Valid();
+  }
+
+  void SeekToFirst() override {
+    block_idx_ = 0;
+    LoadBlock();
+    if (parser_ != nullptr) parser_->SeekToFirst();
+    SkipExhaustedBlocks();
+  }
+
+  void Seek(Key target) override {
+    block_idx_ = reader_->FindBlock(target);
+    LoadBlock();
+    if (parser_ != nullptr) parser_->Seek(target);
+    SkipExhaustedBlocks();
+  }
+
+  void Next() override {
+    assert(Valid());
+    parser_->Next();
+    SkipExhaustedBlocks();
+  }
+
+  Key key() const override { return parser_->key(); }
+  uint64_t tag() const override { return parser_->tag(); }
+  Slice value() const override { return parser_->value(); }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return parser_ != nullptr ? parser_->status() : Status::OK();
+  }
+
+ private:
+  void LoadBlock() {
+    parser_.reset();
+    if (block_idx_ >= reader_->blocks_.size()) return;
+    status_ = reader_->ReadBlock(block_idx_, &contents_);
+    if (!status_.ok()) return;
+    parser_ = std::make_unique<BlockParser>(&contents_, reader_->key_size_);
+  }
+
+  void SkipExhaustedBlocks() {
+    while (status_.ok() && parser_ != nullptr && !parser_->Valid() &&
+           parser_->status().ok() &&
+           block_idx_ + 1 < reader_->blocks_.size()) {
+      block_idx_++;
+      LoadBlock();
+      if (parser_ != nullptr) parser_->SeekToFirst();
+    }
+  }
+
+  BlockTableReader* const reader_;
+  Status status_;
+  size_t block_idx_ = 0;
+  std::string contents_;
+  std::unique_ptr<BlockParser> parser_;
+};
+
+std::unique_ptr<TableIterator> BlockTableReader::NewIterator() {
+  return std::make_unique<BlockTableIterator>(this);
+}
+
+}  // namespace lilsm

@@ -1,0 +1,560 @@
+#include "table/segmented_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace lilsm {
+
+namespace {
+
+/// Meta block payload: geometry and key range of the table.
+struct MetaBlock {
+  uint32_t key_size = 0;
+  uint32_t value_size = 0;
+  uint64_t count = 0;
+  Key min_key = 0;
+  Key max_key = 0;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, 1);  // format version
+    PutVarint32(dst, key_size);
+    PutVarint32(dst, value_size);
+    PutVarint64(dst, count);
+    PutFixed64(dst, min_key);
+    PutFixed64(dst, max_key);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    uint32_t version = 0;
+    if (!GetVarint32(input, &version) || version != 1 ||
+        !GetVarint32(input, &key_size) || !GetVarint32(input, &value_size) ||
+        !GetVarint64(input, &count) || !GetFixed64(input, &min_key) ||
+        !GetFixed64(input, &max_key) || key_size < 8) {
+      return Status::Corruption("segmented table: bad meta block");
+    }
+    return Status::OK();
+  }
+};
+
+/// Bloom keys are the 8-byte little-endian user key.
+Slice BloomKey(Key key, char* buf) {
+  EncodeFixed64(buf, key);
+  return Slice(buf, 8);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+SegmentedTableBuilder::SegmentedTableBuilder(const TableOptions& options,
+                                             const std::string& fname)
+    : options_(options), bloom_(options.bloom_bits_per_key) {
+  assert(options_.env != nullptr);
+  status_ = options_.env->NewWritableFile(fname, &file_);
+  entry_buf_.resize(options_.entry_size());
+}
+
+SegmentedTableBuilder::~SegmentedTableBuilder() {
+  if (!finished_ && file_ != nullptr) {
+    file_->Close();
+  }
+}
+
+Status SegmentedTableBuilder::Add(Key key, uint64_t tag, const Slice& value) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return Status::InvalidArgument("builder already finished");
+  }
+  if (!keys_.empty() && key <= keys_.back()) {
+    status_ = Status::InvalidArgument("keys must be strictly increasing");
+    return status_;
+  }
+  // Tombstones (tag type byte 0 = deletion) carry no value; their slot is
+  // zero-padded so the fixed entry geometry holds.
+  const bool is_tombstone = (tag & 0xff) == 0;
+  if (value.size() != options_.value_size &&
+      !(is_tombstone && value.empty())) {
+    status_ = Status::InvalidArgument(
+        "segmented tables require fixed-size values");
+    return status_;
+  }
+
+  char* dst = entry_buf_.data();
+  EncodeUserKey(key, options_.key_size, dst);
+  EncodeFixed64(dst + options_.key_size, tag);
+  std::memcpy(dst + options_.key_size + 8, value.data(), value.size());
+  if (value.size() < options_.value_size) {
+    std::memset(dst + options_.key_size + 8 + value.size(), 0,
+                options_.value_size - value.size());
+  }
+  status_ = file_->Append(Slice(entry_buf_.data(), entry_buf_.size()));
+  if (!status_.ok()) return status_;
+
+  keys_.push_back(key);
+  char bloom_buf[8];
+  bloom_.AddKey(BloomKey(key, bloom_buf));
+  offset_ += entry_buf_.size();
+  return Status::OK();
+}
+
+Status SegmentedTableBuilder::Finish() {
+  if (!status_.ok()) return status_;
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  finished_ = true;
+
+  Stats* stats = options_.stats;
+  Env* env = options_.env;
+
+  // Train the learned index over the written keys (paper: the training
+  // step added to every flush/compaction, measured as kCompactTrain).
+  std::unique_ptr<LearnedIndex> index = CreateIndex(options_.index_type);
+  {
+    ScopedTimer timer(stats, Timer::kCompactTrain, env);
+    status_ = index->Build(keys_.data(), keys_.size(), options_.index_config);
+  }
+  if (!status_.ok()) return status_;
+  if (stats != nullptr) stats->Add(Counter::kModelsTrained);
+
+  Footer footer;
+
+  std::string bloom_block;
+  bloom_.Finish(&bloom_block);
+  status_ = WriteChecksummedBlock(file_.get(), offset_, bloom_block,
+                                  &footer.bloom_handle);
+  if (!status_.ok()) return status_;
+  offset_ += footer.bloom_handle.size;
+
+  // Serialize and write the model (kCompactWriteModel in Figure 9's
+  // breakdown).
+  {
+    ScopedTimer timer(stats, Timer::kCompactWriteModel, env);
+    std::string index_blob;
+    EncodeIndexWithType(*index, &index_blob);
+    status_ = WriteChecksummedBlock(file_.get(), offset_, index_blob,
+                                    &footer.index_handle);
+    if (!status_.ok()) return status_;
+    offset_ += footer.index_handle.size;
+  }
+
+  MetaBlock meta;
+  meta.key_size = options_.key_size;
+  meta.value_size = options_.value_size;
+  meta.count = keys_.size();
+  meta.min_key = keys_.empty() ? 0 : keys_.front();
+  meta.max_key = keys_.empty() ? 0 : keys_.back();
+  std::string meta_block;
+  meta.EncodeTo(&meta_block);
+  status_ = WriteChecksummedBlock(file_.get(), offset_, meta_block,
+                                  &footer.meta_handle);
+  if (!status_.ok()) return status_;
+  offset_ += footer.meta_handle.size;
+
+  std::string footer_block;
+  footer.EncodeTo(&footer_block);
+  status_ = file_->Append(footer_block);
+  if (!status_.ok()) return status_;
+  offset_ += footer_block.size();
+
+  status_ = file_->Sync();
+  if (status_.ok()) status_ = file_->Close();
+  file_.reset();
+  return status_;
+}
+
+void SegmentedTableBuilder::Abandon() {
+  finished_ = true;
+  if (file_ != nullptr) {
+    file_->Close();
+    file_.reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Status SegmentedTableReader::Open(const TableOptions& options,
+                                  const std::string& fname,
+                                  std::unique_ptr<TableReader>* reader) {
+  std::unique_ptr<SegmentedTableReader> r(new SegmentedTableReader(options));
+  Status s = options.env->NewRandomAccessFile(fname, &r->file_);
+  if (!s.ok()) return s;
+  uint64_t file_size = 0;
+  s = options.env->GetFileSize(fname, &file_size);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = ReadFooter(r->file_.get(), file_size, &footer);
+  if (!s.ok()) return s;
+
+  std::string meta_block;
+  s = ReadChecksummedBlock(r->file_.get(), footer.meta_handle, &meta_block);
+  if (!s.ok()) return s;
+  MetaBlock meta;
+  Slice meta_input(meta_block);
+  s = meta.DecodeFrom(&meta_input);
+  if (!s.ok()) return s;
+
+  r->key_size_ = meta.key_size;
+  r->value_size_ = meta.value_size;
+  r->entry_size_ = meta.key_size + 8 + meta.value_size;
+  r->count_ = meta.count;
+  r->min_key_ = meta.min_key;
+  r->max_key_ = meta.max_key;
+  r->data_size_ = meta.count * r->entry_size_;
+
+  s = ReadChecksummedBlock(r->file_.get(), footer.bloom_handle,
+                           &r->bloom_data_);
+  if (!s.ok()) return s;
+
+  std::string index_blob;
+  s = ReadChecksummedBlock(r->file_.get(), footer.index_handle, &index_blob);
+  if (!s.ok()) return s;
+  Slice index_input(index_blob);
+  s = DecodeIndexWithType(&index_input, &r->index_);
+  if (!s.ok()) return s;
+  if (r->index_->num_keys() != r->count_) {
+    return Status::Corruption("segmented table: index/meta count mismatch");
+  }
+
+  *reader = std::move(r);
+  return Status::OK();
+}
+
+Status SegmentedTableReader::ReadEntryRange(size_t lo, size_t hi,
+                                            std::string* scratch,
+                                            const char** base, size_t* first,
+                                            size_t* last) {
+  assert(lo <= hi && hi < count_);
+  const uint64_t block = options_.io_block_size;
+  uint64_t byte_lo = static_cast<uint64_t>(lo) * entry_size_;
+  uint64_t byte_hi = static_cast<uint64_t>(hi + 1) * entry_size_;
+  // Align the fetch to device blocks: this is the paper's unit of I/O cost.
+  byte_lo = (byte_lo / block) * block;
+  byte_hi = std::min<uint64_t>(data_size_, ((byte_hi + block - 1) / block) * block);
+
+  const size_t len = static_cast<size_t>(byte_hi - byte_lo);
+  if (scratch->size() < len) scratch->resize(len);
+  Slice contents;
+  Status s = file_->Read(byte_lo, len, &contents, scratch->data());
+  if (!s.ok()) return s;
+  if (contents.size() < len) {
+    return Status::Corruption("segmented table: short data read");
+  }
+
+  // First fully contained entry at or below `lo`.
+  const size_t first_entry =
+      static_cast<size_t>((byte_lo + entry_size_ - 1) / entry_size_);
+  const size_t last_entry = static_cast<size_t>(byte_hi / entry_size_) - 1;
+  assert(first_entry <= lo && last_entry >= hi);
+  *base = contents.data() + (first_entry * entry_size_ - byte_lo);
+  *first = first_entry;
+  *last = std::min<size_t>(last_entry, count_ - 1);
+  return Status::OK();
+}
+
+Status SegmentedTableReader::ReadEntryKey(size_t pos, Key* key) {
+  char buf[64];
+  assert(key_size_ <= sizeof(buf));
+  Slice contents;
+  Status s = file_->Read(static_cast<uint64_t>(pos) * entry_size_, key_size_,
+                         &contents, buf);
+  if (!s.ok()) return s;
+  if (contents.size() < 8) {
+    return Status::Corruption("segmented table: short key read");
+  }
+  *key = DecodeUserKey(contents.data());
+  return Status::OK();
+}
+
+Status SegmentedTableReader::FindLowerBound(Key target, size_t* pos) {
+  size_t lo = 0, hi = count_;  // first entry with key >= target in [lo, hi]
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    Key key = 0;
+    Status s = ReadEntryKey(mid, &key);
+    if (!s.ok()) return s;
+    if (key < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *pos = lo;
+  return Status::OK();
+}
+
+bool SegmentedTableReader::MayContain(Key key) {
+  Stats* stats = options_.stats;
+  ScopedTimer timer(stats, Timer::kBloomCheck, options_.env);
+  char bloom_buf[8];
+  BloomFilterReader bloom{Slice(bloom_data_)};
+  if (!bloom.KeyMayMatch(BloomKey(key, bloom_buf))) {
+    if (stats != nullptr) stats->Add(Counter::kBloomNegatives);
+    return false;
+  }
+  return true;
+}
+
+Status SegmentedTableReader::SearchRange(Key key, size_t range_lo,
+                                         size_t range_hi, std::string* value,
+                                         uint64_t* tag, bool* found) {
+  Stats* stats = options_.stats;
+  Env* env = options_.env;
+  *found = false;
+
+  const char* base = nullptr;
+  size_t first = 0, last = 0;
+  {
+    ScopedTimer timer(stats, Timer::kDiskRead, env);
+    Status s = ReadEntryRange(range_lo, range_hi, &get_scratch_, &base,
+                              &first, &last);
+    if (!s.ok()) return s;
+    if (stats != nullptr) stats->Add(Counter::kSegmentsFetched);
+  }
+
+  {
+    ScopedTimer timer(stats, Timer::kBinarySearch, env);
+    // Binary search the fetched entries for the exact key.
+    size_t lo = range_lo, hi = range_hi + 1;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (EntryKeyInBuffer(base, first, mid) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo <= range_hi && EntryKeyInBuffer(base, first, lo) == key) {
+      const char* entry = base + (lo - first) * entry_size_;
+      *tag = DecodeFixed64(entry + key_size_);
+      value->assign(entry + key_size_ + 8, value_size_);
+      *found = true;
+    } else if (stats != nullptr) {
+      stats->Add(Counter::kBloomFalsePositive);
+    }
+  }
+  if (*found && stats != nullptr) {
+    stats->Add(Counter::kBloomTruePositive);
+  }
+  return Status::OK();
+}
+
+Status SegmentedTableReader::Get(Key key, std::string* value, uint64_t* tag,
+                                 bool* found) {
+  *found = false;
+  if (count_ == 0 || key < min_key_ || key > max_key_) {
+    return Status::OK();
+  }
+  if (!MayContain(key)) return Status::OK();
+
+  PredictResult prediction;
+  {
+    ScopedTimer timer(options_.stats, Timer::kIndexPredict, options_.env);
+    prediction = index_->Predict(key);
+  }
+  return SearchRange(key, prediction.lo, prediction.hi, value, tag, found);
+}
+
+Status SegmentedTableReader::GetWithBounds(Key key, size_t lo, size_t hi,
+                                           std::string* value, uint64_t* tag,
+                                           bool* found) {
+  *found = false;
+  if (count_ == 0 || key < min_key_ || key > max_key_) {
+    return Status::OK();
+  }
+  if (hi >= count_) hi = count_ - 1;
+  if (lo > hi) lo = hi;
+  if (!MayContain(key)) return Status::OK();
+  return SearchRange(key, lo, hi, value, tag, found);
+}
+
+Status SegmentedTableReader::RetrainIndex(IndexType type,
+                                          const IndexConfig& config) {
+  std::vector<Key> keys;
+  Status s = ReadAllKeys(&keys);
+  if (!s.ok()) return s;
+  std::unique_ptr<LearnedIndex> index = CreateIndex(type);
+  {
+    ScopedTimer timer(options_.stats, Timer::kCompactTrain, options_.env);
+    s = index->Build(keys.data(), keys.size(), config);
+  }
+  if (!s.ok()) return s;
+  index_ = std::move(index);
+  return Status::OK();
+}
+
+size_t SegmentedTableReader::IndexMemoryUsage() const {
+  return index_->MemoryUsage();
+}
+
+Status SegmentedTableReader::ReadAllKeys(std::vector<Key>* keys) {
+  keys->clear();
+  keys->reserve(count_);
+  // Scan the data region in large sequential chunks.
+  const size_t chunk_entries =
+      std::max<size_t>(1, (1u << 20) / entry_size_);
+  std::string scratch(chunk_entries * entry_size_, '\0');
+  for (size_t start = 0; start < count_; start += chunk_entries) {
+    const size_t n = std::min(chunk_entries, count_ - start);
+    Slice contents;
+    Status s = file_->Read(static_cast<uint64_t>(start) * entry_size_,
+                           n * entry_size_, &contents, scratch.data());
+    if (!s.ok()) return s;
+    if (contents.size() < n * entry_size_) {
+      return Status::Corruption("segmented table: short scan read");
+    }
+    for (size_t i = 0; i < n; i++) {
+      keys->push_back(DecodeUserKey(contents.data() + i * entry_size_));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+/// Streams entries block by block: Seek uses the learned index like a point
+/// lookup, then Next() advances inside the fetched block and fetches the
+/// following I/O block when exhausted (the paper's range-lookup phase 2).
+class SegmentedTableIterator final : public TableIterator {
+ public:
+  explicit SegmentedTableIterator(SegmentedTableReader* reader)
+      : reader_(reader) {}
+
+  bool Valid() const override {
+    return status_.ok() && pos_ < reader_->count_;
+  }
+
+  void SeekToFirst() override {
+    pos_ = 0;
+    EnsureBuffered();
+  }
+
+  void Seek(Key target) override {
+    if (reader_->count_ == 0) {
+      pos_ = 0;
+      return;
+    }
+    if (target <= reader_->min_key_) {
+      SeekToFirst();
+      return;
+    }
+    if (target > reader_->max_key_) {
+      pos_ = reader_->count_;
+      return;
+    }
+
+    PredictResult prediction;
+    {
+      ScopedTimer timer(reader_->options_.stats, Timer::kIndexPredict,
+                        reader_->options_.env);
+      prediction = reader_->index_->Predict(target);
+    }
+    const char* base = nullptr;
+    size_t first = 0, last = 0;
+    status_ = reader_->ReadEntryRange(prediction.lo, prediction.hi, &buffer_,
+                                      &base, &first, &last);
+    if (!status_.ok()) return;
+    buf_base_offset_ = static_cast<size_t>(base - buffer_.data());
+    buf_first_ = first;
+    buf_last_ = last;
+
+    const Key range_first = reader_->EntryKeyInBuffer(base, first, prediction.lo);
+    const Key range_last = reader_->EntryKeyInBuffer(base, first, prediction.hi);
+    if ((target < range_first && prediction.lo != 0) ||
+        (target > range_last && prediction.hi != reader_->count_ - 1)) {
+      // The model window does not bracket this (absent) target; fall back
+      // to an exact binary search over the file.
+      size_t pos = 0;
+      status_ = reader_->FindLowerBound(target, &pos);
+      if (!status_.ok()) return;
+      pos_ = pos;
+      EnsureBuffered();
+      return;
+    }
+
+    // Lower bound within [lo, hi].
+    size_t lo = prediction.lo, hi = prediction.hi + 1;
+    if (target > range_last) {
+      lo = hi;  // insertion point just past the window (hi == count_ - 1)
+    } else {
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (reader_->EntryKeyInBuffer(base, first, mid) < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+    }
+    pos_ = lo;
+    EnsureBuffered();
+  }
+
+  void Next() override {
+    assert(Valid());
+    pos_++;
+    EnsureBuffered();
+  }
+
+  Key key() const override {
+    assert(Valid());
+    return DecodeUserKey(EntryPtr());
+  }
+
+  uint64_t tag() const override {
+    assert(Valid());
+    return DecodeFixed64(EntryPtr() + reader_->key_size_);
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return Slice(EntryPtr() + reader_->key_size_ + 8, reader_->value_size_);
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  const char* EntryPtr() const {
+    return buffer_.data() + buf_base_offset_ +
+           (pos_ - buf_first_) * reader_->entry_size_;
+  }
+
+  /// Fetches the I/O block containing pos_ if it is not already buffered.
+  void EnsureBuffered() {
+    if (!status_.ok() || pos_ >= reader_->count_) return;
+    if (buf_last_ >= buf_first_ && pos_ >= buf_first_ && pos_ <= buf_last_ &&
+        buf_last_ != kInvalid) {
+      return;
+    }
+    const char* base = nullptr;
+    size_t first = 0, last = 0;
+    status_ = reader_->ReadEntryRange(pos_, pos_, &buffer_, &base, &first,
+                                      &last);
+    if (!status_.ok()) return;
+    buf_base_offset_ = static_cast<size_t>(base - buffer_.data());
+    buf_first_ = first;
+    buf_last_ = last;
+  }
+
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+
+  SegmentedTableReader* const reader_;
+  Status status_;
+  std::string buffer_;
+  size_t buf_base_offset_ = 0;
+  size_t buf_first_ = 1;
+  size_t buf_last_ = kInvalid;  // kInvalid => nothing buffered
+  size_t pos_ = 0;
+};
+
+std::unique_ptr<TableIterator> SegmentedTableReader::NewIterator() {
+  return std::make_unique<SegmentedTableIterator>(this);
+}
+
+}  // namespace lilsm

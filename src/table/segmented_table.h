@@ -1,0 +1,116 @@
+// SegmentedTable: the paper's LearnedIndexTable (Section 4.2).
+//
+// On-disk layout:
+//   [data region]  count fixed-size entries, sorted by user key:
+//                    key_size bytes big-endian key (zero padded)
+//                    8  bytes tag = (sequence << 8) | ValueType
+//                    value_size bytes value
+//   [bloom block]  checksummed bloom filter over the user keys
+//   [index blob]   checksummed EncodeIndexWithType() of the trained index
+//   [meta block]   checksummed table parameters (geometry, count, range)
+//   [footer]       handles + magic
+//
+// Point lookups predict an entry range with the learned index, fetch that
+// range with one pread aligned to the I/O block size, and binary search
+// inside the fetched bytes — exactly the paper's read path (Figure 1C).
+#ifndef LILSM_TABLE_SEGMENTED_TABLE_H_
+#define LILSM_TABLE_SEGMENTED_TABLE_H_
+
+#include <vector>
+
+#include "bloom/bloom.h"
+#include "table/table.h"
+
+namespace lilsm {
+
+class SegmentedTableBuilder final : public TableBuilder {
+ public:
+  /// Creates `fname` for writing. Check status() before use.
+  SegmentedTableBuilder(const TableOptions& options, const std::string& fname);
+  ~SegmentedTableBuilder() override;
+
+  Status Add(Key key, uint64_t tag, const Slice& value) override;
+  Status Finish() override;
+  void Abandon() override;
+
+  uint64_t NumEntries() const override { return keys_.size(); }
+  uint64_t FileSize() const override { return offset_; }
+  Status status() const { return status_; }
+
+ private:
+  TableOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  Status status_;
+  std::vector<Key> keys_;
+  BloomFilterBuilder bloom_;
+  std::string entry_buf_;
+  uint64_t offset_ = 0;
+  bool finished_ = false;
+};
+
+class SegmentedTableReader final : public TableReader {
+ public:
+  /// Opens `fname`, reading footer, meta, bloom and index blob into memory.
+  static Status Open(const TableOptions& options, const std::string& fname,
+                     std::unique_ptr<TableReader>* reader);
+
+  Status Get(Key key, std::string* value, uint64_t* tag, bool* found) override;
+  Status GetWithBounds(Key key, size_t lo, size_t hi, std::string* value,
+                       uint64_t* tag, bool* found) override;
+  std::unique_ptr<TableIterator> NewIterator() override;
+
+  uint64_t NumEntries() const override { return count_; }
+  Key MinKey() const override { return min_key_; }
+  Key MaxKey() const override { return max_key_; }
+  const LearnedIndex* index() const override { return index_.get(); }
+  Status RetrainIndex(IndexType type, const IndexConfig& config) override;
+  size_t IndexMemoryUsage() const override;
+  size_t FilterMemoryUsage() const override { return bloom_data_.capacity(); }
+  Status ReadAllKeys(std::vector<Key>* keys) override;
+
+  uint32_t entry_size() const { return entry_size_; }
+
+  /// Reads the entry range [lo, hi] (inclusive) with one pread aligned to
+  /// the I/O block size. On success *base points at entry `first` inside
+  /// `scratch`. Exposed for the iterator and the level-model read path.
+  Status ReadEntryRange(size_t lo, size_t hi, std::string* scratch,
+                        const char** base, size_t* first, size_t* last);
+
+  /// Entry-index lower bound via O(log n) single-entry probes; correctness
+  /// fallback for Seek() when the model range does not bracket an absent
+  /// target key.
+  Status FindLowerBound(Key target, size_t* pos);
+
+  Key EntryKeyInBuffer(const char* base, size_t first, size_t i) const {
+    return DecodeUserKey(base + (i - first) * entry_size_);
+  }
+
+ private:
+  friend class SegmentedTableIterator;
+
+  SegmentedTableReader(const TableOptions& options) : options_(options) {}
+
+  Status ReadEntryKey(size_t pos, Key* key);
+  /// Bloom probe; false means the key is definitely absent.
+  bool MayContain(Key key);
+  /// Fetch + in-range binary search shared by Get and GetWithBounds.
+  Status SearchRange(Key key, size_t lo, size_t hi, std::string* value,
+                     uint64_t* tag, bool* found);
+
+  TableOptions options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::unique_ptr<LearnedIndex> index_;
+  std::string bloom_data_;
+  uint64_t count_ = 0;
+  Key min_key_ = 0;
+  Key max_key_ = 0;
+  uint32_t key_size_ = 0;
+  uint32_t value_size_ = 0;
+  uint32_t entry_size_ = 0;
+  uint64_t data_size_ = 0;  // count_ * entry_size_
+  std::string get_scratch_;  // reused buffer for point lookups
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_TABLE_SEGMENTED_TABLE_H_

@@ -1,0 +1,144 @@
+// Abstract table interfaces. Two on-disk formats implement them:
+//
+//  * SegmentedTable — the paper's LearnedIndexTable: fixed-size entries,
+//    a pluggable serialized learned index, bloom filter, CRC footer.
+//  * BlockTable — the classic LevelDB-style format (prefix-compressed
+//    blocks indexed by per-block fence pointers), kept as the legacy
+//    baseline substrate and as a correctness cross-check.
+//
+// Entries carry a `tag` = (sequence << 8) | ValueType, exactly the LevelDB
+// internal-key trailer; user keys within one table are unique and strictly
+// increasing, which is what allows learned indexes to replace fence
+// pointers without layout changes (paper Section 2.2).
+#ifndef LILSM_TABLE_TABLE_H_
+#define LILSM_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "index/index.h"
+#include "table/format.h"
+#include "util/env.h"
+#include "util/stats.h"
+
+namespace lilsm {
+
+enum class TableFormat : uint8_t {
+  kSegmented = 0,  // the paper's LearnedIndexTable
+  kBlocked = 1,    // classic LevelDB block format
+};
+
+/// Options governing how tables are written and read.
+struct TableOptions {
+  Env* env = nullptr;         // required
+  Stats* stats = nullptr;     // optional instrumentation sink
+  TableFormat format = TableFormat::kSegmented;
+
+  /// Entry geometry for the segmented format (paper: 24-byte keys,
+  /// 1000-byte values). Values must have exactly value_size bytes.
+  uint32_t key_size = 24;
+  uint32_t value_size = 1000;
+
+  int bloom_bits_per_key = 10;
+
+  IndexType index_type = IndexType::kPGM;
+  IndexConfig index_config;
+
+  /// Alignment unit for segment fetches.
+  uint32_t io_block_size = static_cast<uint32_t>(kIoBlockSize);
+
+  uint32_t entry_size() const { return key_size + 8 + value_size; }
+};
+
+/// Iterator over a table's entries in key order.
+class TableIterator {
+ public:
+  virtual ~TableIterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with user key >= target.
+  virtual void Seek(Key target) = 0;
+  virtual void Next() = 0;
+
+  virtual Key key() const = 0;
+  virtual uint64_t tag() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+class TableReader {
+ public:
+  virtual ~TableReader() = default;
+
+  /// Point lookup. On hit sets *found=true, *tag and *value; a bloom
+  /// negative or absent key sets *found=false with OK status.
+  virtual Status Get(Key key, std::string* value, uint64_t* tag,
+                     bool* found) = 0;
+
+  /// Point lookup with externally supplied position bounds (inclusive
+  /// entry indexes), used by level-granularity models that predict across
+  /// a whole level instead of per file. Formats without positional entries
+  /// return NotSupported.
+  virtual Status GetWithBounds(Key /*key*/, size_t /*lo*/, size_t /*hi*/,
+                               std::string* /*value*/, uint64_t* /*tag*/,
+                               bool* /*found*/) {
+    return Status::NotSupported("GetWithBounds");
+  }
+
+  virtual std::unique_ptr<TableIterator> NewIterator() = 0;
+
+  virtual uint64_t NumEntries() const = 0;
+  virtual Key MinKey() const = 0;
+  virtual Key MaxKey() const = 0;
+
+  /// The in-memory index consulted by Get/Seek.
+  virtual const LearnedIndex* index() const = 0;
+
+  /// Retrains the in-memory index with a new type/config by scanning the
+  /// data region (the on-disk blob is untouched). This is what lets the
+  /// benchmark sweep (index type x boundary) without rewriting data files.
+  virtual Status RetrainIndex(IndexType type, const IndexConfig& config) = 0;
+
+  /// Bytes of memory held by the lookup index alone (the paper's
+  /// "Memory (B)" axis), excluding bloom filters.
+  virtual size_t IndexMemoryUsage() const = 0;
+
+  /// Bytes of memory held by the bloom filter.
+  virtual size_t FilterMemoryUsage() const = 0;
+
+  /// Reads every user key into *keys in order (used by level-granularity
+  /// model training).
+  virtual Status ReadAllKeys(std::vector<Key>* keys) = 0;
+};
+
+class TableBuilder {
+ public:
+  virtual ~TableBuilder() = default;
+
+  /// Adds an entry; keys must arrive strictly increasing.
+  virtual Status Add(Key key, uint64_t tag, const Slice& value) = 0;
+
+  /// Trains the index over the added keys, writes filter/index/meta blocks
+  /// and the footer, and syncs. After Finish the builder is exhausted.
+  virtual Status Finish() = 0;
+
+  /// Abandons the file contents (caller removes the file).
+  virtual void Abandon() = 0;
+
+  virtual uint64_t NumEntries() const = 0;
+  /// Bytes of file data written so far (data region only until Finish).
+  virtual uint64_t FileSize() const = 0;
+};
+
+/// Factory helpers dispatching on options.format.
+Status NewTableBuilder(const TableOptions& options, const std::string& fname,
+                       std::unique_ptr<TableBuilder>* builder);
+Status OpenTable(const TableOptions& options, const std::string& fname,
+                 std::unique_ptr<TableReader>* reader);
+
+}  // namespace lilsm
+
+#endif  // LILSM_TABLE_TABLE_H_

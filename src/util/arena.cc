@@ -1,0 +1,51 @@
+#include "util/arena.h"
+
+#include <cassert>
+
+namespace lilsm {
+
+Arena::Arena()
+    : alloc_ptr_(nullptr), alloc_bytes_remaining_(0), memory_usage_(0) {}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large objects get their own block to avoid wasting the remainder of
+    // the current block.
+    return AllocateNewBlock(bytes);
+  }
+
+  alloc_ptr_ = AllocateNewBlock(kBlockSize);
+  alloc_bytes_remaining_ = kBlockSize;
+
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_bytes_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = alignof(std::max_align_t);
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be 2^k");
+  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  size_t slop = (current_mod == 0 ? 0 : kAlign - current_mod);
+  size_t needed = bytes + slop;
+  char* result;
+  if (needed <= alloc_bytes_remaining_) {
+    result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+  } else {
+    // AllocateFallback always returns max-aligned memory (fresh block).
+    result = AllocateFallback(bytes);
+  }
+  assert((reinterpret_cast<uintptr_t>(result) & (kAlign - 1)) == 0);
+  return result;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  blocks_.emplace_back(new char[block_bytes]);
+  memory_usage_ += block_bytes + sizeof(blocks_.back());
+  return blocks_.back().get();
+}
+
+}  // namespace lilsm

@@ -1,0 +1,55 @@
+// Arena: bump-pointer allocator backing the memtable skiplist. All memory
+// is released at once when the arena is destroyed.
+#ifndef LILSM_UTIL_ARENA_H_
+#define LILSM_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lilsm {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to a newly allocated memory block of `bytes` bytes.
+  char* Allocate(size_t bytes);
+
+  /// As Allocate, with the alignment guarantee required for placement of
+  /// pointer-holding structures (skiplist nodes).
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory allocated from the system by the arena.
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_ARENA_H_

@@ -1,0 +1,181 @@
+// Endian-safe fixed-width and varint encodings shared by the WAL, table
+// formats, and index serialization. Little-endian on disk, like LevelDB.
+#ifndef LILSM_UTIL_CODING_H_
+#define LILSM_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace lilsm {
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  uint8_t* const buffer = reinterpret_cast<uint8_t*>(dst);
+  buffer[0] = static_cast<uint8_t>(value);
+  buffer[1] = static_cast<uint8_t>(value >> 8);
+  buffer[2] = static_cast<uint8_t>(value >> 16);
+  buffer[3] = static_cast<uint8_t>(value >> 24);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  uint8_t* const buffer = reinterpret_cast<uint8_t*>(dst);
+  for (int i = 0; i < 8; i++) {
+    buffer[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  const uint8_t* const buffer = reinterpret_cast<const uint8_t*>(ptr);
+  return (static_cast<uint32_t>(buffer[0])) |
+         (static_cast<uint32_t>(buffer[1]) << 8) |
+         (static_cast<uint32_t>(buffer[2]) << 16) |
+         (static_cast<uint32_t>(buffer[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  const uint8_t* const buffer = reinterpret_cast<const uint8_t*>(ptr);
+  uint64_t result = 0;
+  for (int i = 0; i < 8; i++) {
+    result |= static_cast<uint64_t>(buffer[i]) << (8 * i);
+  }
+  return result;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+/// Encodes `v` as a varint into `dst`; returns the byte past the end.
+/// `dst` must have at least 5 bytes available.
+char* EncodeVarint32(char* dst, uint32_t v);
+/// As above with up to 10 bytes.
+char* EncodeVarint64(char* dst, uint64_t v);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parsers consume bytes from the front of `input` and return false on
+/// truncated or malformed data.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// Number of bytes EncodeVarint64 would produce.
+int VarintLength(uint64_t v);
+
+// ---- inline implementations ----
+
+inline char* EncodeVarint32(char* dst, uint32_t v) {
+  uint8_t* ptr = reinterpret_cast<uint8_t*>(dst);
+  static const int B = 128;
+  while (v >= static_cast<uint32_t>(B)) {
+    *(ptr++) = v | B;
+    v >>= 7;
+  }
+  *(ptr++) = static_cast<uint8_t>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+inline char* EncodeVarint64(char* dst, uint64_t v) {
+  static const int B = 128;
+  uint8_t* ptr = reinterpret_cast<uint8_t*>(dst);
+  while (v >= static_cast<uint64_t>(B)) {
+    *(ptr++) = v | B;
+    v >>= 7;
+  }
+  *(ptr++) = static_cast<uint8_t>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+inline void PutVarint32(std::string* dst, uint32_t value) {
+  char buf[5];
+  char* ptr = EncodeVarint32(buf, value);
+  dst->append(buf, ptr - buf);
+}
+
+inline void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  char* ptr = EncodeVarint64(buf, value);
+  dst->append(buf, ptr - buf);
+}
+
+inline void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+inline int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 128) {
+    v >>= 7;
+    len++;
+  }
+  return len;
+}
+
+inline bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(input->data());
+  const uint8_t* limit = p + input->size();
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = *p;
+    p++;
+    if (byte & 128) {
+      result |= ((byte & 127) << shift);
+    } else {
+      result |= (byte << shift);
+      *value = result;
+      input->remove_prefix(p - reinterpret_cast<const uint8_t*>(input->data()));
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(input, &v) || v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+inline bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len = 0;
+  if (GetVarint32(input, &len) && input->size() >= len) {
+    *result = Slice(input->data(), len);
+    input->remove_prefix(len);
+    return true;
+  }
+  return false;
+}
+
+inline bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  *value = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  *value = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_CODING_H_

@@ -1,0 +1,297 @@
+#include "util/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace lilsm {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) {
+    return Status::NotFound(context, std::strerror(err));
+  }
+  return Status::IOError(context, std::strerror(err));
+}
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      *result = Slice();
+      return PosixError(fname_, errno);
+    }
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd), pos_(0) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    size_t write_size = data.size();
+    const char* write_data = data.data();
+
+    size_t copy_size = std::min(write_size, kBufSize - pos_);
+    std::memcpy(buf_ + pos_, write_data, copy_size);
+    write_data += copy_size;
+    write_size -= copy_size;
+    pos_ += copy_size;
+    if (write_size == 0) {
+      return Status::OK();
+    }
+
+    Status s = FlushBuffer();
+    if (!s.ok()) return s;
+
+    if (write_size < kBufSize) {
+      std::memcpy(buf_, write_data, write_size);
+      pos_ = write_size;
+      return Status::OK();
+    }
+    return WriteUnbuffered(write_data, write_size);
+  }
+
+  Status Flush() override { return FlushBuffer(); }
+
+  Status Sync() override {
+    Status s = FlushBuffer();
+    if (!s.ok()) return s;
+    if (::fdatasync(fd_) != 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s = FlushBuffer();
+    if (::close(fd_) != 0 && s.ok()) {
+      s = PosixError(fname_, errno);
+    }
+    fd_ = -1;
+    return s;
+  }
+
+ private:
+  Status FlushBuffer() {
+    Status s = WriteUnbuffered(buf_, pos_);
+    pos_ = 0;
+    return s;
+  }
+
+  Status WriteUnbuffered(const char* data, size_t size) {
+    while (size > 0) {
+      ssize_t r = ::write(fd_, data, size);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      data += r;
+      size -= static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  static constexpr size_t kBufSize = 64 * 1024;
+
+  const std::string fname_;
+  int fd_;
+  char buf_[kBufSize];
+  size_t pos_;
+};
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ssize_t r = ::read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, static_cast<size_t>(r));
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, static_cast<off_t>(n), SEEK_CUR) == -1) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    result->reset(new PosixRandomAccessFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(), O_TRUNC | O_WRONLY | O_CREAT, 0644);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    result->reset(new PosixWritableFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    result->reset(new PosixSequentialFile(fname, fd));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return ::access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    ::DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return PosixError(dir, errno);
+    }
+    struct ::dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      result->emplace_back(entry->d_name);
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) {
+      return PosixError(fname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    if (::rmdir(dirname.c_str()) != 0) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct ::stat st;
+    if (::stat(fname.c_str(), &st) != 0) {
+      *size = 0;
+      return PosixError(fname, errno);
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    if (::rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+
+  uint64_t NowNanos() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status ReadFileToString(Env* env, const std::string& fname,
+                        std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  static const size_t kBufferSize = 64 * 1024;
+  std::string scratch(kBufferSize, '\0');
+  while (true) {
+    Slice fragment;
+    s = file->Read(kBufferSize, &fragment, scratch.data());
+    if (!s.ok()) break;
+    data->append(fragment.data(), fragment.size());
+    if (fragment.empty()) break;
+  }
+  return s;
+}
+
+Status WriteStringToFile(Env* env, const Slice& data,
+                         const std::string& fname) {
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(data);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) env->RemoveFile(fname);
+  return s;
+}
+
+}  // namespace lilsm

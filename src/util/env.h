@@ -1,0 +1,87 @@
+// Env: the interface between the storage engine and the operating system.
+// PosixEnv implements it with pread/append file I/O; SimEnv (sim_env.h)
+// decorates any Env with a calibrated I/O latency model and counters so
+// experiments are reproducible on page-cached filesystems.
+#ifndef LILSM_UTIL_ENV_H_
+#define LILSM_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lilsm {
+
+/// A file abstraction for reading at arbitrary offsets (pread).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes starting at `offset`. Sets `*result` to the data
+  /// read (which may point into `scratch`, whose lifetime the caller owns).
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+/// A file abstraction for sequential appends.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// A file abstraction for sequential reads (WAL/MANIFEST replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into scratch; `*result` views the bytes read.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide default environment (POSIX). Never deleted.
+  static Env* Default();
+
+  virtual Status NewRandomAccessFile(const std::string& fname,
+                                     std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  /// Monotonic clock in nanoseconds, used by all instrumentation.
+  virtual uint64_t NowNanos() = 0;
+  uint64_t NowMicros() { return NowNanos() / 1000; }
+};
+
+/// Reads the entire named file into *data.
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+/// Creates (or truncates) the named file with the given contents and syncs.
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname);
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_ENV_H_

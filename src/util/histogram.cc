@@ -1,0 +1,111 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lilsm {
+
+namespace {
+
+std::vector<double> MakeLimits() {
+  std::vector<double> limits;
+  double v = 1.0;
+  while (v < 1e13) {
+    limits.push_back(v);
+    v *= 1.2;
+  }
+  limits.push_back(std::numeric_limits<double>::infinity());
+  return limits;
+}
+
+const std::vector<double>& Limits() {
+  static const std::vector<double> kLimits = MakeLimits();
+  return kLimits;
+}
+
+}  // namespace
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  num_ = 0;
+  min_ = std::numeric_limits<double>::max();
+  max_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(Limits().size(), 0.0);
+}
+
+void Histogram::Add(double value) {
+  const std::vector<double>& limits = Limits();
+  // Binary search for the first bucket whose limit is > value.
+  size_t lo = 0, hi = limits.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (limits[mid] > value) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  buckets_[lo] += 1.0;
+  num_++;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.num_ == 0) return;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+double Histogram::StdDev() const {
+  if (num_ == 0) return 0;
+  double n = static_cast<double>(num_);
+  double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return variance > 0 ? std::sqrt(variance) : 0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0;
+  const std::vector<double>& limits = Limits();
+  double threshold = num_ * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      double left_point = (b == 0) ? 0 : limits[b - 1];
+      double right_point = limits[b];
+      if (std::isinf(right_point)) right_point = max_;
+      double left_sum = cumulative - buckets_[b];
+      double pos =
+          buckets_[b] == 0 ? 0 : (threshold - left_sum) / buckets_[b];
+      double r = left_point + (right_point - left_point) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(num_), Mean(),
+                Percentile(50), Percentile(90), Percentile(99), Max());
+  return buf;
+}
+
+}  // namespace lilsm

@@ -1,0 +1,45 @@
+// Latency histogram with log-spaced buckets; reports mean and percentiles.
+// Values are unit-agnostic (the benches record nanoseconds).
+#ifndef LILSM_UTIL_HISTOGRAM_H_
+#define LILSM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lilsm {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t Count() const { return num_; }
+  double Min() const { return num_ == 0 ? 0 : min_; }
+  double Max() const { return max_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return num_ == 0 ? 0 : sum_ / num_; }
+  double StdDev() const;
+  /// Linear interpolation within the containing bucket, LevelDB-style.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  std::string ToString() const;
+
+ private:
+  // Buckets cover [1, 1e13] with ~20% geometric spacing (see Limits() in
+  // histogram.cc).
+  uint64_t num_;
+  double min_;
+  double max_;
+  double sum_;
+  double sum_squares_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_HISTOGRAM_H_

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random generators used by workloads and tests.
+// xorshift128+ core: fast, seedable, and identical across platforms.
+#ifndef LILSM_UTIL_RANDOM_H_
+#define LILSM_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace lilsm {
+
+class Random {
+  static constexpr double kPi = 3.14159265358979323846;
+
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding avoids the all-zero state and decorrelates
+    // adjacent seeds.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Skewed: pick base in [0, max_log] uniformly, then return a value
+  /// uniform in [0, 2^base). Favors small numbers.
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(max_log + 1));
+  }
+
+  /// Standard normal via Box-Muller (one sample per call; simple and
+  /// deterministic, speed is irrelevant for generation).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97f4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_RANDOM_H_

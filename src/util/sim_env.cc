@@ -1,0 +1,131 @@
+#include "util/sim_env.h"
+
+#include <cstdlib>
+
+namespace lilsm {
+
+namespace {
+
+class SimRandomAccessFile final : public RandomAccessFile {
+ public:
+  SimRandomAccessFile(std::unique_ptr<RandomAccessFile> base, SimEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override;
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  SimEnv* const env_;
+};
+
+class SimWritableFile final : public WritableFile {
+ public:
+  SimWritableFile(std::unique_ptr<WritableFile> base, SimEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override;
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  SimEnv* const env_;
+};
+
+}  // namespace
+
+SimEnv::SimEnv(Env* base, SimEnvOptions options)
+    : base_(base), options_(options) {}
+
+SimEnvOptions SimEnv::OptionsFromEnvironment() {
+  SimEnvOptions opts;
+  if (const char* v = std::getenv("LILSM_READ_LAT_NS")) {
+    opts.read_base_latency_ns = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("LILSM_READ_PER_BYTE_NS")) {
+    opts.read_per_byte_ns = std::strtod(v, nullptr);
+  }
+  return opts;
+}
+
+void SimEnv::SpinFor(uint64_t ns) {
+  if (ns == 0) return;
+  stats_.simulated_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+  const uint64_t start = base_->NowNanos();
+  while (base_->NowNanos() - start < ns) {
+    // Busy-wait: keeps injected latency inside wall-clock measurements
+    // without the scheduling noise of nanosleep at microsecond scales.
+  }
+}
+
+Status SimEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  Status s = base_->NewRandomAccessFile(fname, &base_file);
+  if (!s.ok()) return s;
+  result->reset(new SimRandomAccessFile(std::move(base_file), this));
+  return Status::OK();
+}
+
+Status SimEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base_file;
+  Status s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  result->reset(new SimWritableFile(std::move(base_file), this));
+  return Status::OK();
+}
+
+Status SimEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  return base_->NewSequentialFile(fname, result);
+}
+
+namespace {
+
+Status SimReadImpl(const RandomAccessFile* base, SimEnv* env, uint64_t offset,
+                   size_t n, Slice* result, char* scratch) {
+  Status s = base->Read(offset, n, result, scratch);
+  if (!s.ok()) return s;
+  IoStats* stats = env->io_stats();
+  const SimEnvOptions& opts = env->options();
+  stats->random_reads.fetch_add(1, std::memory_order_relaxed);
+  stats->random_read_bytes.fetch_add(result->size(),
+                                     std::memory_order_relaxed);
+  // A read spanning k device blocks costs k block fetches; count blocks by
+  // the covered [offset, offset+n) range.
+  const uint64_t bs = opts.io_block_size;
+  const uint64_t first_block = offset / bs;
+  const uint64_t last_block = (offset + (n > 0 ? n - 1 : 0)) / bs;
+  const uint64_t blocks = last_block - first_block + 1;
+  stats->blocks_read.fetch_add(blocks, std::memory_order_relaxed);
+  const uint64_t wait =
+      opts.read_base_latency_ns +
+      static_cast<uint64_t>(opts.read_per_byte_ns * static_cast<double>(n));
+  env->SpinFor(wait);
+  return s;
+}
+
+}  // namespace
+
+Status SimRandomAccessFile::Read(uint64_t offset, size_t n, Slice* result,
+                                 char* scratch) const {
+  return SimReadImpl(base_.get(), env_, offset, n, result, scratch);
+}
+
+Status SimWritableFile::Append(const Slice& data) {
+  IoStats* stats = env_->io_stats();
+  stats->writes.fetch_add(1, std::memory_order_relaxed);
+  stats->write_bytes.fetch_add(data.size(), std::memory_order_relaxed);
+  const SimEnvOptions& opts = env_->options();
+  if (opts.write_base_latency_ns > 0 || opts.write_per_byte_ns > 0) {
+    env_->SpinFor(opts.write_base_latency_ns +
+                  static_cast<uint64_t>(opts.write_per_byte_ns *
+                                        static_cast<double>(data.size())));
+  }
+  return base_->Append(data);
+}
+
+}  // namespace lilsm

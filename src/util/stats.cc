@@ -1,0 +1,96 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace lilsm {
+
+const char* TimerName(Timer t) {
+  switch (t) {
+    case Timer::kTableLookup:
+      return "table_lookup";
+    case Timer::kIndexPredict:
+      return "index_predict";
+    case Timer::kDiskRead:
+      return "disk_read";
+    case Timer::kBinarySearch:
+      return "binary_search";
+    case Timer::kBloomCheck:
+      return "bloom_check";
+    case Timer::kMemtableGet:
+      return "memtable_get";
+    case Timer::kCompactTotal:
+      return "compact_total";
+    case Timer::kCompactKvIo:
+      return "compact_kv_io";
+    case Timer::kCompactTrain:
+      return "compact_train";
+    case Timer::kCompactWriteModel:
+      return "compact_write_model";
+    case Timer::kLevelIndexBuild:
+      return "level_index_build";
+    default:
+      return "unknown";
+  }
+}
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kPointLookups:
+      return "point_lookups";
+    case Counter::kRangeLookups:
+      return "range_lookups";
+    case Counter::kWrites:
+      return "writes";
+    case Counter::kBloomNegatives:
+      return "bloom_negatives";
+    case Counter::kBloomTruePositive:
+      return "bloom_true_positive";
+    case Counter::kBloomFalsePositive:
+      return "bloom_false_positive";
+    case Counter::kTablesConsulted:
+      return "tables_consulted";
+    case Counter::kSegmentsFetched:
+      return "segments_fetched";
+    case Counter::kCompactions:
+      return "compactions";
+    case Counter::kFlushes:
+      return "flushes";
+    case Counter::kEntriesCompacted:
+      return "entries_compacted";
+    case Counter::kModelsTrained:
+      return "models_trained";
+    default:
+      return "unknown";
+  }
+}
+
+void Stats::Reset() {
+  timer_ns_.fill(0);
+  timer_count_.fill(0);
+  counters_.fill(0);
+  level_read_ns_.fill(0);
+  level_reads_.fill(0);
+}
+
+std::string Stats::ToString() const {
+  std::string out;
+  char buf[160];
+  for (int i = 0; i < static_cast<int>(Timer::kNumTimers); i++) {
+    Timer t = static_cast<Timer>(i);
+    if (TimerCount(t) == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%-20s total=%10.3f ms  mean=%8.3f us  n=%llu\n",
+                  TimerName(t), TimeNanos(t) / 1e6, MeanMicros(t),
+                  static_cast<unsigned long long>(TimerCount(t)));
+    out += buf;
+  }
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); i++) {
+    Counter c = static_cast<Counter>(i);
+    if (Count(c) == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%-20s %llu\n", CounterName(c),
+                  static_cast<unsigned long long>(Count(c)));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lilsm

@@ -1,0 +1,123 @@
+// Fine-grained timers and counters instrumenting the read and compaction
+// paths. These back the paper's Figure 7 (lookup breakdown), Figure 9
+// (compaction breakdown), Figure 10 / Table 1 (per-stage, per-level costs).
+#ifndef LILSM_UTIL_STATS_H_
+#define LILSM_UTIL_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/env.h"
+
+namespace lilsm {
+
+enum class Timer : int {
+  kTableLookup = 0,   // locating the candidate table within a level
+  kIndexPredict,      // inner-index traversal + model prediction
+  kDiskRead,          // fetching the predicted segment from disk
+  kBinarySearch,      // in-segment search after the fetch
+  kBloomCheck,        // bloom filter probes
+  kMemtableGet,       // memtable lookups
+  kCompactTotal,      // whole compaction job
+  kCompactKvIo,       // reading inputs + writing merged entries
+  kCompactTrain,      // training the learned index over the new table
+  kCompactWriteModel, // serializing + writing the index blob
+  kLevelIndexBuild,   // rebuilding level-granularity models
+  kNumTimers
+};
+
+enum class Counter : int {
+  kPointLookups = 0,
+  kRangeLookups,
+  kWrites,
+  kBloomNegatives,     // probes answered "definitely absent"
+  kBloomTruePositive,
+  kBloomFalsePositive,
+  kTablesConsulted,
+  kSegmentsFetched,
+  kCompactions,
+  kFlushes,
+  kEntriesCompacted,
+  kModelsTrained,
+  kNumCounters
+};
+
+const char* TimerName(Timer t);
+const char* CounterName(Counter c);
+
+/// Plain (non-atomic) accumulation: the engine is single-threaded by design
+/// (compactions run inline), which keeps every measurement deterministic.
+class Stats {
+ public:
+  Stats() { Reset(); }
+
+  void Reset();
+
+  void AddTime(Timer t, uint64_t nanos) {
+    timer_ns_[static_cast<int>(t)] += nanos;
+    timer_count_[static_cast<int>(t)]++;
+  }
+  void Add(Counter c, uint64_t delta = 1) {
+    counters_[static_cast<int>(c)] += delta;
+  }
+
+  uint64_t TimeNanos(Timer t) const { return timer_ns_[static_cast<int>(t)]; }
+  uint64_t TimerCount(Timer t) const {
+    return timer_count_[static_cast<int>(t)];
+  }
+  double MeanMicros(Timer t) const {
+    uint64_t c = TimerCount(t);
+    return c == 0 ? 0.0 : TimeNanos(t) / 1000.0 / static_cast<double>(c);
+  }
+  uint64_t Count(Counter c) const { return counters_[static_cast<int>(c)]; }
+
+  /// Per-level read accounting (Figure 10): lookup time and probe count
+  /// attributed to each LSM level.
+  static constexpr int kMaxLevels = 8;
+  void AddLevelRead(int level, uint64_t nanos) {
+    if (level >= 0 && level < kMaxLevels) {
+      level_read_ns_[level] += nanos;
+      level_reads_[level]++;
+    }
+  }
+  uint64_t LevelReadNanos(int level) const { return level_read_ns_[level]; }
+  uint64_t LevelReads(int level) const { return level_reads_[level]; }
+
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, static_cast<int>(Timer::kNumTimers)> timer_ns_;
+  std::array<uint64_t, static_cast<int>(Timer::kNumTimers)> timer_count_;
+  std::array<uint64_t, static_cast<int>(Counter::kNumCounters)> counters_;
+  std::array<uint64_t, kMaxLevels> level_read_ns_;
+  std::array<uint64_t, kMaxLevels> level_reads_;
+};
+
+/// RAII timer. Created with a possibly-null Stats target so callers can
+/// leave instrumentation compiled in but disabled.
+class ScopedTimer {
+ public:
+  ScopedTimer(Stats* stats, Timer t, Env* env)
+      : stats_(stats), timer_(t), env_(env),
+        start_(stats ? env->NowNanos() : 0) {}
+
+  ~ScopedTimer() {
+    if (stats_ != nullptr) {
+      stats_->AddTime(timer_, env_->NowNanos() - start_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stats* const stats_;
+  const Timer timer_;
+  Env* const env_;
+  const uint64_t start_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_STATS_H_

@@ -1,0 +1,62 @@
+// Status: the result of an operation that can fail. Used instead of
+// exceptions on all storage paths, following the LevelDB/RocksDB idiom.
+#ifndef LILSM_UTIL_STATUS_H_
+#define LILSM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace lilsm {
+
+class Status {
+ public:
+  Status() : code_(kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+
+  bool ok() const { return code_ == kOk; }
+  bool IsNotFound() const { return code_ == kNotFound; }
+  bool IsCorruption() const { return code_ == kCorruption; }
+  bool IsIOError() const { return code_ == kIOError; }
+  bool IsNotSupported() const { return code_ == kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == kInvalidArgument; }
+
+  /// Human-readable representation, e.g. "Corruption: bad footer".
+  std::string ToString() const;
+
+ private:
+  enum Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_STATUS_H_

@@ -1,0 +1,49 @@
+// Synthetic key distributions matching the CDF classes of the SOSD
+// benchmark datasets the paper evaluates (its Figure 5): Random, Segment,
+// Longitude, Longlat, Books, FB, Wiki. Real SOSD files are not
+// redistributable, so each generator reproduces the qualitative CDF shape
+// that drives learned-index behaviour (see DESIGN.md, substitutions).
+//
+// All generators are deterministic in (dataset, n, seed) and return
+// strictly increasing unique u64 keys.
+#ifndef LILSM_WORKLOAD_DATASET_H_
+#define LILSM_WORKLOAD_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace lilsm {
+
+enum class Dataset : uint8_t {
+  kRandom = 0,     // uniform over the key space — near-linear CDF
+  kSegment = 1,    // piecewise uniform with plateaus — staircase CDF
+  kLongitude = 2,  // mixture of Gaussians (place longitudes)
+  kLonglat = 3,    // denser multi-modal mixture (interleaved lat/lon)
+  kBooks = 4,      // lognormal gaps (sales ranks) — smooth heavy tail
+  kFb = 5,         // dense uniform body + extreme upper outliers
+  kWiki = 6,       // bursty timestamps — clustered with periodic jumps
+};
+
+inline constexpr Dataset kAllDatasets[] = {
+    Dataset::kRandom, Dataset::kSegment, Dataset::kLongitude,
+    Dataset::kLonglat, Dataset::kBooks, Dataset::kFb, Dataset::kWiki,
+};
+
+const char* DatasetName(Dataset dataset);
+bool ParseDataset(const std::string& name, Dataset* dataset);
+
+/// Generates `n` strictly increasing unique keys.
+std::vector<Key> GenerateKeys(Dataset dataset, size_t n, uint64_t seed);
+
+/// Samples `points` evenly spaced (key, cdf) pairs for plotting (Fig. 5).
+std::vector<std::pair<Key, double>> SampleCdf(const std::vector<Key>& keys,
+                                              size_t points);
+
+/// Deterministic value bytes for a key, so reads can verify contents.
+std::string DeriveValue(Key key, size_t value_size);
+
+}  // namespace lilsm
+
+#endif  // LILSM_WORKLOAD_DATASET_H_

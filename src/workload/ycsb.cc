@@ -1,0 +1,84 @@
+#include "workload/ycsb.h"
+
+namespace lilsm {
+
+const char* YcsbWorkloadName(YcsbWorkload workload) {
+  switch (workload) {
+    case YcsbWorkload::kA:
+      return "A";
+    case YcsbWorkload::kB:
+      return "B";
+    case YcsbWorkload::kC:
+      return "C";
+    case YcsbWorkload::kD:
+      return "D";
+    case YcsbWorkload::kE:
+      return "E";
+    case YcsbWorkload::kF:
+      return "F";
+  }
+  return "?";
+}
+
+bool ParseYcsbWorkload(const std::string& name, YcsbWorkload* workload) {
+  if (name.size() != 1) return false;
+  const char c = static_cast<char>(std::toupper(name[0]));
+  if (c < 'A' || c > 'F') return false;
+  *workload = static_cast<YcsbWorkload>(c - 'A');
+  return true;
+}
+
+YcsbGenerator::YcsbGenerator(YcsbWorkload workload, uint64_t num_keys,
+                             uint64_t seed)
+    : workload_(workload),
+      num_keys_(num_keys == 0 ? 1 : num_keys),
+      rnd_(seed),
+      zipf_(num_keys_, 0.99, seed ^ 0x5bd1e995),
+      latest_(num_keys_, seed ^ 0x2545F491) {}
+
+YcsbOp YcsbGenerator::Next() {
+  YcsbOp op;
+  const uint64_t pct = rnd_.Uniform(100);
+  switch (workload_) {
+    case YcsbWorkload::kA:
+      op.type = pct < 50 ? YcsbOp::Type::kRead : YcsbOp::Type::kUpdate;
+      op.key_index = zipf_.NextScrambled();
+      break;
+    case YcsbWorkload::kB:
+      op.type = pct < 95 ? YcsbOp::Type::kRead : YcsbOp::Type::kUpdate;
+      op.key_index = zipf_.NextScrambled();
+      break;
+    case YcsbWorkload::kC:
+      op.type = YcsbOp::Type::kRead;
+      op.key_index = zipf_.NextScrambled();
+      break;
+    case YcsbWorkload::kD:
+      if (pct < 95) {
+        op.type = YcsbOp::Type::kRead;
+        op.key_index = latest_.Next();
+      } else {
+        op.type = YcsbOp::Type::kInsert;
+        op.key_index = num_keys_++;
+        latest_.SetN(num_keys_);
+      }
+      break;
+    case YcsbWorkload::kE:
+      if (pct < 95) {
+        op.type = YcsbOp::Type::kScan;
+        op.key_index = zipf_.NextScrambled();
+        op.scan_length = 1 + rnd_.Uniform(100);
+      } else {
+        op.type = YcsbOp::Type::kInsert;
+        op.key_index = num_keys_++;
+      }
+      break;
+    case YcsbWorkload::kF:
+      op.type = pct < 50 ? YcsbOp::Type::kRead
+                         : YcsbOp::Type::kReadModifyWrite;
+      op.key_index = zipf_.NextScrambled();
+      break;
+  }
+  return op;
+}
+
+}  // namespace lilsm

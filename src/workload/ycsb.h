@@ -1,0 +1,63 @@
+// YCSB core workloads A-F (paper Section 5.6 / Figure 12).
+//
+//   A: 50% read / 50% update        (zipfian)
+//   B: 95% read /  5% update        (zipfian)
+//   C: 100% read                    (zipfian)
+//   D: 95% read /  5% insert        (latest)
+//   E: 95% scan /  5% insert        (zipfian, scan length <= 100)
+//   F: 50% read / 50% read-modify-write (zipfian)
+#ifndef LILSM_WORKLOAD_YCSB_H_
+#define LILSM_WORKLOAD_YCSB_H_
+
+#include <string>
+
+#include "workload/zipf.h"
+
+namespace lilsm {
+
+enum class YcsbWorkload : uint8_t { kA = 0, kB, kC, kD, kE, kF };
+
+inline constexpr YcsbWorkload kAllYcsbWorkloads[] = {
+    YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+    YcsbWorkload::kD, YcsbWorkload::kE, YcsbWorkload::kF,
+};
+
+const char* YcsbWorkloadName(YcsbWorkload workload);
+bool ParseYcsbWorkload(const std::string& name, YcsbWorkload* workload);
+
+struct YcsbOp {
+  enum class Type : uint8_t {
+    kRead,
+    kUpdate,
+    kInsert,
+    kScan,
+    kReadModifyWrite,
+  };
+  Type type = Type::kRead;
+  /// Index into the loaded key set (for kInsert: index of the new key).
+  uint64_t key_index = 0;
+  /// Scan length for kScan.
+  uint64_t scan_length = 0;
+};
+
+class YcsbGenerator {
+ public:
+  /// `num_keys` is the loaded key-set size; inserts extend it (key_index
+  /// values >= num_keys denote freshly inserted keys).
+  YcsbGenerator(YcsbWorkload workload, uint64_t num_keys, uint64_t seed);
+
+  YcsbOp Next();
+
+  uint64_t num_keys() const { return num_keys_; }
+
+ private:
+  const YcsbWorkload workload_;
+  uint64_t num_keys_;
+  Random rnd_;
+  ZipfGenerator zipf_;
+  LatestGenerator latest_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_WORKLOAD_YCSB_H_

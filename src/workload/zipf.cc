@@ -1,0 +1,64 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "bloom/hash.h"
+
+namespace lilsm {
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  // Exact zeta for small n; two-point interpolation of the known
+  // asymptotic for large n keeps generator construction O(1)-ish while
+  // staying within a few percent of the true value (YCSB does similar).
+  const uint64_t kExactLimit = 1 << 20;
+  double sum = 0;
+  if (n <= kExactLimit) {
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+  for (uint64_t i = 1; i <= kExactLimit; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  // Integral approximation of the tail.
+  const double a = static_cast<double>(kExactLimit);
+  const double b = static_cast<double>(n);
+  sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rnd_(seed) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfGenerator::NextRank() {
+  const double u = rnd_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t ZipfGenerator::NextScrambled() {
+  // The offset keeps rank 0 off the Mix64 fixed point at zero, so the
+  // hottest item lands at a pseudo-random position like YCSB's FNV hash.
+  return Mix64(NextRank() + 0x9E3779B97f4A7C15ull) % n_;
+}
+
+void LatestGenerator::SetN(uint64_t n) {
+  if (n != n_ && n > 0) {
+    n_ = n;
+    zipf_ = ZipfGenerator(n, 0.99, /*seed=*/n * 2654435761u);
+  }
+}
+
+}  // namespace lilsm

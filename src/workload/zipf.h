@@ -1,0 +1,58 @@
+// Request distributions for lookup workloads: uniform, YCSB-style
+// scrambled Zipfian, and "latest" (recency-skewed).
+#ifndef LILSM_WORKLOAD_ZIPF_H_
+#define LILSM_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace lilsm {
+
+/// Zipfian generator over [0, n) with YCSB's incremental zeta computation
+/// and scrambling (so popular items are spread across the key space).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next raw zipfian rank in [0, n): rank 0 is the most popular.
+  uint64_t NextRank();
+
+  /// Next scrambled item in [0, n): popularity spread uniformly.
+  uint64_t NextScrambled();
+
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+  Random rnd_;
+};
+
+/// "Latest" distribution (YCSB workload D): indexes near n-1 are hot.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t n, uint64_t seed) : zipf_(n, 0.99, seed), n_(n) {}
+
+  uint64_t Next() {
+    const uint64_t rank = zipf_.NextRank();
+    return n_ - 1 - rank;
+  }
+
+  /// Grows the window as new items are inserted.
+  void SetN(uint64_t n);
+
+ private:
+  ZipfGenerator zipf_;
+  uint64_t n_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_WORKLOAD_ZIPF_H_

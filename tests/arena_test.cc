@@ -1,0 +1,61 @@
+// Arena allocation: alignment, growth, large blocks.
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/random.h"
+
+namespace lilsm {
+namespace {
+
+TEST(ArenaTest, EmptyArenaHasNoUsage) {
+  Arena arena;
+  EXPECT_EQ(arena.MemoryUsage(), 0u);
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena;
+  Random rnd(71);
+  std::vector<std::pair<char*, size_t>> allocations;
+  for (int i = 0; i < 2000; i++) {
+    const size_t size = 1 + rnd.Skewed(12);
+    char* p = arena.Allocate(size);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i & 0xff, size);
+    allocations.emplace_back(p, size);
+  }
+  // Verify every allocation still holds its fill pattern.
+  for (size_t i = 0; i < allocations.size(); i++) {
+    auto [p, size] = allocations[i];
+    for (size_t b = 0; b < size; b++) {
+      ASSERT_EQ(static_cast<unsigned char>(p[b]), i & 0xff);
+    }
+  }
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+}
+
+TEST(ArenaTest, AlignedAllocationsAreAligned) {
+  Arena arena;
+  Random rnd(73);
+  for (int i = 0; i < 500; i++) {
+    arena.Allocate(1 + rnd.Uniform(7));  // misalign the bump pointer
+    char* p = arena.AllocateAligned(16);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) %
+                  alignof(std::max_align_t),
+              0u);
+  }
+}
+
+TEST(ArenaTest, LargeAllocationsGetOwnBlocks) {
+  Arena arena;
+  const size_t before = arena.MemoryUsage();
+  char* p = arena.Allocate(1 << 20);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 1 << 20);
+  EXPECT_GE(arena.MemoryUsage() - before, size_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace lilsm

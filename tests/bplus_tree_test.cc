@@ -1,0 +1,81 @@
+// Bulk-loaded B+-tree: Find correctness against std::upper_bound.
+#include "index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::RandomGapKeys;
+
+size_t ReferenceFind(const std::vector<Key>& keys, Key key) {
+  auto it = std::upper_bound(keys.begin(), keys.end(), key);
+  if (it == keys.begin()) return 0;
+  return static_cast<size_t>(it - keys.begin()) - 1;
+}
+
+class BTreeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreeTest, FindMatchesReferenceAcrossSizes) {
+  for (size_t n : {1ul, 2ul, 15ul, 16ul, 17ul, 1000ul, 50000ul}) {
+    std::vector<Key> keys = RandomGapKeys(n, n * 31 + 7);
+    SegmentBTree tree;
+    tree.BulkLoad(keys, GetParam());
+    Random rnd(n);
+    for (int trial = 0; trial < 500; trial++) {
+      const Key probe = rnd.Uniform(keys.back() + 100);
+      ASSERT_EQ(tree.Find(probe), ReferenceFind(keys, probe))
+          << "n=" << n << " probe=" << probe;
+    }
+    // Exact keys must map to themselves.
+    for (size_t i = 0; i < keys.size(); i += std::max<size_t>(1, n / 50)) {
+      ASSERT_EQ(tree.Find(keys[i]), i);
+    }
+  }
+}
+
+TEST_P(BTreeTest, HeightIsLogarithmic) {
+  std::vector<Key> keys = RandomGapKeys(10000, 3);
+  SegmentBTree tree;
+  tree.BulkLoad(keys, GetParam());
+  const uint32_t fanout = std::max(2u, GetParam());
+  size_t expected_height = 1;
+  size_t capacity = fanout;
+  while (capacity < keys.size()) {
+    capacity *= fanout;
+    expected_height++;
+  }
+  EXPECT_EQ(tree.height(), expected_height);
+}
+
+TEST_P(BTreeTest, MemoryUsageGrowsWithKeys) {
+  SegmentBTree small, large;
+  small.BulkLoad(RandomGapKeys(100, 1), GetParam());
+  large.BulkLoad(RandomGapKeys(10000, 1), GetParam());
+  EXPECT_GT(large.MemoryUsage(), small.MemoryUsage());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeTest,
+                         ::testing::Values(2u, 4u, 16u, 64u, 256u));
+
+TEST(BTreeEdgeTest, EmptyTree) {
+  SegmentBTree tree;
+  tree.BulkLoad({}, 16);
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(BTreeEdgeTest, KeyBeforeAllMapsToZero) {
+  SegmentBTree tree;
+  tree.BulkLoad({100, 200, 300}, 16);
+  EXPECT_EQ(tree.Find(50), 0u);
+  EXPECT_EQ(tree.Find(100), 0u);
+  EXPECT_EQ(tree.Find(250), 1u);
+  EXPECT_EQ(tree.Find(1000), 2u);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,135 @@
+// Varint/fixed-width encoding round-trips and malformed-input handling.
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lilsm {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu, UINT32_MAX}) {
+    s.clear();
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 33,
+                     UINT64_MAX - 1, UINT64_MAX}) {
+    s.clear();
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(CodingTest, FixedEncodingIsLittleEndian) {
+  std::string s;
+  PutFixed32(&s, 0x04030201u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 2);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(s[3], 4);
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string s;
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 32; i++) {
+    values.push_back(1u << i);
+    values.push_back((1u << i) - 1);
+    values.push_back((1u << i) + 1);
+  }
+  for (uint32_t v : values) PutVarint32(&s, v);
+  Slice input(s);
+  for (uint32_t expected : values) {
+    uint32_t v = 0;
+    ASSERT_TRUE(GetVarint32(&input, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64RoundTripRandom) {
+  Random rnd(301);
+  std::string s;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; i++) {
+    values.push_back(rnd.Skewed(63));
+  }
+  for (uint64_t v : values) PutVarint64(&s, v);
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(&input, &v));
+    ASSERT_EQ(v, expected);
+  }
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 35, UINT64_MAX}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string s;
+  PutVarint64(&s, UINT64_MAX);  // 10 bytes
+  for (size_t cut = 0; cut < s.size(); cut++) {
+    Slice input(s.data(), cut);
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint64(&input, &v)) << "cut " << cut;
+  }
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("hello"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice(std::string(5000, 'z')));
+  Slice input(s);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.size(), 5000u);
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &out));
+}
+
+TEST(CodingTest, LengthPrefixTruncatedPayloadFails) {
+  std::string s;
+  PutVarint32(&s, 100);  // claims 100 bytes
+  s += "only a few";
+  Slice input(s);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &out));
+}
+
+TEST(CodingTest, GetFixedConsumesExactly) {
+  std::string s;
+  PutFixed32(&s, 7);
+  PutFixed64(&s, 9);
+  Slice input(s);
+  uint32_t a = 0;
+  uint64_t b = 0;
+  ASSERT_TRUE(GetFixed32(&input, &a));
+  ASSERT_TRUE(GetFixed64(&input, &b));
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, 9u);
+  EXPECT_TRUE(input.empty());
+  EXPECT_FALSE(GetFixed32(&input, &a));
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,106 @@
+// Dataset generators: size, uniqueness, determinism, CDF shape markers.
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lilsm {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(DatasetTest, ProducesExactlyNStrictlyIncreasingKeys) {
+  for (size_t n : {1ul, 2ul, 100ul, 50000ul}) {
+    std::vector<Key> keys = GenerateKeys(GetParam(), n, 9);
+    ASSERT_EQ(keys.size(), n);
+    for (size_t i = 1; i < keys.size(); i++) {
+      ASSERT_GT(keys[i], keys[i - 1]) << "at " << i;
+    }
+  }
+}
+
+TEST_P(DatasetTest, DeterministicInSeed) {
+  std::vector<Key> a = GenerateKeys(GetParam(), 10000, 42);
+  std::vector<Key> b = GenerateKeys(GetParam(), 10000, 42);
+  std::vector<Key> c = GenerateKeys(GetParam(), 10000, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_P(DatasetTest, CdfSamplesAreMonotone) {
+  std::vector<Key> keys = GenerateKeys(GetParam(), 20000, 1);
+  auto cdf = SampleCdf(keys, 100);
+  ASSERT_EQ(cdf.size(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (size_t i = 1; i < cdf.size(); i++) {
+    ASSERT_GE(cdf[i].first, cdf[i - 1].first);
+    ASSERT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST_P(DatasetTest, NameParsesBack) {
+  Dataset parsed;
+  ASSERT_TRUE(ParseDataset(DatasetName(GetParam()), &parsed));
+  EXPECT_EQ(parsed, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DatasetTest, ::testing::ValuesIn(kAllDatasets),
+    [](const ::testing::TestParamInfo<Dataset>& info) {
+      return std::string(DatasetName(info.param));
+    });
+
+TEST(DatasetShapeTest, RandomIsNearUniform) {
+  std::vector<Key> keys = GenerateKeys(Dataset::kRandom, 50000, 3);
+  // Uniform draws over [0, 2^63): the median should be near 2^62.
+  const double mid = static_cast<double>(keys[keys.size() / 2]);
+  EXPECT_NEAR(mid / static_cast<double>(uint64_t{1} << 62), 1.0, 0.1);
+}
+
+TEST(DatasetShapeTest, FbHasExtremeOutliers) {
+  std::vector<Key> keys = GenerateKeys(Dataset::kFb, 50000, 3);
+  // Body is below 2^40; outliers above 2^62 must exist but be rare.
+  const size_t outliers =
+      keys.end() - std::lower_bound(keys.begin(), keys.end(),
+                                    uint64_t{1} << 62);
+  EXPECT_GT(outliers, 10u);
+  EXPECT_LT(outliers, keys.size() / 50);
+}
+
+TEST(DatasetShapeTest, SegmentHasGapJumps) {
+  std::vector<Key> keys = GenerateKeys(Dataset::kSegment, 50000, 3);
+  uint64_t max_gap = 0, min_gap = UINT64_MAX;
+  for (size_t i = 1; i < keys.size(); i++) {
+    max_gap = std::max(max_gap, keys[i] - keys[i - 1]);
+    min_gap = std::min(min_gap, keys[i] - keys[i - 1]);
+  }
+  EXPECT_GT(max_gap, min_gap * 1000) << "staircase needs contrast";
+}
+
+TEST(DatasetShapeTest, HardDatasetsNeedMoreSegmentsThanRandom) {
+  // The reason the paper sweeps datasets: model-hard CDFs (fb, wiki) need
+  // more PLA segments than uniform data at the same epsilon.
+  auto count_segments = [](Dataset d) {
+    std::vector<Key> keys = GenerateKeys(d, 50000, 5);
+    auto index = CreateIndex(IndexType::kPGM);
+    index->Build(keys.data(), keys.size(),
+                 IndexConfig::FromPositionBoundary(32));
+    return index->SegmentCount();
+  };
+  const size_t random_segments = count_segments(Dataset::kRandom);
+  EXPECT_GT(count_segments(Dataset::kFb), 2 * random_segments);
+  EXPECT_GT(count_segments(Dataset::kWiki), 2 * random_segments);
+}
+
+TEST(DeriveValueTest, DeterministicAndSized) {
+  EXPECT_EQ(DeriveValue(1, 100).size(), 100u);
+  EXPECT_EQ(DeriveValue(1, 100), DeriveValue(1, 100));
+  EXPECT_NE(DeriveValue(1, 100), DeriveValue(2, 100));
+  EXPECT_EQ(DeriveValue(7, 0).size(), 0u);
+  EXPECT_EQ(DeriveValue(7, 3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,83 @@
+// DBIter: tombstone suppression, version dedup, snapshot visibility.
+#include "lsm/db_iter.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/memtable.h"
+#include "lsm/merger.h"
+
+namespace lilsm {
+namespace {
+
+std::unique_ptr<Iterator> MakeIter(MemTable* mem, SequenceNumber snapshot) {
+  std::vector<std::unique_ptr<TableIterator>> children;
+  children.push_back(mem->NewIterator());
+  return NewDBIterator(NewMergingIterator(std::move(children)), snapshot);
+}
+
+TEST(DbIterTest, SkipsOlderVersions) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "v1");
+  mem.Add(2, kTypeValue, 10, "v2");
+  auto iter = MakeIter(&mem, kMaxSequenceNumber);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->value().ToString(), "v2");
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(DbIterTest, TombstoneHidesKeyAndOlderVersions) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "v1");
+  mem.Add(2, kTypeDeletion, 10, "");
+  mem.Add(3, kTypeValue, 20, "w");
+  auto iter = MakeIter(&mem, kMaxSequenceNumber);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 20u);
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(DbIterTest, ResurrectedKeyIsVisible) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "v1");
+  mem.Add(2, kTypeDeletion, 10, "");
+  mem.Add(3, kTypeValue, 10, "v3");
+  auto iter = MakeIter(&mem, kMaxSequenceNumber);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->value().ToString(), "v3");
+}
+
+TEST(DbIterTest, SnapshotHidesNewerWrites) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "v1");
+  mem.Add(5, kTypeValue, 10, "v5");
+  mem.Add(6, kTypeValue, 20, "w6");
+  auto iter = MakeIter(&mem, /*snapshot=*/3);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 10u);
+  EXPECT_EQ(iter->value().ToString(), "v1");
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());  // key 20 written after the snapshot
+}
+
+TEST(DbIterTest, SeekLandsOnLiveKeys) {
+  MemTable mem;
+  for (Key k = 0; k < 50; k++) {
+    mem.Add(k + 1, kTypeValue, k * 10, "v");
+  }
+  mem.Add(100, kTypeDeletion, 200, "");
+  auto iter = MakeIter(&mem, kMaxSequenceNumber);
+  iter->Seek(195);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 210u);  // 200 is deleted
+  iter->Seek(491);
+  EXPECT_FALSE(iter->Valid());
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,108 @@
+// POSIX Env: file creation, pread, sequential reads, rename, listing.
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::ScratchDir;
+
+TEST(EnvTest, WriteThenReadWholeFile) {
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  const std::string payload(100000, 'q');
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+  std::string read_back;
+  ASSERT_LILSM_OK(ReadFileToString(Env::Default(), fname, &read_back));
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST(EnvTest, RandomAccessReadsAtOffsets) {
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  std::string payload;
+  for (int i = 0; i < 1000; i++) payload += std::to_string(i % 10);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(fname, &file));
+  char scratch[64];
+  Slice result;
+  ASSERT_LILSM_OK(file->Read(10, 5, &result, scratch));
+  EXPECT_EQ(result.ToString(), payload.substr(10, 5));
+  // Read past EOF returns the available bytes.
+  ASSERT_LILSM_OK(file->Read(payload.size() - 3, 10, &result, scratch));
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(EnvTest, SequentialReadAndSkip) {
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), "0123456789", fname));
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_LILSM_OK(Env::Default()->NewSequentialFile(fname, &file));
+  char scratch[16];
+  Slice result;
+  ASSERT_LILSM_OK(file->Read(3, &result, scratch));
+  EXPECT_EQ(result.ToString(), "012");
+  ASSERT_LILSM_OK(file->Skip(4));
+  ASSERT_LILSM_OK(file->Read(3, &result, scratch));
+  EXPECT_EQ(result.ToString(), "789");
+}
+
+TEST(EnvTest, MissingFileIsNotFound) {
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = Env::Default()->NewRandomAccessFile("/tmp/lilsm_no_such_file",
+                                                 &file);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(Env::Default()->FileExists("/tmp/lilsm_no_such_file"));
+}
+
+TEST(EnvTest, RenameReplacesTarget) {
+  ScratchDir dir("env");
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), "new", dir.file("a")));
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), "old", dir.file("b")));
+  ASSERT_LILSM_OK(Env::Default()->RenameFile(dir.file("a"), dir.file("b")));
+  std::string contents;
+  ASSERT_LILSM_OK(ReadFileToString(Env::Default(), dir.file("b"), &contents));
+  EXPECT_EQ(contents, "new");
+  EXPECT_FALSE(Env::Default()->FileExists(dir.file("a")));
+}
+
+TEST(EnvTest, GetChildrenListsCreatedFiles) {
+  ScratchDir dir("env");
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), "x", dir.file("one")));
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), "y", dir.file("two")));
+  std::vector<std::string> children;
+  ASSERT_LILSM_OK(Env::Default()->GetChildren(dir.path(), &children));
+  int found = 0;
+  for (const std::string& c : children) {
+    if (c == "one" || c == "two") found++;
+  }
+  EXPECT_EQ(found, 2);
+}
+
+TEST(EnvTest, GetFileSize) {
+  ScratchDir dir("env");
+  ASSERT_LILSM_OK(
+      WriteStringToFile(Env::Default(), std::string(1234, 'a'), dir.file("f")));
+  uint64_t size = 0;
+  ASSERT_LILSM_OK(Env::Default()->GetFileSize(dir.file("f"), &size));
+  EXPECT_EQ(size, 1234u);
+}
+
+TEST(EnvTest, NowNanosIsMonotone) {
+  Env* env = Env::Default();
+  uint64_t prev = env->NowNanos();
+  for (int i = 0; i < 100; i++) {
+    const uint64_t now = env->NowNanos();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace lilsm

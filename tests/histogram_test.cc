@@ -1,0 +1,80 @@
+// Histogram statistics: mean, percentiles, merge.
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace lilsm {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 42.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+  EXPECT_EQ(h.Count(), 1000u);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndBracketed) {
+  Histogram h;
+  for (int i = 1; i <= 100000; i++) h.Add(i % 1000 + 1);
+  double prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, h.Min());
+    EXPECT_LE(v, h.Max());
+    prev = v;
+  }
+  // Median of a uniform 1..1000 population: within bucket resolution.
+  EXPECT_NEAR(h.Percentile(50), 500, 120);
+}
+
+TEST(HistogramTest, MergeCombinesPopulations) {
+  Histogram a, b;
+  for (int i = 0; i < 100; i++) a.Add(10);
+  for (int i = 0; i < 100; i++) b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 200u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 30.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 10.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, StdDevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 50; i++) h.Add(7);
+  EXPECT_NEAR(h.StdDev(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(100);
+  EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,311 @@
+// Property tests for the learned index library: for every index type, over
+// every key distribution and epsilon, Predict must return a window that
+// contains the true position (the invariant the whole read path rests on),
+// serialization must round-trip, and memory accounting must be sane.
+#include "index/index.h"
+
+#include <gtest/gtest.h>
+
+#include "index/pgm.h"
+#include "index/plex.h"
+#include "index/rmi.h"
+#include "tests/test_util.h"
+#include "workload/dataset.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::RandomGapKeys;
+
+struct IndexCase {
+  IndexType type;
+  Dataset dataset;
+  uint32_t epsilon;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<IndexCase>& info) {
+  return std::string(IndexTypeName(info.param.type)) + "_" +
+         DatasetName(info.param.dataset) + "_eps" +
+         std::to_string(info.param.epsilon);
+}
+
+class IndexPropertyTest : public ::testing::TestWithParam<IndexCase> {
+ protected:
+  void SetUp() override {
+    const IndexCase& c = GetParam();
+    keys_ = GenerateKeys(c.dataset, 20000, /*seed=*/7);
+    config_ = IndexConfig::FromPositionBoundary(2 * c.epsilon);
+    index_ = CreateIndex(c.type);
+    ASSERT_NE(index_, nullptr);
+    ASSERT_LILSM_OK(index_->Build(keys_.data(), keys_.size(), config_));
+  }
+
+  std::vector<Key> keys_;
+  IndexConfig config_;
+  std::unique_ptr<LearnedIndex> index_;
+};
+
+TEST_P(IndexPropertyTest, EveryKeyWithinPredictedWindow) {
+  for (size_t i = 0; i < keys_.size(); i++) {
+    const PredictResult r = index_->Predict(keys_[i]);
+    ASSERT_LE(r.lo, i) << "key index " << i;
+    ASSERT_GE(r.hi, i) << "key index " << i;
+    ASSERT_LE(r.lo, r.pos);
+    ASSERT_LE(r.pos, r.hi);
+    ASSERT_LT(r.hi, keys_.size());
+  }
+}
+
+TEST_P(IndexPropertyTest, WindowWidthRespectsBoundary) {
+  // RMI's window is trained, not configured; every other index must stay
+  // within the configured position boundary (plus the floor slack of 1).
+  if (GetParam().type == IndexType::kRMI) GTEST_SKIP();
+  const size_t max_width = config_.position_boundary() + 3;
+  for (size_t i = 0; i < keys_.size(); i += 7) {
+    const PredictResult r = index_->Predict(keys_[i]);
+    ASSERT_LE(r.width(), max_width) << "at key index " << i;
+  }
+}
+
+TEST_P(IndexPropertyTest, SerializationRoundTripsPredictions) {
+  std::string blob;
+  EncodeIndexWithType(*index_, &blob);
+  Slice input(blob);
+  std::unique_ptr<LearnedIndex> decoded;
+  ASSERT_LILSM_OK(DecodeIndexWithType(&input, &decoded));
+  ASSERT_EQ(decoded->type(), index_->type());
+  ASSERT_EQ(decoded->num_keys(), index_->num_keys());
+  ASSERT_EQ(decoded->SegmentCount(), index_->SegmentCount());
+  for (size_t i = 0; i < keys_.size(); i += 13) {
+    const PredictResult a = index_->Predict(keys_[i]);
+    const PredictResult b = decoded->Predict(keys_[i]);
+    ASSERT_EQ(a.lo, b.lo) << "at key index " << i;
+    ASSERT_EQ(a.hi, b.hi) << "at key index " << i;
+  }
+  EXPECT_TRUE(input.empty()) << "decoder must consume the whole blob";
+}
+
+TEST_P(IndexPropertyTest, AbsentKeysStillReturnClampedWindows) {
+  Random rnd(99);
+  for (int i = 0; i < 2000; i++) {
+    const Key probe = rnd.Next();
+    const PredictResult r = index_->Predict(probe);
+    ASSERT_LE(r.lo, r.hi);
+    ASSERT_LT(r.hi, keys_.size());
+  }
+}
+
+TEST_P(IndexPropertyTest, MemoryAndSegmentsAreAccounted) {
+  EXPECT_GT(index_->MemoryUsage(), 0u);
+  EXPECT_GT(index_->SegmentCount(), 0u);
+  EXPECT_EQ(index_->num_keys(), keys_.size());
+}
+
+TEST_P(IndexPropertyTest, RebuildReplacesPreviousState) {
+  std::vector<Key> other = RandomGapKeys(500, 1234);
+  ASSERT_LILSM_OK(index_->Build(other.data(), other.size(), config_));
+  EXPECT_EQ(index_->num_keys(), other.size());
+  for (size_t i = 0; i < other.size(); i++) {
+    const PredictResult r = index_->Predict(other[i]);
+    ASSERT_LE(r.lo, i);
+    ASSERT_GE(r.hi, i);
+  }
+}
+
+std::vector<IndexCase> AllCases() {
+  std::vector<IndexCase> cases;
+  for (IndexType type : kAllIndexTypes) {
+    for (Dataset dataset : kAllDatasets) {
+      for (uint32_t epsilon : {4u, 32u, 128u}) {
+        cases.push_back(IndexCase{type, dataset, epsilon});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, IndexPropertyTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// ---- edge cases shared across types ----
+
+class IndexEdgeTest : public ::testing::TestWithParam<IndexType> {};
+
+TEST_P(IndexEdgeTest, SingleKey) {
+  auto index = CreateIndex(GetParam());
+  const Key key = 42;
+  ASSERT_LILSM_OK(index->Build(&key, 1, IndexConfig()));
+  const PredictResult r = index->Predict(42);
+  EXPECT_EQ(r.lo, 0u);
+  EXPECT_EQ(r.hi, 0u);
+  EXPECT_EQ(index->num_keys(), 1u);
+}
+
+TEST_P(IndexEdgeTest, TwoKeys) {
+  auto index = CreateIndex(GetParam());
+  const Key keys[] = {10, 1000000};
+  ASSERT_LILSM_OK(index->Build(keys, 2, IndexConfig()));
+  for (size_t i = 0; i < 2; i++) {
+    const PredictResult r = index->Predict(keys[i]);
+    EXPECT_LE(r.lo, i);
+    EXPECT_GE(r.hi, i);
+  }
+}
+
+TEST_P(IndexEdgeTest, DenseSequentialKeys) {
+  auto index = CreateIndex(GetParam());
+  std::vector<Key> keys(5000);
+  for (size_t i = 0; i < keys.size(); i++) keys[i] = i + 1;
+  IndexConfig config = IndexConfig::FromPositionBoundary(16);
+  ASSERT_LILSM_OK(index->Build(keys.data(), keys.size(), config));
+  // Perfectly linear data: PLA/spline types need very few segments (RMI
+  // sizes its second level by a count heuristic, FP by the boundary).
+  if (GetParam() != IndexType::kFencePointer &&
+      GetParam() != IndexType::kRMI) {
+    EXPECT_LE(index->SegmentCount(), 64u);
+  }
+  for (size_t i = 0; i < keys.size(); i += 17) {
+    const PredictResult r = index->Predict(keys[i]);
+    ASSERT_LE(r.lo, i);
+    ASSERT_GE(r.hi, i);
+  }
+}
+
+TEST_P(IndexEdgeTest, RejectsUnsortedKeys) {
+  auto index = CreateIndex(GetParam());
+  const Key keys[] = {5, 3, 9};
+  EXPECT_TRUE(index->Build(keys, 3, IndexConfig()).IsInvalidArgument());
+}
+
+TEST_P(IndexEdgeTest, RejectsDuplicateKeys) {
+  auto index = CreateIndex(GetParam());
+  const Key keys[] = {5, 5, 9};
+  EXPECT_TRUE(index->Build(keys, 3, IndexConfig()).IsInvalidArgument());
+}
+
+TEST_P(IndexEdgeTest, ExtremeKeyValues) {
+  auto index = CreateIndex(GetParam());
+  std::vector<Key> keys = {0, 1, uint64_t{1} << 32, uint64_t{1} << 62,
+                           ~uint64_t{0} - 1, ~uint64_t{0}};
+  ASSERT_LILSM_OK(index->Build(keys.data(), keys.size(), IndexConfig()));
+  for (size_t i = 0; i < keys.size(); i++) {
+    const PredictResult r = index->Predict(keys[i]);
+    ASSERT_LE(r.lo, i) << "key " << keys[i];
+    ASSERT_GE(r.hi, i) << "key " << keys[i];
+  }
+}
+
+TEST_P(IndexEdgeTest, DecodeRejectsTruncatedBlob) {
+  auto index = CreateIndex(GetParam());
+  std::vector<Key> keys = RandomGapKeys(1000, 5);
+  ASSERT_LILSM_OK(index->Build(keys.data(), keys.size(), IndexConfig()));
+  std::string blob;
+  EncodeIndexWithType(*index, &blob);
+  // Chop the blob at several points; decode must fail, never crash.
+  for (size_t cut : {size_t{0}, size_t{1}, blob.size() / 2,
+                     blob.size() - 1}) {
+    Slice input(blob.data(), cut);
+    std::unique_ptr<LearnedIndex> decoded;
+    EXPECT_FALSE(DecodeIndexWithType(&input, &decoded).ok())
+        << "cut at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, IndexEdgeTest, ::testing::ValuesIn(kAllIndexTypes),
+    [](const ::testing::TestParamInfo<IndexType>& info) {
+      return std::string(IndexTypeName(info.param));
+    });
+
+// ---- type-specific behaviour ----
+
+TEST(IndexTypeNames, ParseRoundTrip) {
+  for (IndexType type : kAllIndexTypes) {
+    IndexType parsed;
+    ASSERT_TRUE(ParseIndexType(IndexTypeName(type), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+  IndexType parsed;
+  EXPECT_FALSE(ParseIndexType("btree", &parsed));
+  EXPECT_TRUE(ParseIndexType("pgm", &parsed));
+  EXPECT_EQ(parsed, IndexType::kPGM);
+}
+
+TEST(PgmIndexTest, RecursiveLevelsTerminateAtSingleRoot) {
+  std::vector<Key> keys = RandomGapKeys(50000, 3);
+  PgmIndex index;
+  IndexConfig config = IndexConfig::FromPositionBoundary(16);
+  ASSERT_LILSM_OK(index.Build(keys.data(), keys.size(), config));
+  EXPECT_GE(index.Height(), 2u);  // 50k keys at eps=8 need internal levels
+  EXPECT_LE(index.Height(), 6u);
+}
+
+TEST(PgmIndexTest, FewerSegmentsThanGreedyPlr) {
+  // The optimal PLA guarantee: PGM's leaf segmentation never needs more
+  // segments than the greedy shrinking cone at the same epsilon.
+  std::vector<Key> keys = GenerateKeys(Dataset::kBooks, 30000, 11);
+  IndexConfig config = IndexConfig::FromPositionBoundary(64);
+  auto pgm = CreateIndex(IndexType::kPGM);
+  auto plr = CreateIndex(IndexType::kPLR);
+  ASSERT_LILSM_OK(pgm->Build(keys.data(), keys.size(), config));
+  ASSERT_LILSM_OK(plr->Build(keys.data(), keys.size(), config));
+  EXPECT_LE(pgm->SegmentCount(), plr->SegmentCount());
+}
+
+TEST(RmiIndexTest, TrainedWindowsReported) {
+  std::vector<Key> keys = GenerateKeys(Dataset::kRandom, 30000, 17);
+  RmiIndex index;
+  IndexConfig config = IndexConfig::FromPositionBoundary(32);
+  ASSERT_LILSM_OK(index.Build(keys.data(), keys.size(), config));
+  EXPECT_GT(index.MeanErrorWindow(), 0.0);
+  EXPECT_GE(index.MaxErrorWindow(), 1u);
+}
+
+TEST(RmiIndexTest, ExplicitLeafCountHonored) {
+  std::vector<Key> keys = RandomGapKeys(10000, 23);
+  RmiIndex index;
+  IndexConfig config;
+  config.rmi_leaf_models = 256;
+  ASSERT_LILSM_OK(index.Build(keys.data(), keys.size(), config));
+  EXPECT_EQ(index.SegmentCount(), 256u);
+}
+
+TEST(PlexIndexTest, HistTreeDeepensWithData) {
+  std::vector<Key> keys = GenerateKeys(Dataset::kLonglat, 50000, 29);
+  PlexIndex index;
+  IndexConfig config = IndexConfig::FromPositionBoundary(16);
+  config.plex_leaf_threshold = 4;
+  ASSERT_LILSM_OK(index.Build(keys.data(), keys.size(), config));
+  EXPECT_GE(index.TreeHeight(), 1u);
+}
+
+TEST(FenceIndexTest, MemoryScalesWithStoredKeyBytes) {
+  std::vector<Key> keys = RandomGapKeys(10000, 31);
+  IndexConfig config = IndexConfig::FromPositionBoundary(16);
+  config.stored_key_bytes = 24;
+  auto fat = CreateIndex(IndexType::kFencePointer);
+  ASSERT_LILSM_OK(fat->Build(keys.data(), keys.size(), config));
+  config.stored_key_bytes = 8;
+  auto thin = CreateIndex(IndexType::kFencePointer);
+  ASSERT_LILSM_OK(thin->Build(keys.data(), keys.size(), config));
+  EXPECT_GT(fat->MemoryUsage(), thin->MemoryUsage());
+}
+
+TEST(IndexComparisonTest, LearnedIndexesBeatFencePointersOnMemory) {
+  // Observation 1 in miniature: on uniform data at moderate boundaries,
+  // every learned index uses less memory than fence pointers.
+  std::vector<Key> keys = GenerateKeys(Dataset::kRandom, 50000, 37);
+  IndexConfig config = IndexConfig::FromPositionBoundary(64);
+  auto fence = CreateIndex(IndexType::kFencePointer);
+  ASSERT_LILSM_OK(fence->Build(keys.data(), keys.size(), config));
+  for (IndexType type : {IndexType::kPLR, IndexType::kPGM,
+                         IndexType::kRadixSpline, IndexType::kRMI}) {
+    auto learned = CreateIndex(type);
+    ASSERT_LILSM_OK(learned->Build(keys.data(), keys.size(), config));
+    EXPECT_LT(learned->MemoryUsage(), fence->MemoryUsage())
+        << IndexTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace lilsm

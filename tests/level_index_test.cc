@@ -1,0 +1,130 @@
+// LevelIndexStore: build-over-files, stamp invalidation, bound mapping.
+#include "lsm/level_index.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/dbformat.h"
+#include "table/segmented_table.h"
+#include "tests/test_util.h"
+#include "workload/dataset.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::RandomGapKeys;
+using testing_util::ScratchDir;
+
+class LevelIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<ScratchDir>("levelidx");
+    options_.env = Env::Default();
+    options_.value_size = 32;
+    cache_ = std::make_unique<TableCache>(options_, dir_->path(), 64);
+    keys_ = RandomGapKeys(9000, 11);
+
+    // Three disjoint files covering thirds of the key range.
+    for (int f = 0; f < 3; f++) {
+      const uint64_t number = f + 1;
+      std::unique_ptr<TableBuilder> builder;
+      ASSERT_LILSM_OK(NewTableBuilder(
+          options_, TableFileName(dir_->path(), number), &builder));
+      FileMeta meta;
+      meta.number = number;
+      const size_t begin = f * 3000, end = begin + 3000;
+      for (size_t i = begin; i < end; i++) {
+        ASSERT_LILSM_OK(builder->Add(keys_[i], PackTag(i + 1, kTypeValue),
+                                     DeriveValue(keys_[i], 32)));
+      }
+      ASSERT_LILSM_OK(builder->Finish());
+      meta.entries = 3000;
+      meta.smallest = keys_[begin];
+      meta.largest = keys_[end - 1];
+      files_.push_back(meta);
+    }
+  }
+
+  std::unique_ptr<ScratchDir> dir_;
+  TableOptions options_;
+  std::unique_ptr<TableCache> cache_;
+  std::vector<Key> keys_;
+  std::vector<FileMeta> files_;
+  Stats stats_;
+};
+
+TEST_F(LevelIndexTest, BuildsAndPredictsAcrossFiles) {
+  LevelIndexStore store(Env::Default(), &stats_);
+  ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kPGM,
+                                    IndexConfig::FromPositionBoundary(32),
+                                    /*stamp=*/1));
+  ASSERT_TRUE(store.HasModel(1));
+  EXPECT_GT(store.MemoryUsage(), 0u);
+  EXPECT_GT(stats_.TimerCount(Timer::kLevelIndexBuild), 0u);
+
+  // Every key's local window must contain its within-file position.
+  for (size_t i = 0; i < keys_.size(); i += 13) {
+    const size_t file_idx = i / 3000;
+    const size_t local = i % 3000;
+    size_t lo = 0, hi = 0;
+    ASSERT_TRUE(store.PredictInFile(1, keys_[i], file_idx, &lo, &hi));
+    ASSERT_LE(lo, local) << "key index " << i;
+    ASSERT_GE(hi, local) << "key index " << i;
+    ASSERT_LT(hi, 3000u);
+  }
+}
+
+TEST_F(LevelIndexTest, StampChangeForcesRebuild) {
+  LevelIndexStore store(Env::Default(), &stats_);
+  ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kPGM,
+                                    IndexConfig::FromPositionBoundary(32), 1));
+  const uint64_t builds_before = stats_.TimerCount(Timer::kLevelIndexBuild);
+  // Same stamp: cached.
+  ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kPGM,
+                                    IndexConfig::FromPositionBoundary(32), 1));
+  EXPECT_EQ(stats_.TimerCount(Timer::kLevelIndexBuild), builds_before);
+  // New stamp: rebuilt.
+  ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kPGM,
+                                    IndexConfig::FromPositionBoundary(32), 2));
+  EXPECT_GT(stats_.TimerCount(Timer::kLevelIndexBuild), builds_before);
+}
+
+TEST_F(LevelIndexTest, InvalidateDropsModels) {
+  LevelIndexStore store(Env::Default(), &stats_);
+  ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kPGM,
+                                    IndexConfig::FromPositionBoundary(32), 1));
+  store.InvalidateAll();
+  EXPECT_FALSE(store.HasModel(1));
+  EXPECT_EQ(store.MemoryUsage(), 0u);
+  size_t lo, hi;
+  EXPECT_FALSE(store.PredictInFile(1, keys_[0], 0, &lo, &hi));
+}
+
+TEST_F(LevelIndexTest, GetWithBoundsServesLevelPredictions) {
+  LevelIndexStore store(Env::Default(), &stats_);
+  ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kRMI,
+                                    IndexConfig::FromPositionBoundary(64), 1));
+  std::string value;
+  uint64_t tag;
+  bool found;
+  for (size_t i = 0; i < keys_.size(); i += 101) {
+    const size_t file_idx = i / 3000;
+    size_t lo = 0, hi = 0;
+    ASSERT_TRUE(store.PredictInFile(1, keys_[i], file_idx, &lo, &hi));
+    std::shared_ptr<TableReader> reader;
+    ASSERT_LILSM_OK(cache_->GetReader(files_[file_idx].number, &reader));
+    ASSERT_LILSM_OK(
+        reader->GetWithBounds(keys_[i], lo, hi, &value, &tag, &found));
+    ASSERT_TRUE(found) << "key index " << i;
+    ASSERT_EQ(value, DeriveValue(keys_[i], 32));
+  }
+}
+
+TEST_F(LevelIndexTest, EmptyLevelIsNoOp) {
+  LevelIndexStore store(Env::Default(), &stats_);
+  ASSERT_LILSM_OK(store.EnsureBuilt(2, {}, cache_.get(), IndexType::kPGM,
+                                    IndexConfig(), 1));
+  EXPECT_FALSE(store.HasModel(2));
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,111 @@
+// MemTable: versioned reads, tombstones, snapshot visibility, iteration.
+#include "lsm/memtable.h"
+
+#include <gtest/gtest.h>
+
+namespace lilsm {
+namespace {
+
+TEST(MemTableTest, AddThenGet) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "ten");
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(mem.Get(10, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(type, kTypeValue);
+  EXPECT_EQ(value, "ten");
+  EXPECT_FALSE(mem.Get(11, kMaxSequenceNumber, &value, &type));
+}
+
+TEST(MemTableTest, NewestVersionWins) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "v1");
+  mem.Add(2, kTypeValue, 10, "v2");
+  mem.Add(3, kTypeValue, 10, "v3");
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(mem.Get(10, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(value, "v3");
+}
+
+TEST(MemTableTest, SnapshotVisibility) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "v1");
+  mem.Add(5, kTypeValue, 10, "v5");
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(mem.Get(10, /*snapshot=*/3, &value, &type));
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(mem.Get(10, /*snapshot=*/5, &value, &type));
+  EXPECT_EQ(value, "v5");
+}
+
+TEST(MemTableTest, TombstonesAreVisible) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 10, "v1");
+  mem.Add(2, kTypeDeletion, 10, "");
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(mem.Get(10, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(type, kTypeDeletion);
+}
+
+TEST(MemTableTest, IteratorOrdersByKeyThenNewestFirst) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 20, "b1");
+  mem.Add(2, kTypeValue, 10, "a2");
+  mem.Add(3, kTypeValue, 20, "b3");
+  auto iter = mem.NewIterator();
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 10u);
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 20u);
+  EXPECT_EQ(TagSequence(iter->tag()), 3u);  // newest version of 20 first
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 20u);
+  EXPECT_EQ(TagSequence(iter->tag()), 1u);
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(MemTableTest, IteratorSeek) {
+  MemTable mem;
+  for (Key k = 0; k < 100; k++) {
+    mem.Add(k + 1, kTypeValue, k * 10, "v");
+  }
+  auto iter = mem.NewIterator();
+  iter->Seek(55);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 60u);
+  iter->Seek(990);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), 990u);
+  iter->Seek(991);
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(MemTableTest, MemoryUsageGrows) {
+  MemTable mem;
+  const size_t before = mem.ApproximateMemoryUsage();
+  for (Key k = 0; k < 1000; k++) {
+    mem.Add(k + 1, kTypeValue, k, std::string(100, 'x'));
+  }
+  EXPECT_GT(mem.ApproximateMemoryUsage(), before + 100 * 1000);
+  EXPECT_EQ(mem.NumEntries(), 1000u);
+}
+
+TEST(MemTableTest, EmptyValueRoundTrips) {
+  MemTable mem;
+  mem.Add(1, kTypeValue, 5, "");
+  std::string value = "sentinel";
+  ValueType type;
+  ASSERT_TRUE(mem.Get(5, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(type, kTypeValue);
+  EXPECT_TRUE(value.empty());
+}
+
+}  // namespace
+}  // namespace lilsm

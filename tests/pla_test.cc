@@ -1,0 +1,156 @@
+// PLA construction: epsilon guarantee for greedy and optimal builders,
+// optimality ordering, and degenerate inputs.
+#include "index/pla.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/dataset.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::RandomGapKeys;
+
+/// Max |prediction - true position| across all keys, assigning each key to
+/// the segment that covers it.
+double MaxError(const std::vector<LinearSegment>& segments,
+                const std::vector<Key>& keys) {
+  double max_err = 0;
+  size_t seg = 0;
+  for (size_t i = 0; i < keys.size(); i++) {
+    while (seg + 1 < segments.size() &&
+           segments[seg + 1].first_key <= keys[i]) {
+      seg++;
+    }
+    const double err =
+        std::abs(segments[seg].PredictF(keys[i]) - static_cast<double>(i));
+    max_err = std::max(max_err, err);
+  }
+  return max_err;
+}
+
+struct PlaCase {
+  Dataset dataset;
+  uint32_t epsilon;
+};
+
+class PlaPropertyTest : public ::testing::TestWithParam<PlaCase> {};
+
+TEST_P(PlaPropertyTest, GreedyRespectsEpsilon) {
+  const PlaCase& c = GetParam();
+  std::vector<Key> keys = GenerateKeys(c.dataset, 15000, 5);
+  auto segments = GreedyPla(keys.data(), keys.size(), c.epsilon);
+  ASSERT_FALSE(segments.empty());
+  EXPECT_LE(MaxError(segments, keys), c.epsilon + 1e-6);
+}
+
+TEST_P(PlaPropertyTest, OptimalRespectsEpsilon) {
+  const PlaCase& c = GetParam();
+  std::vector<Key> keys = GenerateKeys(c.dataset, 15000, 5);
+  auto segments = OptimalPla(keys.data(), keys.size(), c.epsilon);
+  ASSERT_FALSE(segments.empty());
+  EXPECT_LE(MaxError(segments, keys), c.epsilon + 1e-6);
+}
+
+TEST_P(PlaPropertyTest, OptimalNeverNeedsMoreSegments) {
+  const PlaCase& c = GetParam();
+  std::vector<Key> keys = GenerateKeys(c.dataset, 15000, 5);
+  auto greedy = GreedyPla(keys.data(), keys.size(), c.epsilon);
+  auto optimal = OptimalPla(keys.data(), keys.size(), c.epsilon);
+  EXPECT_LE(optimal.size(), greedy.size());
+}
+
+TEST_P(PlaPropertyTest, SegmentsPartitionTheKeySpace) {
+  const PlaCase& c = GetParam();
+  std::vector<Key> keys = GenerateKeys(c.dataset, 15000, 5);
+  for (auto* segments :
+       {new std::vector<LinearSegment>(GreedyPla(keys.data(), keys.size(),
+                                                 c.epsilon)),
+        new std::vector<LinearSegment>(OptimalPla(keys.data(), keys.size(),
+                                                  c.epsilon))}) {
+    ASSERT_EQ(segments->front().first_key, keys.front());
+    for (size_t i = 1; i < segments->size(); i++) {
+      ASSERT_GT((*segments)[i].first_key, (*segments)[i - 1].first_key);
+    }
+    delete segments;
+  }
+}
+
+std::vector<PlaCase> PlaCases() {
+  std::vector<PlaCase> cases;
+  for (Dataset dataset : kAllDatasets) {
+    for (uint32_t epsilon : {1u, 8u, 64u, 512u}) {
+      cases.push_back({dataset, epsilon});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlaPropertyTest, ::testing::ValuesIn(PlaCases()),
+    [](const ::testing::TestParamInfo<PlaCase>& info) {
+      return std::string(DatasetName(info.param.dataset)) + "_eps" +
+             std::to_string(info.param.epsilon);
+    });
+
+TEST(PlaEdgeTest, SinglePoint) {
+  const Key key = 7;
+  auto greedy = GreedyPla(&key, 1, 8);
+  auto optimal = OptimalPla(&key, 1, 8);
+  ASSERT_EQ(greedy.size(), 1u);
+  ASSERT_EQ(optimal.size(), 1u);
+  EXPECT_NEAR(greedy[0].PredictF(7), 0.0, 1e-9);
+  EXPECT_NEAR(optimal[0].PredictF(7), 0.0, 8.0);
+}
+
+TEST(PlaEdgeTest, CollinearPointsNeedOneSegment) {
+  std::vector<Key> keys;
+  for (Key k = 0; k < 10000; k++) keys.push_back(k * 17);
+  EXPECT_EQ(OptimalPla(keys.data(), keys.size(), 1).size(), 1u);
+  EXPECT_EQ(GreedyPla(keys.data(), keys.size(), 1).size(), 1u);
+}
+
+TEST(PlaEdgeTest, AdversarialZigZag) {
+  // Alternating tiny/huge gaps defeat long segments at small epsilon but
+  // the error bound must hold regardless.
+  std::vector<Key> keys;
+  Key current = 0;
+  for (int i = 0; i < 5000; i++) {
+    keys.push_back(current);
+    current += (i % 2 == 0) ? 1 : 100000;
+  }
+  for (uint32_t epsilon : {1u, 4u, 16u}) {
+    auto segments = OptimalPla(keys.data(), keys.size(), epsilon);
+    EXPECT_LE(MaxError(segments, keys), epsilon + 1e-6);
+  }
+}
+
+TEST(PlaEdgeTest, ExtremeKeyRange) {
+  std::vector<Key> keys = {0, 1, 2, uint64_t{1} << 62, (uint64_t{1} << 62) + 1,
+                           ~uint64_t{0}};
+  auto segments = OptimalPla(keys.data(), keys.size(), 2);
+  EXPECT_LE(MaxError(segments, keys), 2 + 1e-6);
+}
+
+TEST(PlaEdgeTest, StreamingBuilderMatchesBatch) {
+  std::vector<Key> keys = RandomGapKeys(5000, 123);
+  auto batch = OptimalPla(keys.data(), keys.size(), 16);
+
+  OptimalPlaBuilder builder(16);
+  std::vector<LinearSegment> streamed;
+  for (size_t i = 0; i < keys.size(); i++) {
+    if (!builder.AddPoint(keys[i], static_cast<int64_t>(i))) {
+      streamed.push_back(builder.Finish());
+      builder.AddPoint(keys[i], static_cast<int64_t>(i));
+    }
+  }
+  if (builder.has_points()) streamed.push_back(builder.Finish());
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (size_t i = 0; i < streamed.size(); i++) {
+    EXPECT_EQ(streamed[i].first_key, batch[i].first_key);
+  }
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,83 @@
+// Determinism and distribution sanity for the xorshift generator.
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lilsm {
+namespace {
+
+TEST(RandomTest, SameSeedSameSequence) {
+  Random a(7), b(7);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rnd(11);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rnd.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformIsRoughlyFlat) {
+  Random rnd(13);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    buckets[rnd.Uniform(10)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 100);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rnd(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    const double d = rnd.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rnd(19);
+  double sum = 0, sum_sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) {
+    const double g = rnd.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, OneInApproximatesProbability) {
+  Random rnd(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    if (rnd.OneIn(10)) hits++;
+  }
+  EXPECT_NEAR(hits, n / 10, n / 50);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,67 @@
+// Report tables and config-space helpers.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace lilsm {
+namespace {
+
+TEST(ReportTableTest, AlignsColumns) {
+  ReportTable table("demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22222"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Each row ends cleanly with a newline.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(ReportTableTest, CsvIsCommaSeparated) {
+  ReportTable table("demo");
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(FormatMicros(1.234), "1.23");
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.0KB");
+  EXPECT_EQ(FormatBytes(3.5e6), "3.50MB");
+  EXPECT_EQ(FormatCount(42), "42");
+}
+
+TEST(ConfigTest, IndexSetupToString) {
+  IndexSetup setup;
+  setup.type = IndexType::kPGM;
+  setup.position_boundary = 64;
+  EXPECT_EQ(setup.ToString(), "PGM/b64");
+  setup.granularity = IndexGranularity::kLevel;
+  EXPECT_EQ(setup.ToString(), "PGM/b64/L");
+}
+
+TEST(ConfigTest, FromPositionBoundaryHalves) {
+  EXPECT_EQ(IndexConfig::FromPositionBoundary(64).epsilon, 32u);
+  EXPECT_EQ(IndexConfig::FromPositionBoundary(1).epsilon, 1u);
+  EXPECT_EQ(IndexSetup{}.ToIndexConfig().epsilon, 32u);
+}
+
+TEST(ConfigTest, EnumerateCoversFullGrid) {
+  auto space = EnumerateTypeBoundarySpace();
+  EXPECT_EQ(space.size(), 7u * 6u);
+  // Every type appears with every boundary.
+  for (IndexType type : kAllIndexTypes) {
+    size_t count = 0;
+    for (const IndexSetup& setup : space) {
+      if (setup.type == type) count++;
+    }
+    EXPECT_EQ(count, 6u);
+  }
+}
+
+}  // namespace
+}  // namespace lilsm

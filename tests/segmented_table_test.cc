@@ -1,0 +1,279 @@
+// SegmentedTable (LearnedIndexTable) round-trip, lookup, iterator-seek,
+// retraining and corruption tests, across every index type.
+#include "table/segmented_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+#include "lsm/dbformat.h"
+#include "util/sim_env.h"
+#include "workload/dataset.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::RandomGapKeys;
+using testing_util::ScratchDir;
+
+constexpr uint32_t kValueSize = 64;
+
+TableOptions MakeOptions(IndexType type, uint32_t boundary) {
+  TableOptions options;
+  options.env = Env::Default();
+  options.key_size = 24;
+  options.value_size = kValueSize;
+  options.index_type = type;
+  options.index_config = IndexConfig::FromPositionBoundary(boundary);
+  return options;
+}
+
+Status BuildTable(const TableOptions& options, const std::string& fname,
+                  const std::vector<Key>& keys) {
+  std::unique_ptr<TableBuilder> builder;
+  Status s = NewTableBuilder(options, fname, &builder);
+  if (!s.ok()) return s;
+  for (size_t i = 0; i < keys.size(); i++) {
+    s = builder->Add(keys[i], PackTag(i + 1, kTypeValue),
+                     DeriveValue(keys[i], kValueSize));
+    if (!s.ok()) return s;
+  }
+  return builder->Finish();
+}
+
+class SegmentedTableTest : public ::testing::TestWithParam<IndexType> {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<ScratchDir>("segtable");
+    options_ = MakeOptions(GetParam(), 32);
+    keys_ = RandomGapKeys(20000, 77, /*max_gap=*/5000);
+    fname_ = dir_->file("000001.lst");
+    ASSERT_LILSM_OK(BuildTable(options_, fname_, keys_));
+    ASSERT_LILSM_OK(OpenTable(options_, fname_, &reader_));
+  }
+
+  std::unique_ptr<ScratchDir> dir_;
+  TableOptions options_;
+  std::vector<Key> keys_;
+  std::string fname_;
+  std::unique_ptr<TableReader> reader_;
+};
+
+TEST_P(SegmentedTableTest, MetadataMatches) {
+  EXPECT_EQ(reader_->NumEntries(), keys_.size());
+  EXPECT_EQ(reader_->MinKey(), keys_.front());
+  EXPECT_EQ(reader_->MaxKey(), keys_.back());
+  ASSERT_NE(reader_->index(), nullptr);
+  EXPECT_EQ(reader_->index()->type(), GetParam());
+}
+
+TEST_P(SegmentedTableTest, GetFindsEveryKey) {
+  std::string value;
+  uint64_t tag = 0;
+  bool found = false;
+  for (size_t i = 0; i < keys_.size(); i += 3) {
+    ASSERT_LILSM_OK(reader_->Get(keys_[i], &value, &tag, &found));
+    ASSERT_TRUE(found) << "key index " << i;
+    EXPECT_EQ(TagSequence(tag), i + 1);
+    EXPECT_EQ(value, DeriveValue(keys_[i], kValueSize));
+  }
+}
+
+TEST_P(SegmentedTableTest, GetMissesAbsentKeys) {
+  std::string value;
+  uint64_t tag = 0;
+  bool found = false;
+  size_t tried = 0;
+  for (size_t i = 0; i + 1 < keys_.size() && tried < 500; i += 17) {
+    if (keys_[i + 1] - keys_[i] < 2) continue;
+    const Key absent = keys_[i] + 1;
+    tried++;
+    ASSERT_LILSM_OK(reader_->Get(absent, &value, &tag, &found));
+    EXPECT_FALSE(found) << "absent key " << absent;
+  }
+  ASSERT_GT(tried, 100u);
+}
+
+TEST_P(SegmentedTableTest, IteratorScansInOrder) {
+  auto iter = reader_->NewIterator();
+  size_t i = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ASSERT_LT(i, keys_.size());
+    ASSERT_EQ(iter->key(), keys_[i]);
+    ASSERT_EQ(iter->value().size(), kValueSize);
+    i++;
+  }
+  ASSERT_LILSM_OK(iter->status());
+  EXPECT_EQ(i, keys_.size());
+}
+
+TEST_P(SegmentedTableTest, SeekHasLowerBoundSemantics) {
+  auto iter = reader_->NewIterator();
+  Random rnd(6);
+  for (int trial = 0; trial < 300; trial++) {
+    const Key target = rnd.Uniform(keys_.back() + 1000);
+    iter->Seek(target);
+    auto expected = std::lower_bound(keys_.begin(), keys_.end(), target);
+    if (expected == keys_.end()) {
+      EXPECT_FALSE(iter->Valid()) << "target " << target;
+    } else {
+      ASSERT_TRUE(iter->Valid()) << "target " << target;
+      EXPECT_EQ(iter->key(), *expected) << "target " << target;
+    }
+  }
+}
+
+TEST_P(SegmentedTableTest, SeekThenScanCrossesBlocks) {
+  auto iter = reader_->NewIterator();
+  const size_t start = keys_.size() / 2;
+  iter->Seek(keys_[start]);
+  for (size_t i = start; i < std::min(keys_.size(), start + 500); i++) {
+    ASSERT_TRUE(iter->Valid());
+    ASSERT_EQ(iter->key(), keys_[i]);
+    iter->Next();
+  }
+}
+
+TEST_P(SegmentedTableTest, RetrainSwapsIndexAcrossAllTypes) {
+  std::string value;
+  uint64_t tag = 0;
+  bool found = false;
+  for (IndexType type : kAllIndexTypes) {
+    ASSERT_LILSM_OK(
+        reader_->RetrainIndex(type, IndexConfig::FromPositionBoundary(16)));
+    ASSERT_EQ(reader_->index()->type(), type);
+    for (size_t i = 0; i < keys_.size(); i += 97) {
+      ASSERT_LILSM_OK(reader_->Get(keys_[i], &value, &tag, &found));
+      ASSERT_TRUE(found) << IndexTypeName(type) << " key index " << i;
+    }
+  }
+}
+
+TEST_P(SegmentedTableTest, GetWithBoundsHonorsWindow) {
+  std::string value;
+  uint64_t tag = 0;
+  bool found = false;
+  for (size_t i = 0; i < keys_.size(); i += 111) {
+    const size_t lo = i >= 5 ? i - 5 : 0;
+    const size_t hi = std::min(keys_.size() - 1, i + 5);
+    ASSERT_LILSM_OK(
+        reader_->GetWithBounds(keys_[i], lo, hi, &value, &tag, &found));
+    ASSERT_TRUE(found);
+    EXPECT_EQ(value, DeriveValue(keys_[i], kValueSize));
+  }
+}
+
+TEST_P(SegmentedTableTest, ReadAllKeysRoundTrips) {
+  std::vector<Key> read_keys;
+  ASSERT_LILSM_OK(reader_->ReadAllKeys(&read_keys));
+  EXPECT_EQ(read_keys, keys_);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, SegmentedTableTest, ::testing::ValuesIn(kAllIndexTypes),
+    [](const ::testing::TestParamInfo<IndexType>& info) {
+      return std::string(IndexTypeName(info.param));
+    });
+
+// ---- format-level failure behaviour ----
+
+TEST(SegmentedTableFormatTest, RejectsWrongValueSize) {
+  ScratchDir dir("segfmt");
+  TableOptions options = MakeOptions(IndexType::kPGM, 32);
+  std::unique_ptr<TableBuilder> builder;
+  ASSERT_LILSM_OK(NewTableBuilder(options, dir.file("t.lst"), &builder));
+  EXPECT_TRUE(builder->Add(1, PackTag(1, kTypeValue), Slice("short"))
+                  .IsInvalidArgument());
+}
+
+TEST(SegmentedTableFormatTest, RejectsNonIncreasingKeys) {
+  ScratchDir dir("segfmt");
+  TableOptions options = MakeOptions(IndexType::kPGM, 32);
+  std::unique_ptr<TableBuilder> builder;
+  ASSERT_LILSM_OK(NewTableBuilder(options, dir.file("t.lst"), &builder));
+  std::string value(kValueSize, 'x');
+  ASSERT_LILSM_OK(builder->Add(10, PackTag(1, kTypeValue), value));
+  EXPECT_TRUE(
+      builder->Add(10, PackTag(2, kTypeValue), value).IsInvalidArgument());
+  EXPECT_TRUE(
+      builder->Add(5, PackTag(3, kTypeValue), value).IsInvalidArgument());
+}
+
+TEST(SegmentedTableFormatTest, DetectsCorruptFooterMagic) {
+  ScratchDir dir("segfmt");
+  TableOptions options = MakeOptions(IndexType::kPGM, 32);
+  const std::string fname = dir.file("t.lst");
+  ASSERT_LILSM_OK(BuildTable(options, fname, RandomGapKeys(500, 9)));
+
+  std::string contents;
+  ASSERT_LILSM_OK(ReadFileToString(Env::Default(), fname, &contents));
+  contents.back() = static_cast<char>(contents.back() ^ 0x5a);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), contents, fname));
+
+  std::unique_ptr<TableReader> reader;
+  EXPECT_TRUE(OpenTable(options, fname, &reader).IsCorruption());
+}
+
+TEST(SegmentedTableFormatTest, DetectsCorruptTrailerBlocks) {
+  ScratchDir dir("segfmt");
+  TableOptions options = MakeOptions(IndexType::kPGM, 32);
+  const std::string fname = dir.file("t.lst");
+  std::vector<Key> keys = RandomGapKeys(2000, 10);
+  ASSERT_LILSM_OK(BuildTable(options, fname, keys));
+
+  std::string contents;
+  ASSERT_LILSM_OK(ReadFileToString(Env::Default(), fname, &contents));
+  // Flip a byte in the trailer region (bloom/index/meta blocks follow the
+  // data region and are all checksummed).
+  const size_t data_bytes = keys.size() * options.entry_size();
+  contents[data_bytes + 100] = static_cast<char>(contents[data_bytes + 100] ^ 0xff);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), contents, fname));
+
+  std::unique_ptr<TableReader> reader;
+  EXPECT_TRUE(OpenTable(options, fname, &reader).IsCorruption());
+}
+
+TEST(SegmentedTableFormatTest, EmptyFileFailsCleanly) {
+  ScratchDir dir("segfmt");
+  const std::string fname = dir.file("t.lst");
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), Slice(), fname));
+  std::unique_ptr<TableReader> reader;
+  EXPECT_TRUE(
+      OpenTable(MakeOptions(IndexType::kPGM, 32), fname, &reader)
+          .IsCorruption());
+}
+
+TEST(SegmentedTableIoTest, PointLookupCostsOneAlignedRead) {
+  // With a small boundary an entire predicted segment fits in <= 2 device
+  // blocks, so a Get costs exactly one pread of bounded size.
+  ScratchDir dir("segio");
+  SimEnvOptions sim_options;
+  sim_options.read_base_latency_ns = 0;  // keep the test fast
+  SimEnv sim(Env::Default(), sim_options);
+  TableOptions options = MakeOptions(IndexType::kPGM, 8);
+  options.env = &sim;
+  const std::string fname = dir.file("t.lst");
+  std::vector<Key> keys = RandomGapKeys(20000, 12);
+  ASSERT_LILSM_OK(BuildTable(options, fname, keys));
+  std::unique_ptr<TableReader> reader;
+  ASSERT_LILSM_OK(OpenTable(options, fname, &reader));
+
+  sim.io_stats()->Reset();
+  std::string value;
+  uint64_t tag;
+  bool found;
+  const uint64_t lookups = 200;
+  Random rnd(3);
+  for (uint64_t i = 0; i < lookups; i++) {
+    const Key key = keys[rnd.Uniform(keys.size())];
+    ASSERT_LILSM_OK(reader->Get(key, &value, &tag, &found));
+    ASSERT_TRUE(found);
+  }
+  EXPECT_EQ(sim.io_stats()->random_reads.load(), lookups);
+  // boundary 8 * 96-byte entries < 1 block; alignment can touch 2.
+  EXPECT_LE(sim.io_stats()->blocks_read.load(), 2 * lookups);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,94 @@
+// SimEnv: I/O counters and calibrated latency injection.
+#include "util/sim_env.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::ScratchDir;
+
+TEST(SimEnvTest, CountsReadsAndBlocks) {
+  ScratchDir dir("simenv");
+  SimEnvOptions options;
+  options.read_base_latency_ns = 0;
+  options.read_per_byte_ns = 0;
+  SimEnv sim(Env::Default(), options);
+
+  const std::string fname = dir.file("f");
+  ASSERT_LILSM_OK(
+      WriteStringToFile(&sim, std::string(64 << 10, 'd'), fname));
+  EXPECT_GT(sim.io_stats()->writes.load(), 0u);
+  EXPECT_GE(sim.io_stats()->write_bytes.load(), uint64_t{64} << 10);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(sim.NewRandomAccessFile(fname, &file));
+  std::string scratch(8192, '\0');
+  Slice result;
+  sim.io_stats()->Reset();
+
+  // 100 bytes at offset 0: one block.
+  ASSERT_LILSM_OK(file->Read(0, 100, &result, scratch.data()));
+  EXPECT_EQ(sim.io_stats()->random_reads.load(), 1u);
+  EXPECT_EQ(sim.io_stats()->blocks_read.load(), 1u);
+
+  // 100 bytes straddling a block boundary: two blocks.
+  ASSERT_LILSM_OK(file->Read(4090, 100, &result, scratch.data()));
+  EXPECT_EQ(sim.io_stats()->blocks_read.load(), 3u);
+
+  // 8 KiB aligned: exactly two blocks.
+  ASSERT_LILSM_OK(file->Read(8192, 8192, &result, scratch.data()));
+  EXPECT_EQ(sim.io_stats()->blocks_read.load(), 5u);
+  EXPECT_EQ(sim.io_stats()->random_read_bytes.load(), 100u + 100u + 8192u);
+}
+
+TEST(SimEnvTest, InjectsConfiguredLatency) {
+  ScratchDir dir("simenv");
+  SimEnvOptions options;
+  options.read_base_latency_ns = 50000;  // 50us: far above pread cost
+  options.read_per_byte_ns = 0;
+  SimEnv sim(Env::Default(), options);
+
+  const std::string fname = dir.file("f");
+  ASSERT_LILSM_OK(WriteStringToFile(&sim, std::string(4096, 'd'), fname));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(sim.NewRandomAccessFile(fname, &file));
+
+  char scratch[256];
+  Slice result;
+  const uint64_t start = sim.NowNanos();
+  const int reads = 20;
+  for (int i = 0; i < reads; i++) {
+    ASSERT_LILSM_OK(file->Read(0, 100, &result, scratch));
+  }
+  const uint64_t elapsed = sim.NowNanos() - start;
+  EXPECT_GE(elapsed, uint64_t{reads} * 50000);
+  EXPECT_GE(sim.io_stats()->simulated_wait_ns.load(),
+            uint64_t{reads} * 50000);
+}
+
+TEST(SimEnvTest, PassesThroughFileOps) {
+  ScratchDir dir("simenv");
+  SimEnv sim(Env::Default());
+  ASSERT_LILSM_OK(WriteStringToFile(&sim, "abc", dir.file("f")));
+  EXPECT_TRUE(sim.FileExists(dir.file("f")));
+  uint64_t size = 0;
+  ASSERT_LILSM_OK(sim.GetFileSize(dir.file("f"), &size));
+  EXPECT_EQ(size, 3u);
+  ASSERT_LILSM_OK(sim.RenameFile(dir.file("f"), dir.file("g")));
+  EXPECT_FALSE(sim.FileExists(dir.file("f")));
+  ASSERT_LILSM_OK(sim.RemoveFile(dir.file("g")));
+}
+
+TEST(SimEnvTest, DefaultCalibrationMatchesPaperTable1) {
+  // ~2.1 us per 4 KiB read (paper Table 1's Disk I/O row).
+  SimEnvOptions options;
+  const double per_4k =
+      options.read_base_latency_ns + options.read_per_byte_ns * 4096;
+  EXPECT_NEAR(per_4k, 2100.0, 300.0);
+}
+
+}  // namespace
+}  // namespace lilsm

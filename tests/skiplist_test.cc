@@ -1,0 +1,90 @@
+// SkipList: ordering, lookup, and iteration against std::set.
+#include "lsm/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace lilsm {
+namespace {
+
+struct U64Cmp {
+  int operator()(uint64_t a, uint64_t b) const {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+};
+
+using List = SkipList<uint64_t, U64Cmp>;
+
+TEST(SkipListTest, EmptyList) {
+  Arena arena;
+  List list(U64Cmp(), &arena);
+  EXPECT_FALSE(list.Contains(10));
+  List::Iterator iter(&list);
+  iter.SeekToFirst();
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, InsertAndContains) {
+  Arena arena;
+  List list(U64Cmp(), &arena);
+  std::set<uint64_t> model;
+  Random rnd(1);
+  for (int i = 0; i < 5000; i++) {
+    const uint64_t key = rnd.Uniform(10000);
+    if (model.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+  for (uint64_t key = 0; key < 10000; key++) {
+    ASSERT_EQ(list.Contains(key), model.count(key) > 0) << key;
+  }
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  Arena arena;
+  List list(U64Cmp(), &arena);
+  std::set<uint64_t> model;
+  Random rnd(2);
+  for (int i = 0; i < 3000; i++) {
+    const uint64_t key = rnd.Next();
+    if (model.insert(key).second) list.Insert(key);
+  }
+  List::Iterator iter(&list);
+  auto it = model.begin();
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next(), ++it) {
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(iter.key(), *it);
+  }
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  Arena arena;
+  List list(U64Cmp(), &arena);
+  std::set<uint64_t> model;
+  Random rnd(3);
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t key = rnd.Uniform(100000);
+    if (model.insert(key).second) list.Insert(key);
+  }
+  List::Iterator iter(&list);
+  for (int trial = 0; trial < 1000; trial++) {
+    const uint64_t target = rnd.Uniform(110000);
+    iter.Seek(target);
+    auto expected = model.lower_bound(target);
+    if (expected == model.end()) {
+      EXPECT_FALSE(iter.Valid());
+    } else {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(iter.key(), *expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,72 @@
+// Slice view semantics and Status construction/classification.
+#include "util/slice.h"
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lilsm {
+namespace {
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[0], 'h');
+  EXPECT_EQ(s.ToString(), "hello");
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  s.remove_prefix(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+  EXPECT_TRUE(Slice("ab") < Slice("b"));
+}
+
+TEST(SliceTest, EqualityAndStartsWith) {
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+TEST(SliceTest, EmbeddedNulBytes) {
+  std::string data("a\0b", 3);
+  Slice s(data);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ToString(), data);
+}
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesClassifyCorrectly) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::NotFound("x").IsCorruption());
+}
+
+TEST(StatusTest, MessagesConcatenate) {
+  Status s = Status::Corruption("table", "bad footer");
+  EXPECT_EQ(s.ToString(), "Corruption: table: bad footer");
+}
+
+}  // namespace
+}  // namespace lilsm

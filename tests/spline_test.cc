@@ -1,0 +1,99 @@
+// Spline corridor: interpolation error bound and structure invariants.
+#include "index/spline.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/dataset.h"
+
+namespace lilsm {
+namespace {
+
+struct SplineCase {
+  Dataset dataset;
+  uint32_t epsilon;
+};
+
+class SplinePropertyTest : public ::testing::TestWithParam<SplineCase> {};
+
+TEST_P(SplinePropertyTest, InterpolationWithinEpsilon) {
+  const SplineCase& c = GetParam();
+  std::vector<Key> keys = GenerateKeys(c.dataset, 15000, 3);
+  auto points = BuildSplineCorridor(keys.data(), keys.size(), c.epsilon);
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_EQ(points.front().x, keys.front());
+  EXPECT_EQ(points.back().x, keys.back());
+
+  for (size_t i = 0; i < keys.size(); i++) {
+    const size_t seg = FindSplineSegment(points, keys[i]);
+    const double predicted = InterpolateSpline(points, seg, keys[i]);
+    ASSERT_NEAR(predicted, static_cast<double>(i), c.epsilon + 1e-6)
+        << "key index " << i;
+  }
+}
+
+TEST_P(SplinePropertyTest, PointsAreStrictlyIncreasing) {
+  const SplineCase& c = GetParam();
+  std::vector<Key> keys = GenerateKeys(c.dataset, 15000, 3);
+  auto points = BuildSplineCorridor(keys.data(), keys.size(), c.epsilon);
+  for (size_t i = 1; i < points.size(); i++) {
+    ASSERT_GT(points[i].x, points[i - 1].x);
+    ASSERT_GT(points[i].y, points[i - 1].y);
+  }
+}
+
+TEST_P(SplinePropertyTest, LargerEpsilonFewerPoints) {
+  const SplineCase& c = GetParam();
+  std::vector<Key> keys = GenerateKeys(c.dataset, 15000, 3);
+  auto tight = BuildSplineCorridor(keys.data(), keys.size(), c.epsilon);
+  auto loose = BuildSplineCorridor(keys.data(), keys.size(), c.epsilon * 8);
+  EXPECT_LE(loose.size(), tight.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplinePropertyTest,
+    ::testing::Values(SplineCase{Dataset::kRandom, 4},
+                      SplineCase{Dataset::kRandom, 64},
+                      SplineCase{Dataset::kBooks, 8},
+                      SplineCase{Dataset::kFb, 16},
+                      SplineCase{Dataset::kWiki, 8},
+                      SplineCase{Dataset::kLonglat, 32}),
+    [](const ::testing::TestParamInfo<SplineCase>& info) {
+      return std::string(DatasetName(info.param.dataset)) + "_eps" +
+             std::to_string(info.param.epsilon);
+    });
+
+TEST(SplineEdgeTest, TinyInputs) {
+  std::vector<Key> one = {5};
+  EXPECT_EQ(BuildSplineCorridor(one.data(), 1, 4).size(), 1u);
+  std::vector<Key> two = {5, 9};
+  auto points = BuildSplineCorridor(two.data(), 2, 4);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].x, 5u);
+  EXPECT_EQ(points[1].x, 9u);
+}
+
+TEST(SplineEdgeTest, SerializationRoundTrip) {
+  std::vector<Key> keys = testing_util::RandomGapKeys(3000, 17);
+  auto points = BuildSplineCorridor(keys.data(), keys.size(), 16);
+  std::string blob;
+  EncodeSplinePoints(points, &blob);
+  Slice input(blob);
+  std::vector<SplinePoint> decoded;
+  ASSERT_LILSM_OK(DecodeSplinePoints(&input, &decoded));
+  ASSERT_EQ(decoded.size(), points.size());
+  for (size_t i = 0; i < points.size(); i++) {
+    EXPECT_EQ(decoded[i].x, points[i].x);
+    EXPECT_EQ(decoded[i].y, points[i].y);
+  }
+}
+
+TEST(SplineEdgeTest, LinearDataCollapsesToTwoPoints) {
+  std::vector<Key> keys;
+  for (Key k = 0; k < 5000; k++) keys.push_back(k * 3);
+  auto points = BuildSplineCorridor(keys.data(), keys.size(), 2);
+  EXPECT_EQ(points.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lilsm

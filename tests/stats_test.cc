@@ -1,0 +1,82 @@
+// Stats timers/counters and per-level read accounting.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace lilsm {
+namespace {
+
+TEST(StatsTest, CountersAccumulate) {
+  Stats stats;
+  stats.Add(Counter::kPointLookups);
+  stats.Add(Counter::kPointLookups, 9);
+  EXPECT_EQ(stats.Count(Counter::kPointLookups), 10u);
+  EXPECT_EQ(stats.Count(Counter::kRangeLookups), 0u);
+}
+
+TEST(StatsTest, TimersTrackTotalsAndMeans) {
+  Stats stats;
+  stats.AddTime(Timer::kDiskRead, 1000);
+  stats.AddTime(Timer::kDiskRead, 3000);
+  EXPECT_EQ(stats.TimeNanos(Timer::kDiskRead), 4000u);
+  EXPECT_EQ(stats.TimerCount(Timer::kDiskRead), 2u);
+  EXPECT_DOUBLE_EQ(stats.MeanMicros(Timer::kDiskRead), 2.0);
+}
+
+TEST(StatsTest, ScopedTimerRecordsElapsed) {
+  Stats stats;
+  Env* env = Env::Default();
+  {
+    ScopedTimer timer(&stats, Timer::kBloomCheck, env);
+    volatile int x = 0;
+    for (int i = 0; i < 10000; i++) x = x + i;
+  }
+  EXPECT_EQ(stats.TimerCount(Timer::kBloomCheck), 1u);
+  EXPECT_GT(stats.TimeNanos(Timer::kBloomCheck), 0u);
+}
+
+TEST(StatsTest, NullTargetIsNoOp) {
+  Env* env = Env::Default();
+  ScopedTimer timer(nullptr, Timer::kBloomCheck, env);  // must not crash
+}
+
+TEST(StatsTest, LevelReadsAttributeByLevel) {
+  Stats stats;
+  stats.AddLevelRead(0, 100);
+  stats.AddLevelRead(2, 300);
+  stats.AddLevelRead(2, 200);
+  EXPECT_EQ(stats.LevelReadNanos(0), 100u);
+  EXPECT_EQ(stats.LevelReads(2), 2u);
+  EXPECT_EQ(stats.LevelReadNanos(2), 500u);
+  stats.AddLevelRead(99, 5);  // out of range: ignored, no crash
+}
+
+TEST(StatsTest, ResetClearsEverything) {
+  Stats stats;
+  stats.Add(Counter::kWrites, 5);
+  stats.AddTime(Timer::kDiskRead, 100);
+  stats.AddLevelRead(1, 10);
+  stats.Reset();
+  EXPECT_EQ(stats.Count(Counter::kWrites), 0u);
+  EXPECT_EQ(stats.TimeNanos(Timer::kDiskRead), 0u);
+  EXPECT_EQ(stats.LevelReads(1), 0u);
+}
+
+TEST(StatsTest, NamesAreStable) {
+  EXPECT_STREQ(TimerName(Timer::kDiskRead), "disk_read");
+  EXPECT_STREQ(TimerName(Timer::kCompactTrain), "compact_train");
+  EXPECT_STREQ(CounterName(Counter::kBloomNegatives), "bloom_negatives");
+}
+
+TEST(StatsTest, ToStringListsActiveEntries) {
+  Stats stats;
+  stats.Add(Counter::kFlushes, 3);
+  stats.AddTime(Timer::kCompactTotal, 5000);
+  const std::string out = stats.ToString();
+  EXPECT_NE(out.find("flushes"), std::string::npos);
+  EXPECT_NE(out.find("compact_total"), std::string::npos);
+  EXPECT_EQ(out.find("disk_read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,120 @@
+// Testbed integration: load, point/range/YCSB/write runs, reconfiguration.
+#include "core/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::ScratchDir;
+
+Testbed::Options SmallBedOptions(const std::string& dir) {
+  Testbed::Options options;
+  options.dir = dir;
+  options.defaults.num_keys = 20000;
+  options.defaults.num_ops = 500;
+  options.defaults.value_size = 64;
+  options.defaults.write_buffer_size = 256 << 10;
+  options.defaults.sstable_target_size = 128 << 10;
+  options.setup.type = IndexType::kPGM;
+  options.setup.position_boundary = 64;
+  options.sim.read_base_latency_ns = 0;  // keep tests fast
+  options.sim.read_per_byte_ns = 0;
+  return options;
+}
+
+TEST(TestbedTest, LoadsAndAnswersPointLookups) {
+  ScratchDir dir("bed");
+  std::unique_ptr<Testbed> bed;
+  ASSERT_LILSM_OK(Testbed::Create(SmallBedOptions(dir.file("db")), &bed));
+  EXPECT_EQ(bed->keys().size(), 20000u);
+
+  RunMetrics metrics;
+  ASSERT_LILSM_OK(bed->RunPointLookups(500, /*zipfian=*/false, &metrics));
+  EXPECT_EQ(metrics.latency_ns.Count(), 500u);
+  EXPECT_GT(metrics.index_memory, 0u);
+  EXPECT_GT(metrics.io_reads, 0u);
+  EXPECT_EQ(metrics.stats.Count(Counter::kPointLookups), 500u);
+}
+
+TEST(TestbedTest, ReconfigureSweepsTypesWithoutReload) {
+  ScratchDir dir("bed");
+  std::unique_ptr<Testbed> bed;
+  ASSERT_LILSM_OK(Testbed::Create(SmallBedOptions(dir.file("db")), &bed));
+  size_t previous_memory = 0;
+  for (IndexType type : kAllIndexTypes) {
+    IndexSetup setup;
+    setup.type = type;
+    setup.position_boundary = 32;
+    ASSERT_LILSM_OK(bed->Reconfigure(setup));
+    RunMetrics metrics;
+    ASSERT_LILSM_OK(bed->RunPointLookups(200, false, &metrics));
+    EXPECT_EQ(metrics.latency_ns.Count(), 200u);
+    EXPECT_GT(metrics.index_memory, 0u);
+    previous_memory = metrics.index_memory;
+  }
+  (void)previous_memory;
+}
+
+TEST(TestbedTest, RangeLookupsReturnMetrics) {
+  ScratchDir dir("bed");
+  std::unique_ptr<Testbed> bed;
+  ASSERT_LILSM_OK(Testbed::Create(SmallBedOptions(dir.file("db")), &bed));
+  RunMetrics metrics;
+  ASSERT_LILSM_OK(bed->RunRangeLookups(100, /*range_len=*/32, &metrics));
+  EXPECT_EQ(metrics.latency_ns.Count(), 100u);
+  EXPECT_EQ(metrics.stats.Count(Counter::kRangeLookups), 100u);
+}
+
+TEST(TestbedTest, WriteOnlyRecordsCompactionBreakdown) {
+  ScratchDir dir("bed");
+  std::unique_ptr<Testbed> bed;
+  ASSERT_LILSM_OK(Testbed::Create(SmallBedOptions(dir.file("db")), &bed));
+  RunMetrics metrics;
+  ASSERT_LILSM_OK(bed->RunWriteOnly(20000, &metrics));
+  EXPECT_GT(metrics.stats.TimeNanos(Timer::kCompactTotal), 0u);
+  EXPECT_GT(metrics.stats.TimeNanos(Timer::kCompactTrain), 0u);
+  EXPECT_GT(metrics.stats.TimeNanos(Timer::kCompactWriteModel), 0u);
+  // Training is a small share of total compaction (Observation 4).
+  EXPECT_LT(metrics.stats.TimeNanos(Timer::kCompactTrain),
+            metrics.stats.TimeNanos(Timer::kCompactTotal));
+}
+
+TEST(TestbedTest, YcsbMixesRun) {
+  ScratchDir dir("bed");
+  std::unique_ptr<Testbed> bed;
+  ASSERT_LILSM_OK(Testbed::Create(SmallBedOptions(dir.file("db")), &bed));
+  for (YcsbWorkload w : kAllYcsbWorkloads) {
+    RunMetrics metrics;
+    ASSERT_LILSM_OK(bed->RunYcsb(w, 300, &metrics));
+    EXPECT_EQ(metrics.latency_ns.Count(), 300u) << YcsbWorkloadName(w);
+  }
+}
+
+TEST(TestbedTest, LevelGranularityRuns) {
+  ScratchDir dir("bed");
+  Testbed::Options options = SmallBedOptions(dir.file("db"));
+  options.setup.granularity = IndexGranularity::kLevel;
+  std::unique_ptr<Testbed> bed;
+  ASSERT_LILSM_OK(Testbed::Create(options, &bed));
+  RunMetrics metrics;
+  ASSERT_LILSM_OK(bed->RunPointLookups(300, false, &metrics));
+  EXPECT_EQ(metrics.latency_ns.Count(), 300u);
+}
+
+TEST(TestbedTest, AbsentKeysAreAbsent) {
+  ScratchDir dir("bed");
+  std::unique_ptr<Testbed> bed;
+  ASSERT_LILSM_OK(Testbed::Create(SmallBedOptions(dir.file("db")), &bed));
+  std::string value;
+  int absent = 0;
+  for (uint64_t i = 0; i < 100; i++) {
+    if (bed->db()->Get(bed->AbsentKey(i), &value).IsNotFound()) absent++;
+  }
+  EXPECT_EQ(absent, 100);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,89 @@
+// TuningAdvisor: recommendations respect the budget and the guidelines.
+#include "core/tuning_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/dataset.h"
+
+namespace lilsm {
+namespace {
+
+TuningRequest BaseRequest() {
+  TuningRequest request;
+  request.sample_keys = GenerateKeys(Dataset::kRandom, 50000, 3);
+  request.total_keys = 1000000;
+  request.index_memory_budget = 4 << 20;
+  return request;
+}
+
+TEST(TuningAdvisorTest, RecommendationFitsBudget) {
+  TuningRequest request = BaseRequest();
+  TuningRecommendation rec;
+  ASSERT_LILSM_OK(TuningAdvisor::Recommend(request, &rec));
+  EXPECT_LE(rec.estimated_index_memory, request.index_memory_budget);
+  EXPECT_FALSE(rec.rationale.empty());
+  EXPECT_GT(rec.sstable_target_size, 0u);
+}
+
+TEST(TuningAdvisorTest, DiminishingReturnsBoundaryIsBlockEntries) {
+  TuningRequest request = BaseRequest();
+  request.key_size = 24;
+  request.value_size = 1000;
+  request.io_block_size = 4096;
+  TuningRecommendation rec;
+  ASSERT_LILSM_OK(TuningAdvisor::Recommend(request, &rec));
+  // entry = 24 + 8 + 1000 = 1032 bytes; 4096/1032 = 3 entries per block.
+  EXPECT_EQ(rec.diminishing_returns_boundary, 3u);
+  EXPECT_GE(rec.setup.position_boundary, 3u);
+}
+
+TEST(TuningAdvisorTest, TighterBudgetMeansCoarserBoundary) {
+  TuningRequest rich = BaseRequest();
+  rich.index_memory_budget = 64 << 20;
+  TuningRequest poor = BaseRequest();
+  poor.index_memory_budget = 64 << 10;
+  TuningRecommendation rich_rec, poor_rec;
+  ASSERT_LILSM_OK(TuningAdvisor::Recommend(rich, &rich_rec));
+  ASSERT_LILSM_OK(TuningAdvisor::Recommend(poor, &poor_rec));
+  EXPECT_LE(rich_rec.setup.position_boundary,
+            poor_rec.setup.position_boundary);
+}
+
+TEST(TuningAdvisorTest, ReadOnlyWorkloadGetsLevelGranularity) {
+  TuningRequest request = BaseRequest();
+  request.workload.write_fraction = 0.0;
+  request.workload.point_lookup_fraction = 1.0;
+  TuningRecommendation rec;
+  ASSERT_LILSM_OK(TuningAdvisor::Recommend(request, &rec));
+  EXPECT_EQ(rec.setup.granularity, IndexGranularity::kLevel);
+  EXPECT_GE(rec.sstable_target_size, uint64_t{128} << 20);
+}
+
+TEST(TuningAdvisorTest, WriteHeavyWorkloadKeepsSmallerSstables) {
+  TuningRequest request = BaseRequest();
+  request.workload.write_fraction = 0.7;
+  TuningRecommendation rec;
+  ASSERT_LILSM_OK(TuningAdvisor::Recommend(request, &rec));
+  EXPECT_LE(rec.sstable_target_size, uint64_t{16} << 20);
+  EXPECT_EQ(rec.setup.granularity, IndexGranularity::kFile);
+}
+
+TEST(TuningAdvisorTest, NeedsASample) {
+  TuningRequest request;
+  TuningRecommendation rec;
+  EXPECT_TRUE(TuningAdvisor::Recommend(request, &rec).IsInvalidArgument());
+}
+
+TEST(TuningAdvisorTest, MemoryEstimateScalesWithTotalKeys) {
+  std::vector<Key> sample = GenerateKeys(Dataset::kRandom, 20000, 5);
+  const size_t small = TuningAdvisor::EstimateIndexMemory(
+      IndexType::kPGM, 64, sample, 100000, 24);
+  const size_t large = TuningAdvisor::EstimateIndexMemory(
+      IndexType::kPGM, 64, sample, 1000000, 24);
+  EXPECT_GT(small, 0u);
+  EXPECT_NEAR(static_cast<double>(large) / small, 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace lilsm

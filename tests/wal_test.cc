@@ -1,0 +1,115 @@
+// WAL record framing: round trips, torn tails, corrupt payloads.
+#include "lsm/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::ScratchDir;
+
+Status OpenWriter(const std::string& fname, std::unique_ptr<LogWriter>* w) {
+  std::unique_ptr<WritableFile> file;
+  Status s = Env::Default()->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  *w = std::make_unique<LogWriter>(std::move(file));
+  return Status::OK();
+}
+
+Status OpenReader(const std::string& fname, std::unique_ptr<LogReader>* r) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = Env::Default()->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  *r = std::make_unique<LogReader>(std::move(file));
+  return Status::OK();
+}
+
+TEST(WalTest, RecordsRoundTrip) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  std::vector<std::string> records = {"", "a", std::string(100000, 'z')};
+  Random rnd(5);
+  for (int i = 0; i < 200; i++) {
+    records.push_back(std::string(rnd.Uniform(500), static_cast<char>(i)));
+  }
+  {
+    std::unique_ptr<LogWriter> writer;
+    ASSERT_LILSM_OK(OpenWriter(fname, &writer));
+    for (const std::string& record : records) {
+      ASSERT_LILSM_OK(writer->AddRecord(record));
+    }
+    ASSERT_LILSM_OK(writer->Close());
+  }
+  std::unique_ptr<LogReader> reader;
+  ASSERT_LILSM_OK(OpenReader(fname, &reader));
+  std::string record;
+  for (const std::string& expected : records) {
+    ASSERT_TRUE(reader->ReadRecord(&record));
+    ASSERT_EQ(record, expected);
+  }
+  EXPECT_FALSE(reader->ReadRecord(&record));
+  EXPECT_FALSE(reader->hit_corruption());
+}
+
+TEST(WalTest, TornTailStopsReplay) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  {
+    std::unique_ptr<LogWriter> writer;
+    ASSERT_LILSM_OK(OpenWriter(fname, &writer));
+    ASSERT_LILSM_OK(writer->AddRecord("first"));
+    ASSERT_LILSM_OK(writer->AddRecord("second-record-payload"));
+    ASSERT_LILSM_OK(writer->Close());
+  }
+  std::string contents;
+  ASSERT_LILSM_OK(ReadFileToString(Env::Default(), fname, &contents));
+  contents.resize(contents.size() - 4);  // tear the last payload
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), contents, fname));
+
+  std::unique_ptr<LogReader> reader;
+  ASSERT_LILSM_OK(OpenReader(fname, &reader));
+  std::string record;
+  ASSERT_TRUE(reader->ReadRecord(&record));
+  EXPECT_EQ(record, "first");
+  EXPECT_FALSE(reader->ReadRecord(&record));
+  EXPECT_TRUE(reader->hit_corruption());
+}
+
+TEST(WalTest, CorruptPayloadDetectedByCrc) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  {
+    std::unique_ptr<LogWriter> writer;
+    ASSERT_LILSM_OK(OpenWriter(fname, &writer));
+    ASSERT_LILSM_OK(writer->AddRecord("good-record"));
+    ASSERT_LILSM_OK(writer->Close());
+  }
+  std::string contents;
+  ASSERT_LILSM_OK(ReadFileToString(Env::Default(), fname, &contents));
+  contents[contents.size() - 2] =
+      static_cast<char>(contents[contents.size() - 2] ^ 0x40);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), contents, fname));
+
+  std::unique_ptr<LogReader> reader;
+  ASSERT_LILSM_OK(OpenReader(fname, &reader));
+  std::string record;
+  EXPECT_FALSE(reader->ReadRecord(&record));
+  EXPECT_TRUE(reader->hit_corruption());
+}
+
+TEST(WalTest, EmptyFileIsCleanEof) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), Slice(), fname));
+  std::unique_ptr<LogReader> reader;
+  ASSERT_LILSM_OK(OpenReader(fname, &reader));
+  std::string record;
+  EXPECT_FALSE(reader->ReadRecord(&record));
+  EXPECT_FALSE(reader->hit_corruption());
+}
+
+}  // namespace
+}  // namespace lilsm

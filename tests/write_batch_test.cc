@@ -1,0 +1,103 @@
+// WriteBatch: counts, sequence plumbing, contents round-trip, replay.
+#include "lsm/write_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/memtable.h"
+#include "tests/test_util.h"
+
+namespace lilsm {
+namespace {
+
+TEST(WriteBatchTest, EmptyBatch) {
+  WriteBatch batch;
+  EXPECT_EQ(batch.Count(), 0u);
+}
+
+TEST(WriteBatchTest, CountTracksOperations) {
+  WriteBatch batch;
+  batch.Put(1, "a");
+  batch.Put(2, "b");
+  batch.Delete(1);
+  EXPECT_EQ(batch.Count(), 3u);
+  batch.Clear();
+  EXPECT_EQ(batch.Count(), 0u);
+}
+
+TEST(WriteBatchTest, InsertIntoAppliesSequences) {
+  WriteBatch batch;
+  batch.Put(10, "first");
+  batch.Delete(10);
+  batch.Put(10, "second");
+  MemTable mem;
+  ASSERT_LILSM_OK(batch.InsertInto(&mem, 100));
+  std::string value;
+  ValueType type;
+  // Sequence 102 (the final put) must win.
+  ASSERT_TRUE(mem.Get(10, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(type, kTypeValue);
+  EXPECT_EQ(value, "second");
+  // At snapshot 101 the tombstone wins.
+  ASSERT_TRUE(mem.Get(10, 101, &value, &type));
+  EXPECT_EQ(type, kTypeDeletion);
+  // At snapshot 100 the first put wins.
+  ASSERT_TRUE(mem.Get(10, 100, &value, &type));
+  EXPECT_EQ(value, "first");
+}
+
+TEST(WriteBatchTest, SequenceAccessors) {
+  WriteBatch batch;
+  batch.Put(1, "x");
+  WriteBatch::SetSequence(&batch, 777);
+  EXPECT_EQ(WriteBatch::Sequence(batch), 777u);
+}
+
+TEST(WriteBatchTest, ContentsRoundTrip) {
+  WriteBatch batch;
+  batch.Put(5, "five");
+  batch.Delete(6);
+  WriteBatch::SetSequence(&batch, 9);
+
+  WriteBatch restored;
+  ASSERT_LILSM_OK(WriteBatch::SetContents(&restored, batch.Contents()));
+  EXPECT_EQ(restored.Count(), 2u);
+  EXPECT_EQ(WriteBatch::Sequence(restored), 9u);
+
+  MemTable mem;
+  ASSERT_LILSM_OK(restored.InsertInto(&mem, 9));
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(mem.Get(5, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(value, "five");
+  ASSERT_TRUE(mem.Get(6, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(type, kTypeDeletion);
+}
+
+TEST(WriteBatchTest, MalformedContentsRejected) {
+  WriteBatch batch;
+  EXPECT_TRUE(WriteBatch::SetContents(&batch, Slice("tiny")).IsCorruption());
+
+  // Claimed count exceeds actual records.
+  WriteBatch source;
+  source.Put(1, "x");
+  std::string contents = source.Contents().ToString();
+  contents[8] = 5;  // count = 5, but only one record follows
+  ASSERT_LILSM_OK(WriteBatch::SetContents(&batch, contents));
+  MemTable mem;
+  EXPECT_TRUE(batch.InsertInto(&mem, 1).IsCorruption());
+}
+
+TEST(WriteBatchTest, LargeValuesSurvive) {
+  WriteBatch batch;
+  const std::string big(1 << 20, 'B');
+  batch.Put(3, big);
+  MemTable mem;
+  ASSERT_LILSM_OK(batch.InsertInto(&mem, 1));
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(mem.Get(3, kMaxSequenceNumber, &value, &type));
+  EXPECT_EQ(value, big);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,150 @@
+// Zipf generator skew and YCSB mix proportions.
+#include "workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/zipf.h"
+
+namespace lilsm {
+namespace {
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  ZipfGenerator zipf(10000, 0.99, 7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[zipf.NextRank()]++;
+  int max_count = 0;
+  uint64_t max_rank = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 0u);
+  // Head heaviness: top rank alone takes >5% under theta=0.99.
+  EXPECT_GT(max_count, 5000);
+}
+
+TEST(ZipfTest, RanksStayInRange) {
+  ZipfGenerator zipf(1000, 0.99, 9);
+  for (int i = 0; i < 50000; i++) {
+    ASSERT_LT(zipf.NextRank(), 1000u);
+    ASSERT_LT(zipf.NextScrambled(), 1000u);
+  }
+}
+
+TEST(ZipfTest, ScramblingSpreadsHotKeys) {
+  ZipfGenerator zipf(100000, 0.99, 11);
+  // The scrambled hot item should not be item 0.
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; i++) counts[zipf.NextScrambled()]++;
+  uint64_t hottest = 0;
+  int max_count = 0;
+  for (const auto& [item, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      hottest = item;
+    }
+  }
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(LatestTest, FavorsNewestIndexes) {
+  LatestGenerator latest(10000, 13);
+  uint64_t sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) sum += latest.Next();
+  // Mean far above the uniform midpoint of 5000.
+  EXPECT_GT(sum / n, 8000u);
+}
+
+class YcsbMixTest : public ::testing::TestWithParam<YcsbWorkload> {};
+
+TEST_P(YcsbMixTest, ProportionsMatchSpec) {
+  YcsbGenerator gen(GetParam(), 100000, 17);
+  std::map<YcsbOp::Type, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) counts[gen.Next().type]++;
+
+  auto frac = [&](YcsbOp::Type t) {
+    return static_cast<double>(counts[t]) / n;
+  };
+  switch (GetParam()) {
+    case YcsbWorkload::kA:
+      EXPECT_NEAR(frac(YcsbOp::Type::kRead), 0.5, 0.02);
+      EXPECT_NEAR(frac(YcsbOp::Type::kUpdate), 0.5, 0.02);
+      break;
+    case YcsbWorkload::kB:
+      EXPECT_NEAR(frac(YcsbOp::Type::kRead), 0.95, 0.01);
+      EXPECT_NEAR(frac(YcsbOp::Type::kUpdate), 0.05, 0.01);
+      break;
+    case YcsbWorkload::kC:
+      EXPECT_EQ(counts[YcsbOp::Type::kRead], n);
+      break;
+    case YcsbWorkload::kD:
+      EXPECT_NEAR(frac(YcsbOp::Type::kRead), 0.95, 0.01);
+      EXPECT_NEAR(frac(YcsbOp::Type::kInsert), 0.05, 0.01);
+      break;
+    case YcsbWorkload::kE:
+      EXPECT_NEAR(frac(YcsbOp::Type::kScan), 0.95, 0.01);
+      EXPECT_NEAR(frac(YcsbOp::Type::kInsert), 0.05, 0.01);
+      break;
+    case YcsbWorkload::kF:
+      EXPECT_NEAR(frac(YcsbOp::Type::kRead), 0.5, 0.02);
+      EXPECT_NEAR(frac(YcsbOp::Type::kReadModifyWrite), 0.5, 0.02);
+      break;
+  }
+}
+
+TEST_P(YcsbMixTest, ScanLengthsBounded) {
+  YcsbGenerator gen(GetParam(), 1000, 19);
+  for (int i = 0; i < 20000; i++) {
+    const YcsbOp op = gen.Next();
+    if (op.type == YcsbOp::Type::kScan) {
+      ASSERT_GE(op.scan_length, 1u);
+      ASSERT_LE(op.scan_length, 100u);
+    }
+  }
+}
+
+TEST_P(YcsbMixTest, InsertsExtendKeyIndexSpace) {
+  YcsbGenerator gen(GetParam(), 1000, 21);
+  const uint64_t before = gen.num_keys();
+  uint64_t inserts = 0;
+  for (int i = 0; i < 10000; i++) {
+    const YcsbOp op = gen.Next();
+    if (op.type == YcsbOp::Type::kInsert) {
+      ASSERT_GE(op.key_index, before);
+      inserts++;
+    } else if (op.type != YcsbOp::Type::kScan) {
+      ASSERT_LT(op.key_index, gen.num_keys());
+    }
+  }
+  if (GetParam() == YcsbWorkload::kD || GetParam() == YcsbWorkload::kE) {
+    EXPECT_GT(inserts, 0u);
+    EXPECT_EQ(gen.num_keys(), before + inserts);
+  } else {
+    EXPECT_EQ(inserts, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, YcsbMixTest, ::testing::ValuesIn(kAllYcsbWorkloads),
+    [](const ::testing::TestParamInfo<YcsbWorkload>& info) {
+      return std::string("W") + YcsbWorkloadName(info.param);
+    });
+
+TEST(YcsbParseTest, Names) {
+  YcsbWorkload w;
+  ASSERT_TRUE(ParseYcsbWorkload("a", &w));
+  EXPECT_EQ(w, YcsbWorkload::kA);
+  ASSERT_TRUE(ParseYcsbWorkload("F", &w));
+  EXPECT_EQ(w, YcsbWorkload::kF);
+  EXPECT_FALSE(ParseYcsbWorkload("G", &w));
+  EXPECT_FALSE(ParseYcsbWorkload("", &w));
+}
+
+}  // namespace
+}  // namespace lilsm
