@@ -5,8 +5,11 @@
 #ifndef LILSM_BENCH_BENCH_COMMON_H_
 #define LILSM_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -25,6 +28,95 @@ inline ExperimentDefaults BenchDefaults() {
     d.sstable_target_size = 1 << 20;
   }
   d.write_buffer_size = 1 << 20;
+  return d;
+}
+
+/// Parses "--flag N" / "--flag=N"; returns true and advances *i on match.
+/// A matched flag with a missing, non-numeric, negative, or overflowing
+/// value is a hard error (exit 2) — strtoull alone would silently wrap
+/// "-1" to 2^64-1 and clamp overflow to ULLONG_MAX.
+inline bool ParseSizeFlag(int argc, char** argv, int* i, const char* flag,
+                          size_t* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  const char* value = nullptr;
+  if (arg[flag_len] == '=') {
+    value = arg + flag_len + 1;
+  } else if (arg[flag_len] == '\0') {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(2);
+    }
+    value = argv[++*i];
+  } else {
+    return false;  // a different flag sharing this prefix, e.g. --no-x
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  // Require a leading digit: strtoull itself skips whitespace and accepts
+  // a sign, silently wrapping " -1" to 2^64-1.
+  if (value[0] < '0' || value[0] > '9' || end == value || *end != '\0' ||
+      errno == ERANGE) {
+    std::fprintf(stderr, "bad value for %s: %s\n", flag, value);
+    std::exit(2);
+  }
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+/// BenchDefaults() plus command-line overrides. CLI flags win over the
+/// LILSM_* environment variables; --n is what the bench_smoke ctest
+/// entries use to keep every figure bench fast under tier-1.
+///
+/// ops_from_flags (optional) reports whether --ops was given, so benches
+/// that rescale the default op count (fig11, fig12) can leave an explicit
+/// request untouched.
+inline ExperimentDefaults BenchDefaults(int argc, char** argv,
+                                        bool* ops_from_flags = nullptr) {
+  ExperimentDefaults d = BenchDefaults();
+  if (ops_from_flags != nullptr) *ops_from_flags = false;
+  auto require_positive = [](const char* flag, size_t value) {
+    if (value == 0) {
+      std::fprintf(stderr, "%s must be positive\n", flag);
+      std::exit(2);
+    }
+  };
+  for (int i = 1; i < argc; i++) {
+    size_t value = 0;
+    if (ParseSizeFlag(argc, argv, &i, "--n", &value)) {
+      require_positive("--n", value);
+      d.num_keys = value;
+    } else if (ParseSizeFlag(argc, argv, &i, "--ops", &value)) {
+      require_positive("--ops", value);
+      d.num_ops = value;
+      if (ops_from_flags != nullptr) *ops_from_flags = true;
+    } else if (ParseSizeFlag(argc, argv, &i, "--value-size", &value)) {
+      require_positive("--value-size", value);
+      if (value > UINT32_MAX) {
+        std::fprintf(stderr, "--value-size too large (max %u)\n",
+                     UINT32_MAX);
+        std::exit(2);
+      }
+      d.value_size = static_cast<uint32_t>(value);
+    } else if (ParseSizeFlag(argc, argv, &i, "--seed", &value)) {
+      d.seed = value;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--n KEYS] [--ops OPS] [--value-size BYTES] "
+          "[--seed SEED]\n"
+          "Environment overrides (LILSM_N, LILSM_OPS, ...) are documented "
+          "in src/core/config.h; flags take precedence.\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (try --help)\n", argv[0],
+                   argv[i]);
+      std::exit(2);
+    }
+  }
   return d;
 }
 

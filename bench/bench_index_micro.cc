@@ -3,6 +3,7 @@
 // RadixSpline's RadixBits (the paper fixes them at 4 and 1).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "index/index.h"
 #include "util/random.h"
 #include "workload/dataset.h"
@@ -10,9 +11,13 @@
 namespace lilsm {
 namespace {
 
+// Key count for every micro; overridden by --n (the bench_smoke ctest
+// entry passes a tiny value so bit-rot is caught without a full run).
+size_t bench_num_keys = 200000;
+
 const std::vector<Key>& BenchKeys() {
   static const std::vector<Key> keys =
-      GenerateKeys(Dataset::kRandom, 200000, 42);
+      GenerateKeys(Dataset::kRandom, bench_num_keys, 42);
   return keys;
 }
 
@@ -126,6 +131,22 @@ void RegisterAll() {
 }  // namespace lilsm
 
 int main(int argc, char** argv) {
+  // Consume --n before google-benchmark sees the argument list; the rest
+  // (--benchmark_filter, --benchmark_out, ...) passes through untouched.
+  int kept = 1;
+  for (int i = 1; i < argc; i++) {
+    size_t value = 0;
+    if (lilsm::bench::ParseSizeFlag(argc, argv, &i, "--n", &value)) {
+      if (value == 0) {
+        std::fprintf(stderr, "--n must be positive\n");
+        return 2;
+      }
+      lilsm::bench_num_keys = value;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   lilsm::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();

@@ -48,8 +48,8 @@ Status RunDistribution(Testbed* bed, const ExperimentDefaults& d,
 
 }  // namespace
 
-int main() {
-  ExperimentDefaults d = bench::BenchDefaults();
+int main(int argc, char** argv) {
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv);
   bench::PrintHeader("Figure 10", "read overhead across LSM levels", d);
 
   IndexSetup setup;

@@ -5,9 +5,12 @@
 
 using namespace lilsm;
 
-int main() {
-  ExperimentDefaults d = bench::BenchDefaults();
-  d.num_ops = std::max<size_t>(200, d.num_ops / 10);  // scans are heavy
+int main(int argc, char** argv) {
+  bool ops_from_flags = false;
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv, &ops_from_flags);
+  if (!ops_from_flags) {
+    d.num_ops = std::max<size_t>(200, d.num_ops / 10);  // scans are heavy
+  }
   bench::PrintHeader("Figure 11", "range lookups vs boundary and length", d);
 
   IndexSetup setup;

@@ -5,9 +5,10 @@
 
 using namespace lilsm;
 
-int main() {
-  ExperimentDefaults d = bench::BenchDefaults();
-  d.num_ops = std::max<size_t>(500, d.num_ops / 2);
+int main(int argc, char** argv) {
+  bool ops_from_flags = false;
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv, &ops_from_flags);
+  if (!ops_from_flags) d.num_ops = std::max<size_t>(500, d.num_ops / 2);
   bench::PrintHeader("Figure 12", "YCSB A-F: latency vs index memory", d);
 
   for (YcsbWorkload workload : kAllYcsbWorkloads) {

@@ -3,9 +3,9 @@
 #include "bench/bench_common.h"
 #include "workload/dataset.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lilsm;
-  ExperimentDefaults d = bench::BenchDefaults();
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv);
   bench::PrintHeader("Figure 5", "dataset CDFs", d);
 
   for (Dataset dataset : kAllDatasets) {

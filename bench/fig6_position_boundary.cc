@@ -62,8 +62,8 @@ void RunDataset(Dataset dataset, const ExperimentDefaults& base) {
 
 }  // namespace
 
-int main() {
-  ExperimentDefaults d = bench::BenchDefaults();
+int main(int argc, char** argv) {
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv);
   bench::PrintHeader("Figure 6",
                      "latency & memory vs position boundary, all indexes", d);
   if (std::getenv("LILSM_ALL_DATASETS") != nullptr) {

@@ -5,8 +5,8 @@
 
 using namespace lilsm;
 
-int main() {
-  ExperimentDefaults d = bench::BenchDefaults();
+int main(int argc, char** argv) {
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv);
   bench::PrintHeader("Figure 7", "point-lookup time breakdown", d);
 
   IndexSetup setup;

@@ -5,8 +5,8 @@
 
 using namespace lilsm;
 
-int main() {
-  ExperimentDefaults base = bench::BenchDefaults();
+int main(int argc, char** argv) {
+  ExperimentDefaults base = bench::BenchDefaults(argc, argv);
   bench::PrintHeader("Table 1", "point-lookup stage times, PLR, boundary 10",
                      base);
 

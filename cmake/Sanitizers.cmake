@@ -1,0 +1,14 @@
+# Opt-in AddressSanitizer + UndefinedBehaviorSanitizer instrumentation
+# (-DLILSM_SANITIZE=ON). Applied globally so the library, tests, and
+# benches all agree on the ABI; CI runs the full suite this way with
+# ASAN_OPTIONS=detect_leaks=1.
+option(LILSM_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
+
+if(LILSM_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+      "LILSM_SANITIZE requires gcc or clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+endif()

@@ -1,0 +1,75 @@
+// Guards the index-type registry against drift: adding an IndexType
+// enumerator without registering it in kAllIndexTypes (or without a
+// printable, parseable name) must fail this suite at compile or run time.
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "index/index.h"
+
+namespace lilsm {
+namespace {
+
+// IndexType enumerators are assigned densely from 0, so the count of
+// registered types must equal one past the last enumerator. Extending the
+// enum without extending kAllIndexTypes breaks this at compile time.
+constexpr size_t kNumIndexTypes =
+    sizeof(kAllIndexTypes) / sizeof(kAllIndexTypes[0]);
+static_assert(kNumIndexTypes ==
+                  static_cast<size_t>(IndexType::kRMI) + 1,
+              "kAllIndexTypes does not cover every IndexType enumerator; "
+              "register the new type (and its name) in index.cc");
+
+static_assert(static_cast<uint8_t>(IndexType::kFencePointer) == 0,
+              "IndexType enumerators must stay dense from 0: benches use "
+              "the value as a benchmark::State range argument");
+
+TEST(BuildSanityTest, AllIndexTypesAreDistinct) {
+  std::set<IndexType> seen(std::begin(kAllIndexTypes),
+                           std::end(kAllIndexTypes));
+  EXPECT_EQ(seen.size(), kNumIndexTypes)
+      << "kAllIndexTypes contains a duplicate enumerator";
+}
+
+TEST(BuildSanityTest, EveryTypeHasAUniqueName) {
+  std::set<std::string> names;
+  for (IndexType type : kAllIndexTypes) {
+    std::string name = IndexTypeName(type);
+    EXPECT_NE(name, "unknown")
+        << "IndexTypeName() missing a switch case for enumerator "
+        << static_cast<int>(type);
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate index name: " << name;
+  }
+}
+
+TEST(BuildSanityTest, NamesRoundTripThroughParse) {
+  for (IndexType type : kAllIndexTypes) {
+    IndexType parsed;
+    ASSERT_TRUE(ParseIndexType(IndexTypeName(type), &parsed))
+        << "ParseIndexType rejects the canonical name "
+        << IndexTypeName(type);
+    EXPECT_EQ(parsed, type)
+        << "name " << IndexTypeName(type)
+        << " parses to a different type";
+  }
+}
+
+TEST(BuildSanityTest, ParseRejectsUnknownNames) {
+  IndexType parsed;
+  EXPECT_FALSE(ParseIndexType("", &parsed));
+  EXPECT_FALSE(ParseIndexType("no-such-index", &parsed));
+}
+
+TEST(BuildSanityTest, EveryTypeConstructs) {
+  for (IndexType type : kAllIndexTypes) {
+    auto index = CreateIndex(type);
+    ASSERT_NE(index, nullptr)
+        << "CreateIndex returned null for " << IndexTypeName(type);
+    EXPECT_EQ(index->type(), type);
+  }
+}
+
+}  // namespace
+}  // namespace lilsm
