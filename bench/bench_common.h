@@ -73,8 +73,13 @@ inline bool ParseSizeFlag(int argc, char** argv, int* i, const char* flag,
 /// ops_from_flags (optional) reports whether --ops was given, so benches
 /// that rescale the default op count (fig11, fig12) can leave an explicit
 /// request untouched.
+///
+/// threads (optional) enables the --threads flag for the multi-threaded
+/// benches (fig13); when null, --threads is rejected like any unknown
+/// flag so single-threaded benches stay strict.
 inline ExperimentDefaults BenchDefaults(int argc, char** argv,
-                                        bool* ops_from_flags = nullptr) {
+                                        bool* ops_from_flags = nullptr,
+                                        size_t* threads = nullptr) {
   ExperimentDefaults d = BenchDefaults();
   if (ops_from_flags != nullptr) *ops_from_flags = false;
   auto require_positive = [](const char* flag, size_t value) {
@@ -102,14 +107,18 @@ inline ExperimentDefaults BenchDefaults(int argc, char** argv,
       d.value_size = static_cast<uint32_t>(value);
     } else if (ParseSizeFlag(argc, argv, &i, "--seed", &value)) {
       d.seed = value;
+    } else if (threads != nullptr &&
+               ParseSizeFlag(argc, argv, &i, "--threads", &value)) {
+      require_positive("--threads", value);
+      *threads = value;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: %s [--n KEYS] [--ops OPS] [--value-size BYTES] "
-          "[--seed SEED]\n"
+          "[--seed SEED]%s\n"
           "Environment overrides (LILSM_N, LILSM_OPS, ...) are documented "
           "in src/core/config.h; flags take precedence.\n",
-          argv[0]);
+          argv[0], threads != nullptr ? " [--threads T]" : "");
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown flag %s (try --help)\n", argv[0],

@@ -1,14 +1,32 @@
-# Opt-in AddressSanitizer + UndefinedBehaviorSanitizer instrumentation
-# (-DLILSM_SANITIZE=ON). Applied globally so the library, tests, and
-# benches all agree on the ABI; CI runs the full suite this way with
-# ASAN_OPTIONS=detect_leaks=1.
+# Opt-in sanitizer instrumentation, applied globally so the library,
+# tests, and benches all agree on the ABI:
+#
+#   -DLILSM_SANITIZE=ON  AddressSanitizer + UBSan; CI runs the full suite
+#                        this way with ASAN_OPTIONS=detect_leaks=1.
+#   -DLILSM_TSAN=ON      ThreadSanitizer; CI runs the concurrency suites
+#                        (db_concurrency_test and friends) this way.
+#
+# The two are mutually exclusive (ASan and TSan cannot share a process).
 option(LILSM_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
+option(LILSM_TSAN "Build with ThreadSanitizer" OFF)
 
-if(LILSM_SANITIZE)
+if(LILSM_SANITIZE AND LILSM_TSAN)
+  message(FATAL_ERROR "LILSM_SANITIZE and LILSM_TSAN are mutually exclusive")
+endif()
+
+if(LILSM_SANITIZE OR LILSM_TSAN)
   if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     message(FATAL_ERROR
-      "LILSM_SANITIZE requires gcc or clang (got ${CMAKE_CXX_COMPILER_ID})")
+      "sanitizer builds require gcc or clang (got ${CMAKE_CXX_COMPILER_ID})")
   endif()
+endif()
+
+if(LILSM_SANITIZE)
   add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
   add_link_options(-fsanitize=address,undefined)
+endif()
+
+if(LILSM_TSAN)
+  add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=thread)
 endif()

@@ -77,6 +77,15 @@ Status CompactionJob::Run(const VersionSet::CompactionPick& pick,
       }
 
       if (builder == nullptr) {
+        if (ShutdownRequested()) {
+          // Stop at an output-file boundary: nothing in flight to abandon,
+          // and the caller discards the edit.
+          if (stats != nullptr) {
+            stats->AddTime(Timer::kCompactKvIo,
+                           kv_io_ns + env->NowNanos() - chunk_start);
+          }
+          return Status::IOError("compaction aborted: shutting down");
+        }
         output_number = ctx_.versions->NewFileNumber();
         s = NewTableBuilder(ctx_.table_cache->options(),
                             TableFileName(ctx_.dbname, output_number),

@@ -5,6 +5,7 @@
 #ifndef LILSM_LSM_COMPACTION_H_
 #define LILSM_LSM_COMPACTION_H_
 
+#include <atomic>
 #include <string>
 
 #include "lsm/table_cache.h"
@@ -19,6 +20,12 @@ struct CompactionContext {
   VersionSet* versions = nullptr;
   std::string dbname;
   uint64_t sstable_target_size = 0;
+  /// When set, the job polls this flag at output-file boundaries and
+  /// aborts once it flips — how a closing DB cuts a running background
+  /// compaction short instead of riding it out. Outputs finished before
+  /// the abort are recorded in the edit; the caller removes them when it
+  /// discards the edit.
+  const std::atomic<bool>* shutdown = nullptr;
 };
 
 class CompactionJob {
@@ -28,9 +35,19 @@ class CompactionJob {
   /// Merges pick.inputs (level L) with pick.next_inputs (level L+1) into
   /// new tables at level L+1, dropping shadowed versions and, when no
   /// deeper level may contain the key, tombstones. Records the resulting
-  /// file swaps into *edit (the caller applies it).
+  /// file swaps into *edit (the caller applies it). `base` may be a pinned
+  /// version: the job only reads it, so it can run with the DB mutex
+  /// released. On a shutdown abort the in-progress output is removed, but
+  /// finished outputs already recorded in *edit are the CALLER's to clean
+  /// up (it owns the decision to install or discard the edit).
   Status Run(const VersionSet::CompactionPick& pick, const Version& base,
              VersionEdit* edit);
+
+  /// True when ctx.shutdown asked the job to stop.
+  bool ShutdownRequested() const {
+    return ctx_.shutdown != nullptr &&
+           ctx_.shutdown->load(std::memory_order_acquire);
+  }
 
  private:
   Status FinishOutput(TableBuilder* builder, uint64_t file_number,

@@ -1,7 +1,13 @@
 #include "lsm/db.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "lsm/compaction.h"
 #include "lsm/db_iter.h"
@@ -16,27 +22,77 @@ namespace lilsm {
 
 namespace {
 
+/// Returned when an iterator cannot be constructed (a table failed to
+/// open): permanently invalid, carrying the failure for status().
+class ErrorIterator final : public Iterator {
+ public:
+  explicit ErrorIterator(Status s) : status_(std::move(s)) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(Key /*target*/) override {}
+  void Next() override {}
+  Key key() const override { return 0; }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  const Status status_;
+};
+
+// DBImpl locking discipline (the LevelDB arrangement, see DESIGN.md):
+//
+//  * mutex_ guards all mutable engine state: the memtable pointers, the
+//    WAL writer, the VersionSet, and the background-work flags. Writers
+//    hold it across WAL append + memtable insert, so log order matches
+//    sequence order.
+//  * Readers take mutex_ only long enough to pin (ref) the memtables and
+//    current version, then search without it — pinned state is immutable.
+//  * One background closure runs at a time (bg_scheduled_). It drops
+//    mutex_ for the heavy lifting (table builds, merges) and retakes it
+//    to install results, waking waiters through bg_cv_.
+//
+// ConcurrencyMode::kInline never schedules anything: maintenance runs on
+// the calling thread under mutex_, byte-for-byte the old inline engine.
 class DBImpl final : public DB {
  public:
   DBImpl(const DBOptions& options, std::string dbname)
       : options_(options),
         dbname_(std::move(dbname)),
         env_(options.env != nullptr ? options.env : Env::Default()) {
+    // Order the triggers: slowdown and stop must sit at or above the
+    // compaction trigger, else a stalled writer could wait for a
+    // compaction that scoring never requests (deadlock).
+    options_.l0_slowdown_trigger =
+        std::max(options_.l0_slowdown_trigger, options_.l0_compaction_trigger);
+    options_.l0_stop_trigger =
+        std::max(options_.l0_stop_trigger, options_.l0_slowdown_trigger);
     versions_ = std::make_unique<VersionSet>(env_, dbname_);
     table_cache_ = std::make_unique<TableCache>(MakeTableOptions(), dbname_,
                                                 options_.max_open_tables);
     level_indexes_ = std::make_unique<LevelIndexStore>(env_, &stats_);
-    mem_ = std::make_unique<MemTable>();
+    mem_ = new MemTable();
+    mem_->Ref();
   }
 
   ~DBImpl() override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      shutting_down_.store(true, std::memory_order_release);
+      while (bg_scheduled_) {
+        bg_cv_.wait(lock);
+      }
+      assert(snapshot_count_ == 0 && "snapshot leaked past DB destruction");
+    }
     if (wal_ != nullptr) {
       wal_->Sync();
       wal_->Close();
     }
+    if (imm_ != nullptr) imm_->Unref();
+    mem_->Unref();
   }
 
   Status Init() {
+    std::unique_lock<std::mutex> lock(mutex_);
     Status s = env_->CreateDir(dbname_);
     if (!s.ok()) return s;
     const bool exists = env_->FileExists(CurrentFileName(dbname_));
@@ -60,8 +116,9 @@ class DBImpl final : public DB {
     s = RollWal();
     if (!s.ok()) return s;
     if (!mem_->empty()) {
-      // Persist recovered updates so the old WAL can be retired.
-      s = WriteLevel0Table();
+      // Persist recovered updates so the old WAL can be retired. Recovery
+      // is single-threaded in both modes: flush inline.
+      s = WriteLevel0TableLocked();
       if (!s.ok()) return s;
     } else {
       VersionEdit edit;
@@ -86,6 +143,12 @@ class DBImpl final : public DB {
 
   Status Write(WriteBatch* batch) override {
     if (batch->Count() == 0) return Status::OK();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (background_mode()) {
+      Status rs = MakeRoomForWrite(lock);
+      if (!rs.ok()) return rs;
+    }
+
     const SequenceNumber seq = versions_->last_sequence() + 1;
     WriteBatch::SetSequence(batch, seq);
 
@@ -98,32 +161,340 @@ class DBImpl final : public DB {
     }
     if (!s.ok()) return s;
 
-    s = batch->InsertInto(mem_.get(), seq);
+    s = batch->InsertInto(mem_, seq);
     if (!s.ok()) return s;
     versions_->SetLastSequence(seq + batch->Count() - 1);
     stats_.Add(Counter::kWrites, batch->Count());
 
-    if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
-      s = WriteLevel0Table();
+    if (!background_mode() &&
+        mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
+      s = WriteLevel0TableLocked();
       if (!s.ok()) return s;
-      s = CompactUntilStable();
+      s = CompactUntilStableLocked(lock);
     }
     return s;
   }
 
-  Status Get(Key key, std::string* value) override {
+  Status Get(Key key, std::string* value, const Snapshot* snapshot) override {
     stats_.Add(Counter::kPointLookups);
+    ReadView view = PinView(snapshot);
+    Status s = GetFromView(view, key, value);
+    UnpinView(view);
+    return s;
+  }
 
+  std::unique_ptr<Iterator> NewIterator(const Snapshot* snapshot) override {
+    ReadView view = PinView(snapshot);
+
+    std::vector<std::unique_ptr<TableIterator>> children;
+    // shared_ptr: the cleanup closure and this scope both reference it.
+    auto readers =
+        std::make_shared<std::vector<std::shared_ptr<TableReader>>>();
+    children.push_back(view.mem->NewIterator());
+    if (view.imm != nullptr) {
+      children.push_back(view.imm->NewIterator());
+    }
+    Status s;
+    for (int level = 0; level < kNumLevels && s.ok(); level++) {
+      for (const FileMeta& meta : view.version->files(level)) {
+        std::shared_ptr<TableReader> reader;
+        s = table_cache_->GetReader(meta.number, &reader);
+        if (!s.ok()) break;
+        readers->push_back(reader);
+        children.push_back(reader->NewIterator());
+      }
+    }
+    if (!s.ok()) {
+      // Surface the failure through an invalid iterator carrying status
+      // (RangeLookup and callers check status(), not just Valid()).
+      children.clear();
+      UnpinView(view);
+      return std::make_unique<ErrorIterator>(std::move(s));
+    }
+    auto cleanup = [this, view, readers]() {
+      readers->clear();
+      UnpinView(view);
+    };
+    return NewDBIterator(NewMergingIterator(std::move(children)), view.seq,
+                         std::move(cleanup));
+  }
+
+  const Snapshot* GetSnapshot() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto* snap = new SnapshotImpl();
+    snap->seq_ = versions_->last_sequence();
+    snap->mem_ = mem_;
+    snap->mem_->Ref();
+    snap->imm_ = imm_;
+    if (snap->imm_ != nullptr) snap->imm_->Ref();
+    snap->version_ = versions_->PinCurrent();
+    snapshot_count_++;
+    return snap;
+  }
+
+  void ReleaseSnapshot(const Snapshot* snapshot) override {
+    if (snapshot == nullptr) return;
+    const auto* snap = static_cast<const SnapshotImpl*>(snapshot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      snapshot_count_--;
+    }
+    snap->mem_->Unref();
+    if (snap->imm_ != nullptr) snap->imm_->Unref();
+    snap->version_->Unref();
+    delete snap;
+  }
+
+  Status RangeLookup(Key start, size_t count,
+                     std::vector<std::pair<Key, std::string>>* out) override {
+    stats_.Add(Counter::kRangeLookups);
+    out->clear();
+    out->reserve(count);
+    auto iter = NewIterator(nullptr);
+    for (iter->Seek(start); iter->Valid() && out->size() < count;
+         iter->Next()) {
+      out->emplace_back(iter->key(), iter->value().ToString());
+    }
+    return iter->status();
+  }
+
+  Status FlushMemTable() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!background_mode()) {
+      Status s = WriteLevel0TableLocked();
+      if (!s.ok()) return s;
+      return CompactUntilStableLocked(lock);
+    }
+    Status s = SwitchMemTable(lock);
+    if (!s.ok()) return s;
+    return CompactUntilStableLocked(lock);
+  }
+
+  Status CompactUntilStable() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return CompactUntilStableLocked(lock);
+  }
+
+  Status CompactAll() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Status s;
+    if (background_mode()) {
+      // Drain all queued maintenance first so the full merge below starts
+      // from a settled tree (callers are quiescent, per the API contract).
+      s = SwitchMemTable(lock);
+      if (!s.ok()) return s;
+      s = WaitForBackgroundIdle(lock);
+      if (!s.ok()) return s;
+    } else {
+      s = WriteLevel0TableLocked();
+      if (!s.ok()) return s;
+    }
+    for (int level = 0; level < kNumLevels - 1; level++) {
+      VersionSet::CompactionPick pick;
+      if (!versions_->PickFullCompaction(level, &pick)) continue;
+      // Stop pushing once this is the deepest populated level.
+      bool deeper = false;
+      for (int l = level + 1; l < kNumLevels; l++) {
+        if (versions_->current().NumFiles(l) > 0) deeper = true;
+      }
+      if (!deeper && level > 0) break;
+      s = RunCompaction(lock, pick);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Status ReconfigureIndexes(IndexType type, const IndexConfig& config) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (background_mode()) {
+      Status ws = WaitForBackgroundIdle(lock);
+      if (!ws.ok()) return ws;
+    }
+    options_.index_type = type;
+    options_.index_config = config;
+    table_cache_->SetIndexOptions(type, config);
+    const Version& v = versions_->current();
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v.files(level)) {
+        std::shared_ptr<TableReader> reader;
+        Status s = table_cache_->GetReader(meta.number, &reader);
+        if (!s.ok()) return s;
+        s = reader->RetrainIndex(type, config);
+        if (!s.ok()) return s;
+      }
+    }
+    level_indexes_->InvalidateAll();
+    return Status::OK();
+  }
+
+  void SetIndexGranularity(IndexGranularity granularity) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options_.index_granularity = granularity;
+  }
+
+  size_t TotalIndexMemory() override {
+    const Version* v = PinCurrentVersion();
+    size_t total = 0;
+    if (options_.index_granularity == IndexGranularity::kLevel) {
+      EnsureLevelModels(*v);
+      // L0 stays file-grained (its files overlap).
+      total = level_indexes_->MemoryUsage();
+      for (const FileMeta& meta : v->files(0)) {
+        std::shared_ptr<TableReader> reader;
+        if (table_cache_->GetReader(meta.number, &reader).ok()) {
+          total += reader->IndexMemoryUsage();
+        }
+      }
+    } else {
+      for (int level = 0; level < kNumLevels; level++) {
+        for (const FileMeta& meta : v->files(level)) {
+          std::shared_ptr<TableReader> reader;
+          if (table_cache_->GetReader(meta.number, &reader).ok()) {
+            total += reader->IndexMemoryUsage();
+          }
+        }
+      }
+    }
+    v->Unref();
+    return total;
+  }
+
+  size_t TotalFilterMemory() override {
+    const Version* v = PinCurrentVersion();
+    size_t total = 0;
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v->files(level)) {
+        std::shared_ptr<TableReader> reader;
+        if (table_cache_->GetReader(meta.number, &reader).ok()) {
+          total += reader->FilterMemoryUsage();
+        }
+      }
+    }
+    v->Unref();
+    return total;
+  }
+
+  size_t LevelIndexMemory(int level) override {
+    if (level < 0 || level >= kNumLevels) return 0;
+    const Version* v = PinCurrentVersion();
+    size_t total = 0;
+    if (options_.index_granularity == IndexGranularity::kLevel && level > 0) {
+      EnsureLevelModels(*v);
+      total = level_indexes_->MemoryUsage();  // per-store; see store API
+    } else {
+      for (const FileMeta& meta : v->files(level)) {
+        std::shared_ptr<TableReader> reader;
+        if (table_cache_->GetReader(meta.number, &reader).ok()) {
+          total += reader->IndexMemoryUsage();
+        }
+      }
+    }
+    v->Unref();
+    return total;
+  }
+
+  int NumFilesAtLevel(int level) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return versions_->current().NumFiles(level);
+  }
+  uint64_t BytesAtLevel(int level) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return versions_->current().LevelBytes(level);
+  }
+  uint64_t EntriesAtLevel(int level) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return versions_->current().LevelEntries(level);
+  }
+  SequenceNumber LastSequence() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return versions_->last_sequence();
+  }
+
+  Stats* stats() override { return &stats_; }
+
+ private:
+  /// The concrete snapshot: a sequence bound plus pinned sources. The
+  /// pinned version keeps its table files on disk (AddLiveFiles) and the
+  /// pinned memtables keep every entry version, so reads through the
+  /// handle stay repeatable however far the live tree moves on.
+  class SnapshotImpl final : public Snapshot {
+   public:
+    ~SnapshotImpl() override = default;
+    SequenceNumber sequence() const override { return seq_; }
+
+    SequenceNumber seq_ = 0;
+    MemTable* mem_ = nullptr;
+    MemTable* imm_ = nullptr;
+    const Version* version_ = nullptr;
+  };
+
+  /// A pinned, immutable view of the DB for one read: sources + sequence
+  /// bound. Produced by PinView, released by UnpinView.
+  struct ReadView {
+    MemTable* mem = nullptr;
+    MemTable* imm = nullptr;
+    const Version* version = nullptr;
+    SequenceNumber seq = 0;
+  };
+
+  bool background_mode() const {
+    return options_.concurrency == ConcurrencyMode::kBackground;
+  }
+
+  ReadView PinView(const Snapshot* snapshot) {
+    ReadView view;
+    if (snapshot != nullptr) {
+      // The handle must stay unreleased for this call (db.h contract);
+      // the view still takes refs OF ITS OWN because UnpinView releases
+      // them and an iterator's view may legitimately outlive the handle
+      // (NewIterator(snap), then ReleaseSnapshot, then keep iterating).
+      const auto* snap = static_cast<const SnapshotImpl*>(snapshot);
+      view.mem = snap->mem_;
+      view.imm = snap->imm_;
+      view.version = snap->version_;
+      view.seq = snap->seq_;
+      view.mem->Ref();
+      if (view.imm != nullptr) view.imm->Ref();
+      view.version->Ref();
+      return view;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    view.mem = mem_;
+    view.imm = imm_;
+    view.version = versions_->PinCurrent();
+    view.seq = versions_->last_sequence();
+    view.mem->Ref();
+    if (view.imm != nullptr) view.imm->Ref();
+    return view;
+  }
+
+  void UnpinView(const ReadView& view) {
+    view.mem->Unref();
+    if (view.imm != nullptr) view.imm->Unref();
+    view.version->Unref();
+  }
+
+  const Version* PinCurrentVersion() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return versions_->PinCurrent();
+  }
+
+  Status GetFromView(const ReadView& view, Key key, std::string* value) {
     {
       ScopedTimer timer(&stats_, Timer::kMemtableGet, env_);
       ValueType type;
-      if (mem_->Get(key, versions_->last_sequence(), value, &type)) {
+      if (view.mem->Get(key, view.seq, value, &type)) {
+        return type == kTypeValue ? Status::OK()
+                                  : Status::NotFound("deleted");
+      }
+      if (view.imm != nullptr &&
+          view.imm->Get(key, view.seq, value, &type)) {
         return type == kTypeValue ? Status::OK()
                                   : Status::NotFound("deleted");
       }
     }
 
-    const Version& v = versions_->current();
+    const Version& v = *view.version;
 
     // Level 0: files may overlap; scan newest-first.
     {
@@ -172,169 +543,6 @@ class DBImpl final : public DB {
     return Status::NotFound("not found");
   }
 
-  std::unique_ptr<Iterator> NewIterator() override {
-    std::vector<std::unique_ptr<TableIterator>> children;
-    children.push_back(mem_->NewIterator());
-    const Version& v = versions_->current();
-    for (int level = 0; level < kNumLevels; level++) {
-      for (const FileMeta& meta : v.files(level)) {
-        std::shared_ptr<TableReader> reader;
-        Status s = table_cache_->GetReader(meta.number, &reader);
-        if (!s.ok()) {
-          // Surface the failure through an empty iterator carrying status.
-          return NewDBIterator(NewMergingIterator({}), 0);
-        }
-        children.push_back(reader->NewIterator());
-      }
-    }
-    return NewDBIterator(NewMergingIterator(std::move(children)),
-                         versions_->last_sequence());
-  }
-
-  Status RangeLookup(Key start, size_t count,
-                     std::vector<std::pair<Key, std::string>>* out) override {
-    stats_.Add(Counter::kRangeLookups);
-    out->clear();
-    out->reserve(count);
-    auto iter = NewIterator();
-    for (iter->Seek(start); iter->Valid() && out->size() < count;
-         iter->Next()) {
-      out->emplace_back(iter->key(), iter->value().ToString());
-    }
-    return iter->status();
-  }
-
-  Status FlushMemTable() override {
-    Status s = WriteLevel0Table();
-    if (!s.ok()) return s;
-    return CompactUntilStable();
-  }
-
-  Status CompactUntilStable() override {
-    while (true) {
-      VersionSet::CompactionPick pick;
-      if (!versions_->PickCompaction(options_.l0_compaction_trigger,
-                                     options_.write_buffer_size,
-                                     options_.size_ratio, &pick)) {
-        return Status::OK();
-      }
-      Status s = RunCompaction(pick);
-      if (!s.ok()) return s;
-    }
-  }
-
-  Status CompactAll() override {
-    Status s = WriteLevel0Table();
-    if (!s.ok()) return s;
-    for (int level = 0; level < kNumLevels - 1; level++) {
-      VersionSet::CompactionPick pick;
-      if (!versions_->PickFullCompaction(level, &pick)) continue;
-      // Stop pushing once this is the deepest populated level.
-      bool deeper = false;
-      for (int l = level + 1; l < kNumLevels; l++) {
-        if (versions_->current().NumFiles(l) > 0) deeper = true;
-      }
-      if (!deeper && level > 0) break;
-      s = RunCompaction(pick);
-      if (!s.ok()) return s;
-    }
-    return Status::OK();
-  }
-
-  Status ReconfigureIndexes(IndexType type, const IndexConfig& config) override {
-    options_.index_type = type;
-    options_.index_config = config;
-    table_cache_->SetIndexOptions(type, config);
-    const Version& v = versions_->current();
-    for (int level = 0; level < kNumLevels; level++) {
-      for (const FileMeta& meta : v.files(level)) {
-        std::shared_ptr<TableReader> reader;
-        Status s = table_cache_->GetReader(meta.number, &reader);
-        if (!s.ok()) return s;
-        s = reader->RetrainIndex(type, config);
-        if (!s.ok()) return s;
-      }
-    }
-    level_indexes_->InvalidateAll();
-    return Status::OK();
-  }
-
-  void SetIndexGranularity(IndexGranularity granularity) override {
-    options_.index_granularity = granularity;
-  }
-
-  size_t TotalIndexMemory() override {
-    if (options_.index_granularity == IndexGranularity::kLevel) {
-      EnsureLevelModels();
-      // L0 stays file-grained (its files overlap).
-      size_t total = level_indexes_->MemoryUsage();
-      for (const FileMeta& meta : versions_->current().files(0)) {
-        std::shared_ptr<TableReader> reader;
-        if (table_cache_->GetReader(meta.number, &reader).ok()) {
-          total += reader->IndexMemoryUsage();
-        }
-      }
-      return total;
-    }
-    size_t total = 0;
-    const Version& v = versions_->current();
-    for (int level = 0; level < kNumLevels; level++) {
-      for (const FileMeta& meta : v.files(level)) {
-        std::shared_ptr<TableReader> reader;
-        if (table_cache_->GetReader(meta.number, &reader).ok()) {
-          total += reader->IndexMemoryUsage();
-        }
-      }
-    }
-    return total;
-  }
-
-  size_t TotalFilterMemory() override {
-    size_t total = 0;
-    const Version& v = versions_->current();
-    for (int level = 0; level < kNumLevels; level++) {
-      for (const FileMeta& meta : v.files(level)) {
-        std::shared_ptr<TableReader> reader;
-        if (table_cache_->GetReader(meta.number, &reader).ok()) {
-          total += reader->FilterMemoryUsage();
-        }
-      }
-    }
-    return total;
-  }
-
-  size_t LevelIndexMemory(int level) override {
-    if (level < 0 || level >= kNumLevels) return 0;
-    if (options_.index_granularity == IndexGranularity::kLevel && level > 0) {
-      EnsureLevelModels();
-      return level_indexes_->MemoryUsage();  // per-store; see store API
-    }
-    size_t total = 0;
-    for (const FileMeta& meta : versions_->current().files(level)) {
-      std::shared_ptr<TableReader> reader;
-      if (table_cache_->GetReader(meta.number, &reader).ok()) {
-        total += reader->IndexMemoryUsage();
-      }
-    }
-    return total;
-  }
-
-  int NumFilesAtLevel(int level) override {
-    return versions_->current().NumFiles(level);
-  }
-  uint64_t BytesAtLevel(int level) override {
-    return versions_->current().LevelBytes(level);
-  }
-  uint64_t EntriesAtLevel(int level) override {
-    return versions_->current().LevelEntries(level);
-  }
-  SequenceNumber LastSequence() override {
-    return versions_->last_sequence();
-  }
-
-  Stats* stats() override { return &stats_; }
-
- private:
   TableOptions MakeTableOptions() const {
     TableOptions topts;
     topts.env = env_;
@@ -348,6 +556,166 @@ class DBImpl final : public DB {
     topts.index_config.stored_key_bytes = options_.key_size;
     return topts;
   }
+
+  // ---- write path (REQUIRES mutex_) ----
+
+  /// Blocks or delays the writer per the LevelDB triggers until the active
+  /// memtable has room, switching it out to imm_ when full.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+    bool allow_delay = true;
+    while (true) {
+      if (!bg_error_.ok()) return bg_error_;
+      if (allow_delay &&
+          versions_->current().NumFiles(0) >= options_.l0_slowdown_trigger) {
+        // Soft limit: cede ~1ms to the background thread once per write,
+        // smearing the stall over many writes instead of one big pause.
+        lock.unlock();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        stats_.Add(Counter::kWriteSlowdowns);
+        allow_delay = false;
+        lock.lock();
+      } else if (mem_->ApproximateMemoryUsage() <
+                 options_.write_buffer_size) {
+        return Status::OK();
+      } else if (imm_ != nullptr) {
+        // Previous flush still in flight: hard stall.
+        stats_.Add(Counter::kWriteStalls);
+        MaybeScheduleBackgroundWork();  // defensive: never wait unserved
+        bg_cv_.wait(lock);
+      } else if (versions_->current().NumFiles(0) >=
+                 options_.l0_stop_trigger) {
+        stats_.Add(Counter::kWriteStalls);
+        MaybeScheduleBackgroundWork();
+        bg_cv_.wait(lock);
+      } else {
+        Status s = SwitchMemTable(lock);
+        if (!s.ok()) return s;
+      }
+    }
+  }
+
+  /// Rolls the WAL and retires the active memtable to imm_, scheduling a
+  /// background flush. Waits first if a previous imm_ is still flushing.
+  /// No-op on an empty memtable.
+  Status SwitchMemTable(std::unique_lock<std::mutex>& lock) {
+    while (imm_ != nullptr && bg_error_.ok()) {
+      bg_cv_.wait(lock);
+    }
+    if (!bg_error_.ok()) return bg_error_;
+    if (mem_->empty()) return Status::OK();
+    Status s = RollWal();
+    if (!s.ok()) return s;
+    imm_ = mem_;
+    mem_ = new MemTable();
+    mem_->Ref();
+    MaybeScheduleBackgroundWork();
+    return Status::OK();
+  }
+
+  // ---- background scheduling (REQUIRES mutex_) ----
+
+  void MaybeScheduleBackgroundWork() {
+    if (!background_mode() || bg_scheduled_ || !bg_error_.ok() ||
+        shutting_down_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (imm_ == nullptr && !NeedsCompactionLocked()) return;
+    bg_scheduled_ = true;
+    env_->Schedule([this] { BackgroundCall(); });
+  }
+
+  bool NeedsCompactionLocked() const {
+    return versions_->NeedsCompaction(options_.l0_compaction_trigger,
+                                      options_.write_buffer_size,
+                                      options_.size_ratio);
+  }
+
+  void BackgroundCall() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Status s;
+    if (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
+      ScopedTimer timer(&stats_, Timer::kBackgroundWork, env_);
+      if (imm_ != nullptr) {
+        s = CompactImmMemTable(lock);
+      } else {
+        VersionSet::CompactionPick pick;
+        if (versions_->PickCompaction(options_.l0_compaction_trigger,
+                                      options_.write_buffer_size,
+                                      options_.size_ratio, &pick)) {
+          s = RunCompaction(lock, pick);
+        }
+      }
+    }
+    if (!s.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+      // A shutdown abort is expected and must not poison the DB; any
+      // other failure parks the engine (writes surface it).
+      bg_error_ = s;
+    }
+    bg_scheduled_ = false;
+    MaybeScheduleBackgroundWork();
+    bg_cv_.notify_all();
+  }
+
+  /// Flushes imm_ into an L0 table off-lock, then installs it.
+  Status CompactImmMemTable(std::unique_lock<std::mutex>& lock) {
+    assert(imm_ != nullptr);
+    MemTable* imm = imm_;
+    // Writes since the switch land in wal_number_; earlier logs die with
+    // this flush. Stable while imm_ is set: no switch can intervene.
+    const uint64_t log_number = wal_number_;
+    lock.unlock();
+    FileMeta meta;
+    Status s = BuildLevel0Table(*imm, &meta);
+    lock.lock();
+    if (!s.ok()) return s;
+
+    VersionEdit edit;
+    if (meta.entries > 0) edit.AddFile(0, meta);
+    edit.SetLogNumber(log_number);
+    s = versions_->LogAndApply(&edit);
+    if (!s.ok()) return s;
+    imm_->Unref();
+    imm_ = nullptr;
+    bg_cv_.notify_all();
+    return RemoveObsoleteFiles();
+  }
+
+  /// Waits until no flush or compaction is queued or running.
+  Status WaitForBackgroundIdle(std::unique_lock<std::mutex>& lock) {
+    while ((imm_ != nullptr || bg_scheduled_) && bg_error_.ok()) {
+      bg_cv_.wait(lock);
+    }
+    return bg_error_;
+  }
+
+  Status CompactUntilStableLocked(std::unique_lock<std::mutex>& lock) {
+    if (!background_mode()) {
+      while (true) {
+        VersionSet::CompactionPick pick;
+        if (!versions_->PickCompaction(options_.l0_compaction_trigger,
+                                       options_.write_buffer_size,
+                                       options_.size_ratio, &pick)) {
+          return Status::OK();
+        }
+        Status s = RunCompaction(lock, pick);
+        if (!s.ok()) return s;
+      }
+    }
+    // Background mode: keep the worker busy until the tree settles.
+    while (true) {
+      if (!bg_error_.ok()) return bg_error_;
+      if (imm_ != nullptr || bg_scheduled_) {
+        bg_cv_.wait(lock);
+        continue;
+      }
+      if (!NeedsCompactionLocked()) return Status::OK();
+      MaybeScheduleBackgroundWork();
+      if (!bg_scheduled_) return bg_error_;  // refused: shutting down
+      bg_cv_.wait(lock);
+    }
+  }
+
+  // ---- maintenance helpers ----
 
   Status RollWal() {
     const uint64_t number = versions_->NewFileNumber();
@@ -387,7 +755,7 @@ class DBImpl final : public DB {
         s = WriteBatch::SetContents(&batch, record);
         if (!s.ok()) return s;
         const SequenceNumber seq = WriteBatch::Sequence(batch);
-        s = batch.InsertInto(mem_.get(), seq);
+        s = batch.InsertInto(mem_, seq);
         if (!s.ok()) return s;
         const SequenceNumber last = seq + batch.Count() - 1;
         if (last > versions_->last_sequence()) {
@@ -400,10 +768,10 @@ class DBImpl final : public DB {
     return Status::OK();
   }
 
-  /// Flushes the memtable into a level-0 table (newest version per key
-  /// wins; tombstones are preserved).
-  Status WriteLevel0Table() {
-    if (mem_->empty()) return Status::OK();
+  /// Builds a level-0 table from `mem` (newest version per key wins;
+  /// tombstones are preserved). Needs no lock: the memtable is frozen (or
+  /// the caller is the only writer) and file-number allocation is atomic.
+  Status BuildLevel0Table(const MemTable& mem, FileMeta* meta) {
     ScopedTimer total_timer(&stats_, Timer::kCompactTotal, env_);
     stats_.Add(Counter::kFlushes);
 
@@ -413,12 +781,11 @@ class DBImpl final : public DB {
                                TableFileName(dbname_, number), &builder);
     if (!s.ok()) return s;
 
-    FileMeta meta;
-    meta.number = number;
+    meta->number = number;
     bool first = true;
     bool has_key = false;
     Key last_key = 0;
-    auto iter = mem_->NewIterator();
+    auto iter = mem.NewIterator();
     {
       const uint64_t kv_start = env_->NowNanos();
       for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
@@ -432,24 +799,31 @@ class DBImpl final : public DB {
           return s;
         }
         if (first) {
-          meta.smallest = key;
+          meta->smallest = key;
           first = false;
         }
-        meta.largest = key;
+        meta->largest = key;
       }
       stats_.AddTime(Timer::kCompactKvIo, env_->NowNanos() - kv_start);
     }
 
-    meta.entries = builder->NumEntries();
+    meta->entries = builder->NumEntries();
     s = builder->Finish();
     if (!s.ok()) return s;
-    meta.file_size = builder->FileSize();
+    meta->file_size = builder->FileSize();
+    return Status::OK();
+  }
+
+  /// Inline flush: the original synchronous path. REQUIRES mutex_.
+  Status WriteLevel0TableLocked() {
+    if (mem_->empty()) return Status::OK();
+    FileMeta meta;
+    Status s = BuildLevel0Table(*mem_, &meta);
+    if (!s.ok()) return s;
 
     // Retire the current WAL: its contents are now durable in the table.
-    const uint64_t old_wal = wal_number_;
     s = RollWal();
     if (!s.ok()) return s;
-    (void)old_wal;
 
     VersionEdit edit;
     edit.AddFile(0, meta);
@@ -457,11 +831,16 @@ class DBImpl final : public DB {
     s = versions_->LogAndApply(&edit);
     if (!s.ok()) return s;
 
-    mem_ = std::make_unique<MemTable>();
+    mem_->Unref();
+    mem_ = new MemTable();
+    mem_->Ref();
     return RemoveObsoleteFiles();
   }
 
-  Status RunCompaction(const VersionSet::CompactionPick& pick) {
+  /// Runs one compaction job. REQUIRES mutex_; drops it during the merge
+  /// (the job only reads the pinned base version and immutable inputs).
+  Status RunCompaction(std::unique_lock<std::mutex>& lock,
+                       const VersionSet::CompactionPick& pick) {
     CompactionContext ctx;
     ctx.env = env_;
     ctx.stats = &stats_;
@@ -469,13 +848,34 @@ class DBImpl final : public DB {
     ctx.versions = versions_.get();
     ctx.dbname = dbname_;
     ctx.sstable_target_size = options_.sstable_target_size;
+    ctx.shutdown = &shutting_down_;
 
+    const Version* base = versions_->PinCurrent();
     CompactionJob job(ctx);
     VersionEdit edit;
-    Status s = job.Run(pick, versions_->current(), &edit);
-    if (!s.ok()) return s;
+    lock.unlock();
+    Status s = job.Run(pick, *base, &edit);
+    lock.lock();
+    base->Unref();
+    if (!s.ok()) {
+      // The edit was never logged, so its finished outputs are provably
+      // orphans: remove them now.
+      for (const auto& [level, meta] : edit.new_files_) {
+        (void)level;
+        table_cache_->Evict(meta.number);
+        env_->RemoveFile(TableFileName(dbname_, meta.number));
+      }
+      return s;
+    }
     s = versions_->LogAndApply(&edit);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // Deliberately do NOT remove the outputs here: a manifest append
+      // that failed after writing bytes may still be durable, and a
+      // recovery that replays the edit needs the files. The next
+      // successful open reconciles either way (live in the recovered
+      // version, or swept by its RemoveObsoleteFiles).
+      return s;
+    }
     for (const auto& [level, number] : edit.deleted_files_) {
       (void)level;
       table_cache_->Evict(number);
@@ -483,14 +883,12 @@ class DBImpl final : public DB {
     return RemoveObsoleteFiles();
   }
 
+  /// REQUIRES mutex_. Deletes files no live (current or pinned) version,
+  /// WAL, or manifest can still reach — a pinned version's tables survive
+  /// until its last reference (snapshot, iterator) goes away.
   Status RemoveObsoleteFiles() {
     std::set<uint64_t> live;
-    const Version& v = versions_->current();
-    for (int level = 0; level < kNumLevels; level++) {
-      for (const FileMeta& meta : v.files(level)) {
-        live.insert(meta.number);
-      }
-    }
+    versions_->AddLiveFiles(&live);
     std::vector<std::string> children;
     Status s = env_->GetChildren(dbname_, &children);
     if (!s.ok()) return s;
@@ -524,17 +922,19 @@ class DBImpl final : public DB {
     return Status::OK();
   }
 
-  void EnsureLevelModels() {
-    const Version& v = versions_->current();
+  void EnsureLevelModels(const Version& v) {
     for (int level = 1; level < kNumLevels; level++) {
       if (v.NumFiles(level) == 0) continue;
       level_indexes_->EnsureBuilt(level, v.files(level), table_cache_.get(),
                                   options_.index_type, options_.index_config,
-                                  versions_->stamp());
+                                  v.stamp());
     }
   }
 
-  /// Per-file lookup honoring the configured granularity.
+  /// Per-file lookup honoring the configured granularity. `v` is the
+  /// reader's pinned version; its stamp keys the level-model cache, so a
+  /// reader racing a background version install simply falls back to the
+  /// file-granularity path instead of consulting a mismatched model.
   Status TableGetAtLevel(const Version& v, int level, size_t file_idx,
                          Key key, std::string* value, uint64_t* tag,
                          bool* found) {
@@ -543,10 +943,11 @@ class DBImpl final : public DB {
         options_.table_format == TableFormat::kSegmented) {
       Status s = level_indexes_->EnsureBuilt(
           level, v.files(level), table_cache_.get(), options_.index_type,
-          options_.index_config, versions_->stamp());
+          options_.index_config, v.stamp());
       if (!s.ok()) return s;
       size_t lo = 0, hi = 0;
-      if (level_indexes_->PredictInFile(level, key, file_idx, &lo, &hi)) {
+      if (level_indexes_->PredictInFile(level, key, file_idx, v.stamp(), &lo,
+                                        &hi)) {
         std::shared_ptr<TableReader> reader;
         s = table_cache_->GetReader(meta.number, &reader);
         if (!s.ok()) return s;
@@ -568,12 +969,20 @@ class DBImpl final : public DB {
   const std::string dbname_;
   Env* const env_;
   Stats stats_;
-  std::unique_ptr<MemTable> mem_;
-  std::unique_ptr<LogWriter> wal_;
-  uint64_t wal_number_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable bg_cv_;
+  MemTable* mem_ = nullptr;  // active buffer; pointer guarded by mutex_
+  MemTable* imm_ = nullptr;  // frozen, being flushed; guarded by mutex_
+  std::unique_ptr<LogWriter> wal_;  // guarded by mutex_
+  uint64_t wal_number_ = 0;         // guarded by mutex_
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<TableCache> table_cache_;
   std::unique_ptr<LevelIndexStore> level_indexes_;
+  bool bg_scheduled_ = false;  // one background closure at a time
+  std::atomic<bool> shutting_down_{false};
+  Status bg_error_;        // first background failure; guarded by mutex_
+  int snapshot_count_ = 0;  // outstanding handles; guarded by mutex_
 };
 
 }  // namespace

@@ -4,9 +4,16 @@
 // the paper's six learned indexes or the traditional fence pointers, at
 // file or level granularity.
 //
-// The engine is deliberately single-threaded with inline (synchronous)
-// flushes and compactions, which makes every measurement the benches take
-// deterministic; see DESIGN.md for how this maps to the paper's setup.
+// Two execution models (DBOptions::concurrency; see DESIGN.md):
+//
+//  * kInline (default): single-threaded with inline (synchronous) flushes
+//    and compactions, which makes every measurement the benches take
+//    deterministic — the paper's setup.
+//  * kBackground: writes hand full memtables to a background worker that
+//    flushes and compacts off the foreground path, with LevelDB-style
+//    write slowdown/stall triggers; readers pin refcounted memtables and
+//    versions, so Get and iterators run concurrently with mutation, and
+//    Snapshot handles give repeatable point-in-time reads.
 #ifndef LILSM_LSM_DB_H_
 #define LILSM_LSM_DB_H_
 
@@ -28,6 +35,31 @@ enum class IndexGranularity : uint8_t {
   kLevel = 1,
 };
 
+/// Where LSM maintenance (flush, compaction) runs.
+enum class ConcurrencyMode : uint8_t {
+  /// Maintenance runs inline on the writing thread; the engine is
+  /// single-threaded and deterministic (every paper figure uses this).
+  kInline = 0,
+  /// Maintenance runs on Env::Schedule's background thread; writers only
+  /// stall on the slowdown/stop triggers and readers never block.
+  kBackground = 1,
+};
+
+/// A point-in-time read handle (DB::GetSnapshot). Internally it pins the
+/// memtables and version that were live at creation, so reads through it
+/// are repeatable even after flushes and compactions rewrite the tree.
+/// Release with DB::ReleaseSnapshot; a held snapshot keeps the pinned
+/// memtables and table files alive (and on disk) until released.
+class Snapshot {
+ public:
+  /// The last sequence number visible through this snapshot.
+  virtual SequenceNumber sequence() const = 0;
+
+ protected:
+  Snapshot() = default;
+  virtual ~Snapshot() = default;
+};
+
 struct DBOptions {
   Env* env = nullptr;  // defaults to Env::Default()
 
@@ -39,6 +71,17 @@ struct DBOptions {
   uint64_t sstable_target_size = 2 << 20;
   /// Number of L0 files triggering an L0 -> L1 compaction.
   int l0_compaction_trigger = 4;
+
+  /// Execution model for flushes and compactions (see DESIGN.md).
+  ConcurrencyMode concurrency = ConcurrencyMode::kInline;
+  /// kBackground only: at this many L0 files each write is delayed ~1 ms
+  /// to let compaction gain ground (LevelDB's soft limit). Clamped at
+  /// Open to >= l0_compaction_trigger (a stall must imply pending work).
+  int l0_slowdown_trigger = 8;
+  /// kBackground only: at this many L0 files writes block until the
+  /// backlog drains (LevelDB's hard limit). Clamped at Open to >=
+  /// l0_slowdown_trigger.
+  int l0_stop_trigger = 12;
 
   int bloom_bits_per_key = 10;
 
@@ -68,32 +111,56 @@ class DB {
   static Status Open(const DBOptions& options, const std::string& name,
                      std::unique_ptr<DB>* dbptr);
 
+  /// Waits for queued background work to finish or abort; outstanding
+  /// snapshots and iterators must be released first.
   virtual ~DB() = default;
 
   virtual Status Put(Key key, const Slice& value) = 0;
   virtual Status Delete(Key key) = 0;
   virtual Status Write(WriteBatch* batch) = 0;
 
-  /// Point lookup; NotFound if absent or deleted.
-  virtual Status Get(Key key, std::string* value) = 0;
+  /// Point lookup; NotFound if absent or deleted. With a null snapshot the
+  /// read sees the latest state; with a snapshot it sees exactly the state
+  /// the snapshot pinned. The snapshot must stay unreleased for the call.
+  virtual Status Get(Key key, std::string* value,
+                     const Snapshot* snapshot) = 0;
+  Status Get(Key key, std::string* value) {
+    return Get(key, value, nullptr);
+  }
 
-  /// Iterator over live entries; invalidated by subsequent writes.
-  virtual std::unique_ptr<Iterator> NewIterator() = 0;
+  /// Iterator over live entries. It pins the memtables and version it
+  /// reads, so it stays valid (at its creation-time view) under concurrent
+  /// writes, flushes, and compactions; destroy it to unpin. With a
+  /// snapshot, iterates that snapshot's view instead.
+  virtual std::unique_ptr<Iterator> NewIterator(const Snapshot* snapshot) = 0;
+  std::unique_ptr<Iterator> NewIterator() { return NewIterator(nullptr); }
+
+  /// Pins the current state for repeatable reads. Must be released via
+  /// ReleaseSnapshot before the DB is destroyed.
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
 
   /// Range lookup: up to `count` entries starting at the first key >=
   /// `start` (the paper's range workload).
   virtual Status RangeLookup(Key start, size_t count,
                              std::vector<std::pair<Key, std::string>>* out) = 0;
 
-  /// Flushes the memtable to level 0 (no-op when empty).
+  /// Flushes the memtable to level 0 (no-op when empty) and settles the
+  /// tree. In kBackground this drains the background queue first.
   virtual Status FlushMemTable() = 0;
-  /// Runs compactions until every level is within capacity.
+  /// Runs (or, in kBackground, schedules and awaits) compactions until
+  /// every level is within capacity.
   virtual Status CompactUntilStable() = 0;
   /// Full merge of every populated level into the one below, top-down —
   /// the precondition the paper notes for level-granularity models.
+  /// Requires a quiescent DB (no concurrent writers): in kBackground its
+  /// foreground merges would otherwise race freshly scheduled background
+  /// compactions over the same files.
   virtual Status CompactAll() = 0;
 
   // ---- experiment support ----
+  // The reconfiguration and memory-accounting APIs below assume a
+  // quiescent DB (no in-flight reads or writes), in both modes.
 
   /// Swaps the in-memory index of every live table (and level model) to a
   /// new type/config without rewriting data files. Subsequent flushes and

@@ -8,8 +8,16 @@ namespace {
 
 class DBIter final : public Iterator {
  public:
-  DBIter(std::unique_ptr<TableIterator> internal, SequenceNumber sequence)
-      : internal_(std::move(internal)), sequence_(sequence) {}
+  DBIter(std::unique_ptr<TableIterator> internal, SequenceNumber sequence,
+         std::function<void()> cleanup)
+      : internal_(std::move(internal)),
+        sequence_(sequence),
+        cleanup_(std::move(cleanup)) {}
+
+  ~DBIter() override {
+    internal_.reset();  // child iterators go before their sources unpin
+    if (cleanup_) cleanup_();
+  }
 
   bool Valid() const override { return valid_; }
 
@@ -52,7 +60,7 @@ class DBIter final : public Iterator {
     while (internal_->Valid()) {
       const Key user_key = internal_->key();
       const uint64_t tag = internal_->tag();
-      if (TagSequence(tag) > sequence_) {
+      if (!TagVisibleAt(tag, sequence_)) {
         // Not visible at this snapshot.
         internal_->Next();
         continue;
@@ -75,6 +83,7 @@ class DBIter final : public Iterator {
 
   std::unique_ptr<TableIterator> internal_;
   const SequenceNumber sequence_;
+  const std::function<void()> cleanup_;
   Key skip_key_ = 0;
   bool has_skip_key_ = false;
   bool valid_ = false;
@@ -83,8 +92,10 @@ class DBIter final : public Iterator {
 }  // namespace
 
 std::unique_ptr<Iterator> NewDBIterator(
-    std::unique_ptr<TableIterator> internal, SequenceNumber sequence) {
-  return std::make_unique<DBIter>(std::move(internal), sequence);
+    std::unique_ptr<TableIterator> internal, SequenceNumber sequence,
+    std::function<void()> cleanup) {
+  return std::make_unique<DBIter>(std::move(internal), sequence,
+                                  std::move(cleanup));
 }
 
 }  // namespace lilsm

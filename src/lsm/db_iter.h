@@ -4,6 +4,7 @@
 #ifndef LILSM_LSM_DB_ITER_H_
 #define LILSM_LSM_DB_ITER_H_
 
+#include <functional>
 #include <memory>
 
 #include "lsm/dbformat.h"
@@ -27,8 +28,13 @@ class Iterator {
 };
 
 /// Wraps an internal merging iterator; `sequence` bounds visibility.
+/// `cleanup` (optional) runs when the iterator is destroyed — the DB uses
+/// it to unpin the memtables, version, and table readers the iterator
+/// reads, which is what keeps an iterator valid under concurrent writes,
+/// flushes, and compactions.
 std::unique_ptr<Iterator> NewDBIterator(
-    std::unique_ptr<TableIterator> internal, SequenceNumber sequence);
+    std::unique_ptr<TableIterator> internal, SequenceNumber sequence,
+    std::function<void()> cleanup = nullptr);
 
 }  // namespace lilsm
 

@@ -30,6 +30,13 @@ inline ValueType TagType(uint64_t tag) {
   return static_cast<ValueType>(tag & 0xff);
 }
 
+/// Snapshot visibility: an entry is visible at a snapshot when it was
+/// sequenced at or before it. Snapshot handles and iterators pin a
+/// sequence number and filter every source through this predicate.
+inline bool TagVisibleAt(uint64_t tag, SequenceNumber snapshot) {
+  return TagSequence(tag) <= snapshot;
+}
+
 /// Orders (key, tag) with newest-first within a user key.
 inline bool InternalKeyLess(Key a_key, uint64_t a_tag, Key b_key,
                             uint64_t b_tag) {

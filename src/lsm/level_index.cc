@@ -9,8 +9,28 @@ Status LevelIndexStore::EnsureBuilt(int level,
                                     TableCache* cache, IndexType type,
                                     const IndexConfig& config,
                                     uint64_t stamp) {
+  // Fast path, shared lock: the common case is "model already current",
+  // and it must not take the exclusive side or concurrent readers would
+  // knock each other off the model. try-locks throughout: this is a
+  // read-path entry point and must never stall a lookup behind a
+  // full-level scan+train — on any contention the caller's PredictInFile
+  // falls back to the per-file index and a later lookup retries.
+  {
+    std::shared_lock<std::shared_mutex> rlock(level_mu_[level],
+                                              std::try_to_lock);
+    if (!rlock.owns_lock()) return Status::OK();
+    const LevelModel& model = models_[level];
+    // Current — or newer: rebuilds are monotone, never replace a model a
+    // newer version already built (the older reader's PredictInFile will
+    // miss its stamp and fall back).
+    if (model.valid && model.stamp >= stamp) return Status::OK();
+  }
+
+  std::unique_lock<std::shared_mutex> lock(level_mu_[level],
+                                           std::try_to_lock);
+  if (!lock.owns_lock()) return Status::OK();
   LevelModel& model = models_[level];
-  if (model.valid && model.stamp == stamp) return Status::OK();
+  if (model.valid && model.stamp >= stamp) return Status::OK();  // raced
   model.valid = false;
   if (files.empty()) return Status::OK();
 
@@ -39,9 +59,19 @@ Status LevelIndexStore::EnsureBuilt(int level,
 }
 
 bool LevelIndexStore::PredictInFile(int level, Key key, size_t file_idx,
-                                    size_t* local_lo, size_t* local_hi) const {
+                                    uint64_t stamp, size_t* local_lo,
+                                    size_t* local_hi) const {
+  // Shared try-lock: concurrent predictions on one level run in
+  // parallel; a rebuild in progress makes this fail fast instead of
+  // stalling the lookup (the caller falls back to the per-file index).
+  std::shared_lock<std::shared_mutex> lock(level_mu_[level],
+                                           std::try_to_lock);
+  if (!lock.owns_lock()) return false;
   const LevelModel& model = models_[level];
-  if (!model.valid || file_idx + 1 >= model.cumulative.size()) return false;
+  if (!model.valid || model.stamp != stamp ||
+      file_idx + 1 >= model.cumulative.size()) {
+    return false;
+  }
 
   const PredictResult r = model.index->Predict(key);
   const uint64_t base = model.cumulative[file_idx];
@@ -64,22 +94,35 @@ bool LevelIndexStore::PredictInFile(int level, Key key, size_t file_idx,
   return true;
 }
 
+// The accessors below are cold paths (experiment APIs, tests): they take
+// blocking locks, per level, and so may briefly wait out a build.
+
 void LevelIndexStore::InvalidateAll() {
-  for (LevelModel& model : models_) {
+  for (int level = 0; level < kNumLevels; level++) {
+    std::unique_lock<std::shared_mutex> lock(level_mu_[level]);
+    LevelModel& model = models_[level];
     model.valid = false;
     model.index.reset();
     model.cumulative.clear();
   }
 }
 
+bool LevelIndexStore::HasModel(int level) const {
+  std::shared_lock<std::shared_mutex> lock(level_mu_[level]);
+  return models_[level].valid;
+}
+
 size_t LevelIndexStore::SegmentCount(int level) const {
+  std::shared_lock<std::shared_mutex> lock(level_mu_[level]);
   const LevelModel& model = models_[level];
   return model.valid ? model.index->SegmentCount() : 0;
 }
 
 size_t LevelIndexStore::MemoryUsage() const {
   size_t total = 0;
-  for (const LevelModel& model : models_) {
+  for (int level = 0; level < kNumLevels; level++) {
+    std::shared_lock<std::shared_mutex> lock(level_mu_[level]);
+    const LevelModel& model = models_[level];
     if (model.valid) {
       total += model.index->MemoryUsage();
       total += model.cumulative.capacity() * sizeof(uint64_t);

@@ -3,13 +3,26 @@
 // trained over the concatenated keys of the level's files; predictions are
 // global positions translated into per-file entry bounds.
 //
-// Models are built lazily on first use and invalidated by the VersionSet
+// Models are built lazily on first use and invalidated by the version
 // stamp, so a read-only workload pays the build cost once (accounted under
 // Timer::kLevelIndexBuild).
+//
+// Concurrency: one reader-writer lock per level. Predictions take the
+// shared side, so concurrent lookups on a level proceed in parallel;
+// builds take the exclusive side. Both hot-path entry points use
+// try-locks — a reader arriving while the level's model is mid-rebuild
+// (or a builder arriving while another builds) returns immediately and
+// the caller falls back to the file-granularity path rather than
+// stalling behind a full-level disk scan. Stamp checks are race-free by
+// construction: EnsureBuilt pairs (model, stamp) under the exclusive
+// lock, and PredictInFile verifies the caller's stamp against the
+// model's before answering, so a reader pinned to one version never
+// consults a model trained on another's file set.
 #ifndef LILSM_LSM_LEVEL_INDEX_H_
 #define LILSM_LSM_LEVEL_INDEX_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "lsm/table_cache.h"
@@ -21,20 +34,26 @@ class LevelIndexStore {
  public:
   LevelIndexStore(Env* env, Stats* stats) : env_(env), stats_(stats) {}
 
-  /// Ensures the model for `level` matches `stamp`, rebuilding from the
-  /// level's files if not. No-op for empty levels.
+  /// Ensures the model for `level` matches `stamp` (a Version::stamp()),
+  /// rebuilding from the level's files if not. No-op for empty levels, and
+  /// (by try-lock) when the level is busy — being built by another thread
+  /// or actively predicted from; callers retry on their next lookup.
+  /// Rebuilds are monotone in the stamp: a reader holding an older pinned
+  /// version never downgrades a model built for a newer one.
   Status EnsureBuilt(int level, const std::vector<FileMeta>& files,
                      TableCache* cache, IndexType type,
                      const IndexConfig& config, uint64_t stamp);
 
   /// Translates a global prediction for `key` into entry bounds local to
   /// `file_idx` (the file, found by metadata, that may contain the key).
-  /// Returns false if no model is available for the level.
-  bool PredictInFile(int level, Key key, size_t file_idx, size_t* local_lo,
-                     size_t* local_hi) const;
+  /// Returns false if no model built for exactly `stamp` is immediately
+  /// available (none, a different stamp, or a rebuild in progress) — the
+  /// caller falls back to the per-file index.
+  bool PredictInFile(int level, Key key, size_t file_idx, uint64_t stamp,
+                     size_t* local_lo, size_t* local_hi) const;
 
   void InvalidateAll();
-  bool HasModel(int level) const { return models_[level].valid; }
+  bool HasModel(int level) const;
   size_t SegmentCount(int level) const;
 
   /// Memory of all live level models.
@@ -51,7 +70,9 @@ class LevelIndexStore {
 
   Env* const env_;
   Stats* const stats_;
-  LevelModel models_[kNumLevels];
+  // Per-level: predictions share, builds are exclusive.
+  mutable std::shared_mutex level_mu_[kNumLevels];
+  LevelModel models_[kNumLevels];  // guarded by level_mu_[level]
 };
 
 }  // namespace lilsm

@@ -42,7 +42,7 @@ void MemTable::Add(SequenceNumber seq, ValueType type, Key key,
   char* p = EncodeVarint32(buf + 16, static_cast<uint32_t>(value.size()));
   std::memcpy(p, value.data(), value.size());
   table_.Insert(buf);
-  num_entries_++;
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool MemTable::Get(Key key, SequenceNumber snapshot, std::string* value,

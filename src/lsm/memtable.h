@@ -1,9 +1,16 @@
 // MemTable: the in-memory write buffer. Entries live in an arena-backed
 // skiplist ordered by (user key asc, sequence desc); multiple versions of a
 // key coexist until the flush deduplicates them.
+//
+// Concurrency: Add is single-writer (the DB mutex serializes it); Get and
+// iteration are safe concurrently with the writer (see skiplist.h). The
+// optional Ref/Unref counting lets readers, snapshots, and the background
+// flush pin a memtable past its replacement as the active buffer; stack- or
+// unique_ptr-owned memtables (tests) simply never use it.
 #ifndef LILSM_LSM_MEMTABLE_H_
 #define LILSM_LSM_MEMTABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -20,6 +27,17 @@ class MemTable {
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
 
+  /// Increments the reference count (thread-safe). A heap-allocated
+  /// memtable managed by Ref/Unref starts at zero; the creator refs once.
+  void Ref() const { refs_.fetch_add(1, std::memory_order_relaxed); }
+  /// Drops a reference (thread-safe); deletes the memtable when the last
+  /// reference goes away. Never mix with external ownership.
+  void Unref() const {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
+  }
+
   void Add(SequenceNumber seq, ValueType type, Key key, const Slice& value);
 
   /// Looks up the newest version of `key` at or below `snapshot`.
@@ -29,8 +47,10 @@ class MemTable {
            ValueType* type) const;
 
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
-  uint64_t NumEntries() const { return num_entries_; }
-  bool empty() const { return num_entries_ == 0; }
+  uint64_t NumEntries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+  bool empty() const { return NumEntries() == 0; }
 
   /// Iterator in internal-key order, compatible with the merging iterator.
   std::unique_ptr<TableIterator> NewIterator() const;
@@ -47,7 +67,8 @@ class MemTable {
 
   Arena arena_;
   Table table_;
-  uint64_t num_entries_ = 0;
+  std::atomic<uint64_t> num_entries_{0};
+  mutable std::atomic<int32_t> refs_{0};
 };
 
 }  // namespace lilsm

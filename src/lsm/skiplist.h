@@ -1,9 +1,13 @@
-// Arena-backed skiplist, the memtable's core structure (LevelDB design,
-// simplified for the single-writer engine: no atomics needed because reads
-// and writes never race in this testbed).
+// Arena-backed skiplist, the memtable's core structure (LevelDB design).
+// Writes are externally serialized (the DB mutex admits one writer at a
+// time), while readers may traverse concurrently with an in-flight insert:
+// next pointers are released-stored only after the node is fully
+// initialized, so an acquire-loading reader either misses the new node or
+// sees it complete. Nothing is ever removed before the list is destroyed.
 #ifndef LILSM_LSM_SKIPLIST_H_
 #define LILSM_LSM_SKIPLIST_H_
 
+#include <atomic>
 #include <cassert>
 
 #include "util/arena.h"
@@ -29,22 +33,27 @@ class SkipList {
   SkipList& operator=(const SkipList&) = delete;
 
   /// Inserts key; no duplicate (per the comparator) may already be present.
+  /// Requires external synchronization against other inserts.
   void Insert(const K& key) {
     Node* prev[kMaxHeight];
     Node* x = FindGreaterOrEqual(key, prev);
     assert(x == nullptr || !Equal(key, x->key));
 
     const int height = RandomHeight();
-    if (height > max_height_) {
-      for (int i = max_height_; i < height; i++) {
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; i++) {
         prev[i] = head_;
       }
-      max_height_ = height;
+      // A racing reader observing the new height before the new node is
+      // linked just traverses from head_ with null next pointers — harmless.
+      max_height_.store(height, std::memory_order_relaxed);
     }
 
     x = NewNode(key, height);
     for (int i = 0; i < height; i++) {
-      x->SetNext(i, prev[i]->Next(i));
+      // The node's own pointer needs no barrier: it is published (below,
+      // with release) before any reader can reach it.
+      x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
       prev[i]->SetNext(i, x);
     }
   }
@@ -83,19 +92,31 @@ class SkipList {
 
   struct Node {
     explicit Node(const K& k) : key(k) {}
-    K key;
+    K const key;
 
-    Node* Next(int n) { return next_[n]; }
-    void SetNext(int n, Node* x) { next_[n] = x; }
+    Node* Next(int n) { return next_[n].load(std::memory_order_acquire); }
+    void SetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_release);
+    }
+    Node* NoBarrier_Next(int n) {
+      return next_[n].load(std::memory_order_relaxed);
+    }
+    void NoBarrier_SetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_relaxed);
+    }
 
     // Over-allocated via the arena: next_[height] pointers.
-    Node* next_[1];
+    std::atomic<Node*> next_[1];
   };
 
   Node* NewNode(const K& key, int height) {
     char* const mem = arena_->AllocateAligned(
-        sizeof(Node) + sizeof(Node*) * (height - 1));
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
     return new (mem) Node(key);
+  }
+
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
   }
 
   int RandomHeight() {
@@ -110,7 +131,7 @@ class SkipList {
 
   Node* FindGreaterOrEqual(const K& key, Node** prev) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next != nullptr && compare_(next->key, key) < 0) {
@@ -128,7 +149,7 @@ class SkipList {
   Comparator const compare_;
   Arena* const arena_;
   Node* const head_;
-  int max_height_;
+  std::atomic<int> max_height_;
   Random rnd_;
 };
 

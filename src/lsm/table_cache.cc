@@ -10,16 +10,34 @@ TableCache::TableCache(const TableOptions& options, std::string dbname,
 
 Status TableCache::GetReader(uint64_t file_number,
                              std::shared_ptr<TableReader>* reader) {
-  auto it = map_.find(file_number);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);  // touch
-    *reader = it->second->reader;
-    return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(file_number);
+    if (it != map_.end()) {
+      // Touch — skipped when already freshest, which keeps the hot-file
+      // fast path read-mostly under concurrent lookups.
+      if (it->second != lru_.begin()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+      }
+      *reader = it->second->reader;
+      return Status::OK();
+    }
   }
 
+  // Open outside the lock: misses do disk I/O and must not serialize the
+  // concurrent readers that hit the cache.
   std::unique_ptr<TableReader> opened;
   Status s = OpenTable(options_, TableFileName(dbname_, file_number), &opened);
   if (!s.ok()) return s;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(file_number);
+  if (it != map_.end()) {
+    // Another thread won the race to open this table; keep its reader.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *reader = it->second->reader;
+    return Status::OK();
+  }
 
   lru_.push_front(Entry{file_number, std::shared_ptr<TableReader>(
                                           opened.release())});
@@ -34,6 +52,7 @@ Status TableCache::GetReader(uint64_t file_number,
 }
 
 void TableCache::Evict(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(file_number);
   if (it == map_.end()) return;
   lru_.erase(it->second);
@@ -41,11 +60,13 @@ void TableCache::Evict(uint64_t file_number) {
 }
 
 void TableCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
 }
 
 size_t TableCache::TotalIndexMemory() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
   for (const Entry& entry : lru_) {
     total += entry.reader->IndexMemoryUsage();
@@ -54,6 +75,7 @@ size_t TableCache::TotalIndexMemory() const {
 }
 
 size_t TableCache::TotalFilterMemory() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
   for (const Entry& entry : lru_) {
     total += entry.reader->FilterMemoryUsage();

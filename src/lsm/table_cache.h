@@ -1,9 +1,15 @@
 // TableCache: LRU cache of open table readers keyed by file number.
+// Thread-safe: an internal mutex guards the LRU structures, and readers
+// are handed out as shared_ptr so an evicted table stays open for whoever
+// is mid-lookup on it. SetIndexOptions is the exception — it is only legal
+// in quiescent states (no concurrent lookups), like the experiment
+// reconfiguration APIs that call it.
 #ifndef LILSM_LSM_TABLE_CACHE_H_
 #define LILSM_LSM_TABLE_CACHE_H_
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -24,7 +30,10 @@ class TableCache {
   void Evict(uint64_t file_number);
 
   void Clear();
-  size_t size() const { return map_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
   const TableOptions& options() const { return options_; }
 
   /// Updates the index configuration used for newly built tables; callers
@@ -48,8 +57,9 @@ class TableCache {
   TableOptions options_;
   const std::string dbname_;
   const size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used; guarded by mu_
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;  // by mu_
 };
 
 }  // namespace lilsm

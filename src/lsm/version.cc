@@ -180,12 +180,46 @@ bool Version::KeyMayExistBelow(int level, Key key) const {
   return false;
 }
 
+void Version::Unref() const {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (vset_ != nullptr) vset_->ForgetVersion(this);
+    delete this;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // VersionSet
 // ---------------------------------------------------------------------------
 
 VersionSet::VersionSet(Env* env, std::string dbname)
-    : env_(env), dbname_(std::move(dbname)) {}
+    : env_(env), dbname_(std::move(dbname)) {
+  current_ = new Version();
+  current_->vset_ = this;
+  current_->Ref();
+  live_.push_back(current_);
+}
+
+VersionSet::~VersionSet() {
+  // Drop the set's own reference. Pinned versions outliving the set are a
+  // caller bug (an iterator or snapshot held past DB destruction).
+  current_->Unref();
+}
+
+void VersionSet::ForgetVersion(const Version* v) {
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  live_.erase(std::remove(live_.begin(), live_.end(), v), live_.end());
+}
+
+void VersionSet::AddLiveFiles(std::set<uint64_t>* live) const {
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  for (const Version* v : live_) {
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMeta& meta : v->files_[level]) {
+        live->insert(meta.number);
+      }
+    }
+  }
+}
 
 Status VersionSet::InstallManifest(uint64_t manifest_number) {
   // Point CURRENT at the manifest via an atomic rename.
@@ -221,7 +255,7 @@ Status VersionSet::WriteSnapshot(LogWriter* writer) {
     if (has_compact_pointer_[level]) {
       edit.SetCompactPointer(level, compact_pointer_[level]);
     }
-    for (const FileMeta& meta : current_.files_[level]) {
+    for (const FileMeta& meta : current_->files_[level]) {
       edit.AddFile(level, meta);
     }
   }
@@ -285,8 +319,16 @@ void VersionSet::Apply(const VersionEdit& edit) {
     compact_pointer_[level] = key;
     has_compact_pointer_[level] = true;
   }
+
+  // Build the successor version copy-on-write: the outgoing current stays
+  // untouched for whoever has it pinned.
+  Version* v = new Version();
+  v->vset_ = this;
+  for (int level = 0; level < kNumLevels; level++) {
+    v->files_[level] = current_->files_[level];
+  }
   for (const auto& [level, number] : edit.deleted_files_) {
-    auto& files = current_.files_[level];
+    auto& files = v->files_[level];
     files.erase(std::remove_if(files.begin(), files.end(),
                                [n = number](const FileMeta& f) {
                                  return f.number == n;
@@ -294,21 +336,30 @@ void VersionSet::Apply(const VersionEdit& edit) {
                 files.end());
   }
   for (const auto& [level, meta] : edit.new_files_) {
-    current_.files_[level].push_back(meta);
+    v->files_[level].push_back(meta);
     MarkFileNumberUsed(meta.number);
   }
   // Restore level ordering invariants.
-  std::sort(current_.files_[0].begin(), current_.files_[0].end(),
+  std::sort(v->files_[0].begin(), v->files_[0].end(),
             [](const FileMeta& a, const FileMeta& b) {
               return a.number > b.number;  // newest first
             });
   for (int level = 1; level < kNumLevels; level++) {
-    std::sort(current_.files_[level].begin(), current_.files_[level].end(),
+    std::sort(v->files_[level].begin(), v->files_[level].end(),
               [](const FileMeta& a, const FileMeta& b) {
                 return a.smallest < b.smallest;
               });
   }
-  stamp_++;
+  v->stamp_ = stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  v->Ref();
+  {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    live_.push_back(v);
+  }
+  Version* old = current_;
+  current_ = v;
+  old->Unref();
 }
 
 Status VersionSet::LogAndApply(VersionEdit* edit) {
@@ -325,12 +376,12 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   return Status::OK();
 }
 
-bool VersionSet::PickCompaction(int l0_trigger, uint64_t base_bytes,
-                                int size_ratio, CompactionPick* pick) {
+int VersionSet::PickCompactionLevel(int l0_trigger, uint64_t base_bytes,
+                                    int size_ratio) const {
   // Score each level; level 0 by file count, others by byte size.
   double best_score = 1.0;
   int best_level = -1;
-  const double l0_score = static_cast<double>(current_.NumFiles(0)) /
+  const double l0_score = static_cast<double>(current_->NumFiles(0)) /
                           static_cast<double>(std::max(1, l0_trigger));
   if (l0_score >= best_score) {
     best_score = l0_score;
@@ -340,12 +391,24 @@ bool VersionSet::PickCompaction(int l0_trigger, uint64_t base_bytes,
   for (int level = 1; level < kNumLevels - 1; level++) {
     max_bytes *= size_ratio;
     const double score =
-        static_cast<double>(current_.LevelBytes(level)) / max_bytes;
+        static_cast<double>(current_->LevelBytes(level)) / max_bytes;
     if (score > best_score) {
       best_score = score;
       best_level = level;
     }
   }
+  return best_level;
+}
+
+bool VersionSet::NeedsCompaction(int l0_trigger, uint64_t base_bytes,
+                                 int size_ratio) const {
+  return PickCompactionLevel(l0_trigger, base_bytes, size_ratio) >= 0;
+}
+
+bool VersionSet::PickCompaction(int l0_trigger, uint64_t base_bytes,
+                                int size_ratio, CompactionPick* pick) {
+  const int best_level =
+      PickCompactionLevel(l0_trigger, base_bytes, size_ratio);
   if (best_level < 0) return false;
 
   pick->level = best_level;
@@ -354,10 +417,10 @@ bool VersionSet::PickCompaction(int l0_trigger, uint64_t base_bytes,
 
   if (best_level == 0) {
     // Full L0 compaction: all files (they overlap anyway under leveling).
-    pick->inputs = current_.files_[0];
+    pick->inputs = current_->files_[0];
   } else {
     // Partial compaction: round-robin one file after the compact pointer.
-    const auto& files = current_.files_[best_level];
+    const auto& files = current_->files_[best_level];
     size_t chosen = 0;
     if (has_compact_pointer_[best_level]) {
       for (size_t i = 0; i < files.size(); i++) {
@@ -378,18 +441,18 @@ bool VersionSet::PickCompaction(int l0_trigger, uint64_t base_bytes,
     largest = std::max(largest, f.largest);
   }
   pick->next_inputs =
-      current_.GetOverlapping(best_level + 1, smallest, largest);
+      current_->GetOverlapping(best_level + 1, smallest, largest);
   return true;
 }
 
 bool VersionSet::PickFullCompaction(int level, CompactionPick* pick) {
   if (level < 0 || level >= kNumLevels - 1 ||
-      current_.files_[level].empty()) {
+      current_->files_[level].empty()) {
     return false;
   }
   pick->level = level;
-  pick->inputs = current_.files_[level];
-  pick->next_inputs = current_.files_[level + 1];
+  pick->inputs = current_->files_[level];
+  pick->next_inputs = current_->files_[level + 1];
   return true;
 }
 

@@ -1,10 +1,19 @@
 // Version / VersionEdit / VersionSet: immutable per-level file metadata,
-// manifest persistence, and compaction picking — the LevelDB architecture
-// reduced to what a single-threaded engine needs.
+// manifest persistence, and compaction picking — the LevelDB architecture.
+//
+// Concurrency: a Version is immutable once installed. VersionSet mutators
+// (LogAndApply, the picks, PinCurrent) require the caller's DB-wide mutex;
+// Version::Ref/Unref are thread-safe, so readers, iterators, and snapshots
+// can pin a version and drop it from any thread without a lock. The set
+// tracks every live version so obsolete-file collection never deletes a
+// table some pinned version can still reach.
 #ifndef LILSM_LSM_VERSION_H_
 #define LILSM_LSM_VERSION_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +22,8 @@
 #include "util/env.h"
 
 namespace lilsm {
+
+class VersionSet;
 
 struct FileMeta {
   uint64_t number = 0;
@@ -66,9 +77,12 @@ class VersionEdit {
 
 /// A snapshot of the LSM-tree shape. Level 0 holds possibly overlapping
 /// files ordered newest-first (descending file number); levels >= 1 hold
-/// disjoint files sorted by smallest key.
+/// disjoint files sorted by smallest key. Immutable once installed into a
+/// VersionSet; default-constructible standalone for tests.
 class Version {
  public:
+  Version() = default;
+
   int NumFiles(int level) const {
     return static_cast<int>(files_[level].size());
   }
@@ -93,26 +107,63 @@ class Version {
   /// (governs tombstone dropping during compaction).
   bool KeyMayExistBelow(int level, Key key) const;
 
+  /// The VersionSet stamp at which this version was installed (0 for
+  /// standalone versions). Level models key their caches on it.
+  uint64_t stamp() const { return stamp_; }
+
+  /// Thread-safe reference counting for set-managed versions. The last
+  /// Unref unregisters the version from its owning set and deletes it.
+  /// Standalone (stack) versions must never be Unref'd.
+  void Ref() const { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() const;
+
   std::vector<FileMeta> files_[kNumLevels];
+
+ private:
+  friend class VersionSet;
+
+  VersionSet* vset_ = nullptr;  // owning set; null for standalone versions
+  uint64_t stamp_ = 0;
+  mutable std::atomic<int32_t> refs_{0};
 };
 
 class VersionSet {
  public:
   VersionSet(Env* env, std::string dbname);
+  ~VersionSet();
 
   /// Initializes a fresh database: writes MANIFEST + CURRENT.
   Status CreateNew();
   /// Recovers state from CURRENT + MANIFEST.
   Status Recover();
 
-  /// Persists the edit to the manifest and applies it to current().
+  /// Persists the edit to the manifest and installs a new current version
+  /// built from current() + edit. Requires the DB mutex.
   Status LogAndApply(VersionEdit* edit);
 
-  const Version& current() const { return current_; }
+  /// The current version. The reference is only stable while the DB mutex
+  /// is held; use PinCurrent() to read beyond it.
+  const Version& current() const { return *current_; }
 
-  uint64_t NewFileNumber() { return next_file_number_++; }
+  /// Refs and returns the current version (caller must Unref). Requires
+  /// the DB mutex (it races with LogAndApply's install otherwise).
+  const Version* PinCurrent() const {
+    current_->Ref();
+    return current_;
+  }
+
+  /// Inserts the file number of every file reachable from any live
+  /// (current or pinned) version. Thread-safe.
+  void AddLiveFiles(std::set<uint64_t>* live) const;
+
+  uint64_t NewFileNumber() {
+    return next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  }
   void MarkFileNumberUsed(uint64_t number) {
-    if (next_file_number_ <= number) next_file_number_ = number + 1;
+    uint64_t cur = next_file_number_.load(std::memory_order_relaxed);
+    while (cur <= number && !next_file_number_.compare_exchange_weak(
+                                cur, number + 1, std::memory_order_relaxed)) {
+    }
   }
   SequenceNumber last_sequence() const { return last_sequence_; }
   void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
@@ -120,8 +171,8 @@ class VersionSet {
   uint64_t manifest_number() const { return manifest_number_; }
 
   /// Monotone stamp bumped by every LogAndApply; consumers (level models)
-  /// use it to detect stale caches.
-  uint64_t stamp() const { return stamp_; }
+  /// use it to detect stale caches. Matches current().stamp().
+  uint64_t stamp() const { return stamp_.load(std::memory_order_relaxed); }
 
   struct CompactionPick {
     int level = -1;
@@ -132,29 +183,45 @@ class VersionSet {
   /// Chooses the compaction the tree needs most, LevelDB-style: level 0 by
   /// file count against `l0_trigger`, deeper levels by size against
   /// base_bytes * size_ratio^level. Returns false when no level is over
-  /// its capacity.
+  /// its capacity. Requires the DB mutex.
   bool PickCompaction(int l0_trigger, uint64_t base_bytes, int size_ratio,
                       CompactionPick* pick);
+
+  /// True when PickCompaction would return a pick — the cheap check the
+  /// background scheduler polls. Requires the DB mutex.
+  bool NeedsCompaction(int l0_trigger, uint64_t base_bytes,
+                       int size_ratio) const;
 
   /// The full-merge pick used by manual/level-granularity compactions:
   /// all files of `level` plus everything overlapping below.
   bool PickFullCompaction(int level, CompactionPick* pick);
 
  private:
+  friend class Version;
+
   Status WriteSnapshot(LogWriter* writer);
   void Apply(const VersionEdit& edit);
   Status InstallManifest(uint64_t manifest_number);
+  void ForgetVersion(const Version* v);
+  /// The level whose score (fill fraction) is highest, or -1 when no level
+  /// is over capacity.
+  int PickCompactionLevel(int l0_trigger, uint64_t base_bytes,
+                          int size_ratio) const;
 
   Env* const env_;
   const std::string dbname_;
-  Version current_;
+  Version* current_;  // heap-allocated; the set holds one reference
+  // All versions with outstanding references, current_ included. Guarded
+  // by live_mutex_ (Unref may fire on any thread).
+  mutable std::mutex live_mutex_;
+  std::vector<const Version*> live_;
   std::unique_ptr<LogWriter> manifest_;
   uint64_t manifest_number_ = 0;
   uint64_t manifest_edits_ = 0;
-  uint64_t next_file_number_ = 2;
+  std::atomic<uint64_t> next_file_number_{2};
   SequenceNumber last_sequence_ = 0;
   uint64_t log_number_ = 0;
-  uint64_t stamp_ = 0;
+  std::atomic<uint64_t> stamp_{0};
   Key compact_pointer_[kNumLevels] = {};
   bool has_compact_pointer_[kNumLevels] = {};
 };

@@ -2,6 +2,14 @@
 //   masked crc32c (4B) | payload length (4B) | payload.
 // Replay stops cleanly at a torn or corrupt tail record, which is the crash
 // durability contract the recovery tests exercise.
+//
+// Concurrency contract: LogWriter/LogReader are single-threaded objects.
+// The engine serializes every WAL append under the DB-wide mutex (the
+// writer path holds it across AddRecord + memtable insert, so log order
+// always matches sequence order), and the MANIFEST writer is only touched
+// by LogAndApply, likewise under the mutex. Rolling the WAL at a memtable
+// switch replaces the LogWriter wholesale; the retired log is only read
+// again during single-threaded recovery.
 #ifndef LILSM_LSM_WAL_H_
 #define LILSM_LSM_WAL_H_
 
@@ -17,6 +25,9 @@ class LogWriter {
   explicit LogWriter(std::unique_ptr<WritableFile> file)
       : file_(std::move(file)) {}
 
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
   Status AddRecord(const Slice& record);
   Status Flush() { return file_->Flush(); }
   Status Sync() { return file_->Sync(); }
@@ -30,6 +41,9 @@ class LogReader {
  public:
   explicit LogReader(std::unique_ptr<SequentialFile> file)
       : file_(std::move(file)) {}
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
 
   /// Reads the next record into *record. Returns false at EOF or at the
   /// first corrupt/torn record (in which case corruption() reports it).

@@ -306,11 +306,17 @@ Status SegmentedTableReader::SearchRange(Key key, size_t range_lo,
   Env* env = options_.env;
   *found = false;
 
+  // Per-thread scratch instead of a reader member: concurrent point
+  // lookups on the same (cached, shared) reader must not share a buffer.
+  // Shared across readers on a thread, it amortizes to one allocation at
+  // the largest segment size, same as the old per-reader member.
+  thread_local std::string get_scratch;
+
   const char* base = nullptr;
   size_t first = 0, last = 0;
   {
     ScopedTimer timer(stats, Timer::kDiskRead, env);
-    Status s = ReadEntryRange(range_lo, range_hi, &get_scratch_, &base,
+    Status s = ReadEntryRange(range_lo, range_hi, &get_scratch, &base,
                               &first, &last);
     if (!s.ok()) return s;
     if (stats != nullptr) stats->Add(Counter::kSegmentsFetched);

@@ -108,7 +108,6 @@ class SegmentedTableReader final : public TableReader {
   uint32_t value_size_ = 0;
   uint32_t entry_size_ = 0;
   uint64_t data_size_ = 0;  // count_ * entry_size_
-  std::string get_scratch_;  // reused buffer for point lookups
 };
 
 }  // namespace lilsm

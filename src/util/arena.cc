@@ -44,7 +44,8 @@ char* Arena::AllocateAligned(size_t bytes) {
 
 char* Arena::AllocateNewBlock(size_t block_bytes) {
   blocks_.emplace_back(new char[block_bytes]);
-  memory_usage_ += block_bytes + sizeof(blocks_.back());
+  memory_usage_.fetch_add(block_bytes + sizeof(blocks_.back()),
+                          std::memory_order_relaxed);
   return blocks_.back().get();
 }
 

@@ -3,6 +3,7 @@
 #ifndef LILSM_UTIL_ARENA_H_
 #define LILSM_UTIL_ARENA_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -25,8 +26,12 @@ class Arena {
   /// pointer-holding structures (skiplist nodes).
   char* AllocateAligned(size_t bytes);
 
-  /// Total memory allocated from the system by the arena.
-  size_t MemoryUsage() const { return memory_usage_; }
+  /// Total memory allocated from the system by the arena. Safe to read
+  /// concurrently with the (single) allocating thread, which is how the
+  /// write path polls a memtable's size while readers pin it.
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
 
  private:
   char* AllocateFallback(size_t bytes);
@@ -37,7 +42,7 @@ class Arena {
   char* alloc_ptr_;
   size_t alloc_bytes_remaining_;
   std::vector<std::unique_ptr<char[]>> blocks_;
-  size_t memory_usage_;
+  std::atomic<size_t> memory_usage_;
 };
 
 inline char* Arena::Allocate(size_t bytes) {

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "util/thread_pool.h"
+
 namespace lilsm {
 
 namespace {
@@ -262,6 +264,13 @@ class PosixEnv final : public Env {
 Env* Env::Default() {
   static PosixEnv env;
   return &env;
+}
+
+void Env::Schedule(std::function<void()> work) {
+  // One background thread shared process-wide (the LevelDB arrangement):
+  // lazily constructed on first use, drained and joined at process exit.
+  static ThreadPool pool(1);
+  pool.Submit(std::move(work));
 }
 
 Status ReadFileToString(Env* env, const std::string& fname,

@@ -6,6 +6,7 @@
 #define LILSM_UTIL_ENV_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,15 @@ class Env {
   /// Monotonic clock in nanoseconds, used by all instrumentation.
   virtual uint64_t NowNanos() = 0;
   uint64_t NowMicros() { return NowNanos() / 1000; }
+
+  /// Runs `work` once on a background thread. The default implementation
+  /// feeds a process-wide ThreadPool shared by every Env (mirroring
+  /// LevelDB's single maintenance thread), which serializes maintenance
+  /// across DB instances; decorators forward to their base. Closures must
+  /// not assume any ordering beyond FIFO dispatch, and the engine only
+  /// calls this in ConcurrencyMode::kBackground, so kInline runs stay
+  /// deterministic and thread-free.
+  virtual void Schedule(std::function<void()> work);
 };
 
 /// Reads the entire named file into *data.

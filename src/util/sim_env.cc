@@ -1,6 +1,8 @@
 #include "util/sim_env.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 namespace lilsm {
 
@@ -47,12 +49,21 @@ SimEnvOptions SimEnv::OptionsFromEnvironment() {
   if (const char* v = std::getenv("LILSM_READ_PER_BYTE_NS")) {
     opts.read_per_byte_ns = std::strtod(v, nullptr);
   }
+  if (const char* v = std::getenv("LILSM_SIM_SLEEP")) {
+    opts.sleep_instead_of_spin = v[0] != '\0' && v[0] != '0';
+  }
   return opts;
 }
 
 void SimEnv::SpinFor(uint64_t ns) {
   if (ns == 0) return;
   stats_.simulated_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+  if (options_.sleep_instead_of_spin) {
+    // Block instead of burn: concurrent requests overlap their waits the
+    // way a real device serves a queue (granularity: OS timer slack).
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
   const uint64_t start = base_->NowNanos();
   while (base_->NowNanos() - start < ns) {
     // Busy-wait: keeps injected latency inside wall-clock measurements

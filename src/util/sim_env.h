@@ -48,6 +48,14 @@ struct SimEnvOptions {
   double write_per_byte_ns = 0.0;
   /// Block size used only for the blocks_read counter.
   uint64_t io_block_size = 4096;
+  /// How the wait is served. false (default): busy-spin — precise at
+  /// microsecond scales and deterministic, the right model for the paper's
+  /// single-threaded measurements. true: nanosleep — releases the CPU, so
+  /// concurrent requests overlap like a queued device serving multiple
+  /// outstanding I/Os; granularity is OS timer slack (~60 us on Linux), so
+  /// pair it with disk-class latencies. The concurrent-throughput bench
+  /// (fig13) uses this to demonstrate read overlap even on one core.
+  bool sleep_instead_of_spin = false;
 };
 
 class SimEnv final : public Env {
@@ -95,9 +103,13 @@ class SimEnv final : public Env {
     return base_->RenameFile(src, target);
   }
   uint64_t NowNanos() override { return base_->NowNanos(); }
+  void Schedule(std::function<void()> work) override {
+    base_->Schedule(std::move(work));
+  }
 
-  /// Busy-waits for `ns` nanoseconds and accounts the wait. Exposed for
-  /// the file wrappers; not intended for external callers.
+  /// Waits `ns` nanoseconds (spinning or sleeping per the options) and
+  /// accounts the wait. Exposed for the file wrappers; not intended for
+  /// external callers.
   void SpinFor(uint64_t ns);
 
  private:

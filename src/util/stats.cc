@@ -28,6 +28,8 @@ const char* TimerName(Timer t) {
       return "compact_write_model";
     case Timer::kLevelIndexBuild:
       return "level_index_build";
+    case Timer::kBackgroundWork:
+      return "background_work";
     default:
       return "unknown";
   }
@@ -59,17 +61,103 @@ const char* CounterName(Counter c) {
       return "entries_compacted";
     case Counter::kModelsTrained:
       return "models_trained";
+    case Counter::kWriteSlowdowns:
+      return "write_slowdowns";
+    case Counter::kWriteStalls:
+      return "write_stalls";
     default:
       return "unknown";
   }
 }
 
+namespace {
+
+std::atomic<size_t> next_shard{0};
+
+template <typename Array>
+void FillZero(Array& array) {
+  for (auto& cell : array) cell.store(0, std::memory_order_relaxed);
+}
+
+template <typename Array>
+void CopyCells(Array& dst, const Array& src) {
+  for (size_t i = 0; i < src.size(); i++) {
+    dst[i].store(src[i].load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+}
+
+template <typename Array>
+uint64_t CellAt(const Array& array, int i) {
+  return array[i].load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+size_t Stats::ShardIndex() {
+  thread_local const size_t idx =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
 void Stats::Reset() {
-  timer_ns_.fill(0);
-  timer_count_.fill(0);
-  counters_.fill(0);
-  level_read_ns_.fill(0);
-  level_reads_.fill(0);
+  for (Shard& shard : shards_) {
+    FillZero(shard.timer_ns);
+    FillZero(shard.timer_count);
+    FillZero(shard.counters);
+    FillZero(shard.level_read_ns);
+    FillZero(shard.level_reads);
+  }
+}
+
+void Stats::CopyFrom(const Stats& other) {
+  for (int s = 0; s < kShards; s++) {
+    CopyCells(shards_[s].timer_ns, other.shards_[s].timer_ns);
+    CopyCells(shards_[s].timer_count, other.shards_[s].timer_count);
+    CopyCells(shards_[s].counters, other.shards_[s].counters);
+    CopyCells(shards_[s].level_read_ns, other.shards_[s].level_read_ns);
+    CopyCells(shards_[s].level_reads, other.shards_[s].level_reads);
+  }
+}
+
+uint64_t Stats::TimeNanos(Timer t) const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += CellAt(shard.timer_ns, static_cast<int>(t));
+  }
+  return total;
+}
+
+uint64_t Stats::TimerCount(Timer t) const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += CellAt(shard.timer_count, static_cast<int>(t));
+  }
+  return total;
+}
+
+uint64_t Stats::Count(Counter c) const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += CellAt(shard.counters, static_cast<int>(c));
+  }
+  return total;
+}
+
+uint64_t Stats::LevelReadNanos(int level) const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += CellAt(shard.level_read_ns, level);
+  }
+  return total;
+}
+
+uint64_t Stats::LevelReads(int level) const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += CellAt(shard.level_reads, level);
+  }
+  return total;
 }
 
 std::string Stats::ToString() const {

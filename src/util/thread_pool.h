@@ -1,0 +1,52 @@
+// ThreadPool: a fixed-size worker pool with a FIFO work queue, backing
+// Env::Schedule. The destructor completes all queued work before joining,
+// so callers that wait for their own completion signals (the DB's
+// background-work flag) never lose a scheduled closure.
+#ifndef LILSM_UTIL_THREAD_POOL_H_
+#define LILSM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lilsm {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads = 1);
+  /// Drains the queue (every submitted closure runs), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `work` for execution on some pool thread. Closures run in
+  /// FIFO order but concurrently across threads; callers needing mutual
+  /// exclusion provide their own (the DB serializes via bg_scheduled_).
+  void Submit(std::function<void()> work);
+
+  /// Blocks until the queue is empty and no closure is running.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  /// Queued-but-not-started closures (diagnostic; racy by nature).
+  size_t QueueDepth();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: work or stop
+  std::condition_variable idle_cv_;  // signals WaitIdle: pool went idle
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  int active_ = 0;                           // closures mid-run; guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_THREAD_POOL_H_

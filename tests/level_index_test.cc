@@ -66,7 +66,8 @@ TEST_F(LevelIndexTest, BuildsAndPredictsAcrossFiles) {
     const size_t file_idx = i / 3000;
     const size_t local = i % 3000;
     size_t lo = 0, hi = 0;
-    ASSERT_TRUE(store.PredictInFile(1, keys_[i], file_idx, &lo, &hi));
+    ASSERT_TRUE(
+        store.PredictInFile(1, keys_[i], file_idx, /*stamp=*/1, &lo, &hi));
     ASSERT_LE(lo, local) << "key index " << i;
     ASSERT_GE(hi, local) << "key index " << i;
     ASSERT_LT(hi, 3000u);
@@ -86,6 +87,17 @@ TEST_F(LevelIndexTest, StampChangeForcesRebuild) {
   ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kPGM,
                                     IndexConfig::FromPositionBoundary(32), 2));
   EXPECT_GT(stats_.TimerCount(Timer::kLevelIndexBuild), builds_before);
+  // Predictions are stamp-checked: a reader pinned to the old version
+  // falls back instead of consulting the newer model.
+  size_t lo, hi;
+  EXPECT_FALSE(store.PredictInFile(1, keys_[0], 0, /*stamp=*/1, &lo, &hi));
+  EXPECT_TRUE(store.PredictInFile(1, keys_[0], 0, /*stamp=*/2, &lo, &hi));
+  // Stale stamps never downgrade a newer model (monotone rebuilds).
+  const uint64_t builds_now = stats_.TimerCount(Timer::kLevelIndexBuild);
+  ASSERT_LILSM_OK(store.EnsureBuilt(1, files_, cache_.get(), IndexType::kPGM,
+                                    IndexConfig::FromPositionBoundary(32), 1));
+  EXPECT_EQ(stats_.TimerCount(Timer::kLevelIndexBuild), builds_now);
+  EXPECT_TRUE(store.PredictInFile(1, keys_[0], 0, /*stamp=*/2, &lo, &hi));
 }
 
 TEST_F(LevelIndexTest, InvalidateDropsModels) {
@@ -96,7 +108,7 @@ TEST_F(LevelIndexTest, InvalidateDropsModels) {
   EXPECT_FALSE(store.HasModel(1));
   EXPECT_EQ(store.MemoryUsage(), 0u);
   size_t lo, hi;
-  EXPECT_FALSE(store.PredictInFile(1, keys_[0], 0, &lo, &hi));
+  EXPECT_FALSE(store.PredictInFile(1, keys_[0], 0, /*stamp=*/1, &lo, &hi));
 }
 
 TEST_F(LevelIndexTest, GetWithBoundsServesLevelPredictions) {
@@ -109,7 +121,8 @@ TEST_F(LevelIndexTest, GetWithBoundsServesLevelPredictions) {
   for (size_t i = 0; i < keys_.size(); i += 101) {
     const size_t file_idx = i / 3000;
     size_t lo = 0, hi = 0;
-    ASSERT_TRUE(store.PredictInFile(1, keys_[i], file_idx, &lo, &hi));
+    ASSERT_TRUE(
+        store.PredictInFile(1, keys_[i], file_idx, /*stamp=*/1, &lo, &hi));
     std::shared_ptr<TableReader> reader;
     ASSERT_LILSM_OK(cache_->GetReader(files_[file_idx].number, &reader));
     ASSERT_LILSM_OK(
