@@ -66,6 +66,38 @@ inline bool ParseSizeFlag(int argc, char** argv, int* i, const char* flag,
   return true;
 }
 
+/// Parses "--flag VALUE" / "--flag=VALUE" string flags; returns true and
+/// advances *i on match. A matched flag with a missing value is a hard
+/// error (exit 2), mirroring ParseSizeFlag.
+inline bool ParseStringFlag(int argc, char** argv, int* i, const char* flag,
+                            std::string* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  if (arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+  } else if (arg[flag_len] == '\0') {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(2);
+    }
+    *out = argv[++*i];
+  } else {
+    return false;  // a different flag sharing this prefix
+  }
+  return true;
+}
+
+/// Maps a --level-model value to the policy; exits 2 on unknown values.
+inline LevelModelPolicy ParseLevelModelPolicy(const std::string& name) {
+  if (name == "lazy") return LevelModelPolicy::kLazyRebuild;
+  if (name == "maintained") return LevelModelPolicy::kCompactionMaintained;
+  std::fprintf(stderr,
+               "--level-model must be 'lazy' or 'maintained' (got '%s')\n",
+               name.c_str());
+  std::exit(2);
+}
+
 /// BenchDefaults() plus command-line overrides. CLI flags win over the
 /// LILSM_* environment variables; --n is what the bench_smoke ctest
 /// entries use to keep every figure bench fast under tier-1.
@@ -77,9 +109,15 @@ inline bool ParseSizeFlag(int argc, char** argv, int* i, const char* flag,
 /// threads (optional) enables the --threads flag for the multi-threaded
 /// benches (fig13); when null, --threads is rejected like any unknown
 /// flag so single-threaded benches stay strict.
+///
+/// level_model (optional) enables the --level-model={lazy,maintained}
+/// flag for the model-lifecycle benches (fig14); it receives the raw
+/// value (empty when the flag was not given) so a bench can default to
+/// sweeping both policies.
 inline ExperimentDefaults BenchDefaults(int argc, char** argv,
                                         bool* ops_from_flags = nullptr,
-                                        size_t* threads = nullptr) {
+                                        size_t* threads = nullptr,
+                                        std::string* level_model = nullptr) {
   ExperimentDefaults d = BenchDefaults();
   if (ops_from_flags != nullptr) *ops_from_flags = false;
   auto require_positive = [](const char* flag, size_t value) {
@@ -111,14 +149,19 @@ inline ExperimentDefaults BenchDefaults(int argc, char** argv,
                ParseSizeFlag(argc, argv, &i, "--threads", &value)) {
       require_positive("--threads", value);
       *threads = value;
+    } else if (level_model != nullptr &&
+               ParseStringFlag(argc, argv, &i, "--level-model",
+                               level_model)) {
+      ParseLevelModelPolicy(*level_model);  // validate eagerly
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: %s [--n KEYS] [--ops OPS] [--value-size BYTES] "
-          "[--seed SEED]%s\n"
+          "[--seed SEED]%s%s\n"
           "Environment overrides (LILSM_N, LILSM_OPS, ...) are documented "
           "in src/core/config.h; flags take precedence.\n",
-          argv[0], threads != nullptr ? " [--threads T]" : "");
+          argv[0], threads != nullptr ? " [--threads T]" : "",
+          level_model != nullptr ? " [--level-model lazy|maintained]" : "");
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown flag %s (try --help)\n", argv[0],

@@ -1,0 +1,201 @@
+// Figure 14 (beyond the paper): level-model freshness under write churn —
+// the payoff of training level models on the write path (Bourbon-style)
+// instead of rebuilding them lazily at read time.
+//
+// A YCSB-A mix (50% reads / 50% updates, zipfian) over a level-granularity
+// tree keeps flushes and compactions installing new versions. Under
+// kLazyRebuild every install leaves the successor's model slots empty, so
+// the next read pays a full-level key scan per touched level; under
+// kCompactionMaintained the install stitches the outputs' per-file
+// segments into the level models with zero key re-reads. The bench
+// reports model-(re)build bytes read, stitch/retrain counts, and read p50
+// under both policies — and proves the policies return identical Get
+// results via a running checksum of every read.
+//
+//   fig14_model_churn                      # sweep both policies
+//   fig14_model_churn --level-model=maintained
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "lsm/db.h"
+#include "util/histogram.h"
+#include "workload/dataset.h"
+#include "workload/ycsb.h"
+
+using namespace lilsm;
+
+namespace {
+
+struct PolicyResult {
+  uint64_t model_bytes = 0;
+  uint64_t lazy_builds = 0;
+  uint64_t stitches = 0;
+  uint64_t retrains = 0;
+  double read_p50_us = 0;
+  double kops = 0;
+  uint64_t checksum = 0;
+};
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Status RunPolicy(LevelModelPolicy policy, const ExperimentDefaults& d,
+                 const std::string& dbdir, PolicyResult* result) {
+  DBOptions options;
+  // Scale the buffer to the data so the tree has levels >= 1 and the
+  // measured window sees flush/compaction churn at any --n (a load of
+  // ~8 memtables, an update stream of ~4 more).
+  const uint64_t entry_size = d.key_size + 8 + d.value_size;
+  options.write_buffer_size = std::max<size_t>(
+      32 << 10, std::min<uint64_t>(d.write_buffer_size,
+                                   d.num_keys * entry_size / 8));
+  options.sstable_target_size = options.write_buffer_size / 2;
+  options.size_ratio = d.size_ratio;
+  options.bloom_bits_per_key = d.bloom_bits_per_key;
+  options.key_size = d.key_size;
+  options.value_size = d.value_size;
+  options.index_granularity = IndexGranularity::kLevel;
+  options.level_model_policy = policy;
+  options.index_config = IndexConfig::FromPositionBoundary(64);
+
+  DB::Destroy(options, dbdir);
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, dbdir, &db);
+  if (!s.ok()) return s;
+
+  std::vector<Key> keys = GenerateKeys(d.dataset, d.num_keys, d.seed);
+  {
+    std::vector<size_t> order(keys.size());
+    for (size_t i = 0; i < order.size(); i++) order[i] = i;
+    Random rnd(d.seed ^ 0x10ad);
+    for (size_t i = order.size(); i > 1; i--) {
+      std::swap(order[i - 1], order[rnd.Uniform(i)]);
+    }
+    for (size_t i : order) {
+      s = db->Put(keys[i], DeriveValue(keys[i], d.value_size));
+      if (!s.ok()) return s;
+    }
+  }
+  s = db->FlushMemTable();
+  if (!s.ok()) return s;
+  db->stats()->Reset();
+
+  Env* env = Env::Default();
+  Histogram read_ns;
+  uint64_t checksum = 1469598103934665603ull;  // FNV offset basis
+  YcsbGenerator gen(YcsbWorkload::kA, keys.size(), d.seed ^ 0x5ca1ab1e);
+  std::string value;
+  const uint64_t run_start = env->NowNanos();
+  for (size_t i = 0; i < d.num_ops; i++) {
+    const YcsbOp op = gen.Next();
+    const Key key = keys[op.key_index % keys.size()];
+    if (op.type == YcsbOp::Type::kUpdate ||
+        op.type == YcsbOp::Type::kInsert) {
+      s = db->Put(key, DeriveValue(key ^ i, d.value_size));
+      if (!s.ok()) return s;
+      continue;
+    }
+    const uint64_t t0 = env->NowNanos();
+    s = db->Get(key, &value);
+    read_ns.Add(static_cast<double>(env->NowNanos() - t0));
+    if (s.IsNotFound()) {
+      checksum = Fnv1a(checksum, key);
+      continue;
+    }
+    if (!s.ok()) return s;
+    checksum = Fnv1a(checksum, key);
+    for (size_t b = 0; b + 8 <= value.size(); b += 8) {
+      uint64_t word = 0;
+      std::memcpy(&word, value.data() + b, 8);
+      checksum = Fnv1a(checksum, word);
+    }
+  }
+  const double seconds = (env->NowNanos() - run_start) / 1e9;
+
+  const Stats& stats = *db->stats();
+  result->model_bytes = stats.Count(Counter::kModelBuildBytesRead);
+  result->lazy_builds = stats.TimerCount(Timer::kLevelIndexBuild);
+  result->stitches = stats.Count(Counter::kModelsStitched);
+  result->retrains = stats.Count(Counter::kModelRetrains);
+  result->read_p50_us = read_ns.Percentile(50) / 1000.0;
+  result->kops = d.num_ops / seconds / 1000.0;
+  result->checksum = checksum;
+  db.reset();
+  DB::Destroy(options, dbdir);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ops_from_flags = false;
+  std::string level_model;
+  ExperimentDefaults d =
+      bench::BenchDefaults(argc, argv, &ops_from_flags, nullptr, &level_model);
+  // Churn needs enough updates to drive flushes and compactions through
+  // the measured window; default to one op per loaded key.
+  if (!ops_from_flags) d.num_ops = d.num_keys;
+  bench::PrintHeader("Figure 14", "level-model build cost under YCSB-A churn",
+                     d);
+
+  std::vector<LevelModelPolicy> policies;
+  if (level_model.empty()) {
+    policies = {LevelModelPolicy::kLazyRebuild,
+                LevelModelPolicy::kCompactionMaintained};
+  } else {
+    policies = {bench::ParseLevelModelPolicy(level_model)};
+  }
+
+  ReportTable table(
+      "Figure 14: model (re)build cost + read latency by policy");
+  table.SetHeader({"policy", "model_build_MB", "lazy_builds", "stitches",
+                   "retrains", "read_p50_us", "kops/s"});
+  std::vector<PolicyResult> results(policies.size());
+  const std::string dbdir = bench::BenchDir("fig14");
+  for (size_t p = 0; p < policies.size(); p++) {
+    Status s = RunPolicy(policies[p], d, dbdir, &results[p]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig14: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const PolicyResult& r = results[p];
+    table.AddRow({policies[p] == LevelModelPolicy::kLazyRebuild
+                      ? "lazy"
+                      : "maintained",
+                  FormatMicros(r.model_bytes / 1048576.0),
+                  std::to_string(r.lazy_builds), std::to_string(r.stitches),
+                  std::to_string(r.retrains), FormatMicros(r.read_p50_us),
+                  FormatMicros(r.kops)});
+  }
+  table.Emit();
+
+  if (policies.size() == 2) {
+    if (results[0].checksum != results[1].checksum) {
+      std::fprintf(stderr,
+                   "fig14: policies returned DIFFERENT Get results "
+                   "(checksum %llx vs %llx)\n",
+                   static_cast<unsigned long long>(results[0].checksum),
+                   static_cast<unsigned long long>(results[1].checksum));
+      return 1;
+    }
+    std::printf("# Get results identical across policies (checksum %llx)\n",
+                static_cast<unsigned long long>(results[0].checksum));
+    if (results[1].model_bytes > 0) {
+      std::printf("# model-build bytes: lazy/maintained = %.1fx\n",
+                  static_cast<double>(results[0].model_bytes) /
+                      results[1].model_bytes);
+    } else {
+      std::printf("# model-build bytes: lazy %.2f MB, maintained 0 "
+                  "(stitch-only)\n",
+                  results[0].model_bytes / 1048576.0);
+    }
+  }
+  return 0;
+}

@@ -34,6 +34,26 @@ PredictResult FitingTreeIndex::Predict(Key key) const {
   return ClampPrediction(seg.PredictF(anchored), n_, epsilon_);
 }
 
+bool FitingTreeIndex::ExportSegments(std::vector<LinearSegment>* out,
+                                     uint32_t* epsilon) const {
+  out->insert(out->end(), segments_.begin(), segments_.end());
+  *epsilon = epsilon_;
+  return true;
+}
+
+Status FitingTreeIndex::BuildFromSegments(std::vector<LinearSegment> segments,
+                                          size_t n,
+                                          const IndexConfig& config) {
+  Status s = CheckStitchableSegments(segments, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  fanout_ = std::max<uint32_t>(2, config.btree_fanout);
+  n_ = n;
+  segments_ = std::move(segments);
+  RebuildTree();
+  return Status::OK();
+}
+
 size_t FitingTreeIndex::MemoryUsage() const {
   return sizeof(*this) + segments_.capacity() * sizeof(LinearSegment) +
          tree_.MemoryUsage();

@@ -20,6 +20,10 @@ class FitingTreeIndex final : public LearnedIndex {
   size_t num_keys() const override { return n_; }
   size_t SegmentCount() const override { return segments_.size(); }
   size_t MemoryUsage() const override;
+  bool ExportSegments(std::vector<LinearSegment>* out,
+                      uint32_t* epsilon) const override;
+  Status BuildFromSegments(std::vector<LinearSegment> segments, size_t n,
+                           const IndexConfig& config) override;
   void EncodeTo(std::string* dst) const override;
   Status DecodeFrom(Slice* input) override;
 

@@ -108,4 +108,31 @@ Status CheckStrictlyIncreasing(const Key* keys, size_t n) {
   return Status::OK();
 }
 
+// Out of line (not defaulted in the header): LinearSegment is only
+// forward-declared there, and the defaults must destroy the vector.
+bool LearnedIndex::ExportSegments(std::vector<LinearSegment>* /*out*/,
+                                  uint32_t* /*epsilon*/) const {
+  return false;
+}
+
+Status LearnedIndex::BuildFromSegments(
+    std::vector<LinearSegment> /*segments*/, size_t /*n*/,
+    const IndexConfig& /*config*/) {
+  return Status::NotSupported("index type cannot adopt foreign segments");
+}
+
+Status CheckStitchableSegments(const std::vector<LinearSegment>& segments,
+                               size_t n) {
+  if (n > 0 && segments.empty()) {
+    return Status::InvalidArgument("segment stitch: no segments for n > 0");
+  }
+  for (size_t i = 1; i < segments.size(); i++) {
+    if (segments[i].first_key <= segments[i - 1].first_key) {
+      return Status::InvalidArgument(
+          "segment stitch requires strictly increasing segment keys");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace lilsm

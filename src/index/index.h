@@ -91,6 +91,8 @@ struct PredictResult {
   size_t width() const { return hi - lo + 1; }
 };
 
+struct LinearSegment;
+
 class LearnedIndex {
  public:
   virtual ~LearnedIndex() = default;
@@ -116,6 +118,25 @@ class LearnedIndex {
   /// In-memory footprint in bytes of the query-time structure.
   virtual size_t MemoryUsage() const = 0;
 
+  /// Appends the leaf epsilon-bounded linear segments (positions local to
+  /// this index's key array) to *out in first_key order and stores the
+  /// error bound they were trained under in *epsilon (a consumer adopting
+  /// the segments must predict with at least that bound). Returns false
+  /// for types whose leaves are not LinearSegments (RMI, splines, fences)
+  /// — those cannot feed segment stitching and callers fall back to a
+  /// full retrain. Default: false.
+  virtual bool ExportSegments(std::vector<LinearSegment>* out,
+                              uint32_t* epsilon) const;
+
+  /// Adopts pre-trained leaf segments covering positions [0, n) instead of
+  /// re-segmenting raw keys — the ModelCatalog's O(segments) stitch path.
+  /// Segments must be epsilon-bounded under `config` with strictly
+  /// increasing first keys; only the inner structure (recursive levels,
+  /// B+-tree) is rebuilt. NotSupported for types that cannot represent
+  /// foreign segments. Default: NotSupported.
+  virtual Status BuildFromSegments(std::vector<LinearSegment> segments,
+                                   size_t n, const IndexConfig& config);
+
   /// Serializes the trained structure (without the keys).
   virtual void EncodeTo(std::string* dst) const = 0;
   /// Restores a structure produced by EncodeTo; consumes from `input`.
@@ -135,6 +156,11 @@ Status DecodeIndexWithType(Slice* input,
 
 /// Shared validation used by all Build implementations.
 Status CheckStrictlyIncreasing(const Key* keys, size_t n);
+
+/// Shared validation used by the BuildFromSegments implementations:
+/// non-empty iff n > 0, strictly increasing first keys.
+Status CheckStitchableSegments(const std::vector<LinearSegment>& segments,
+                               size_t n);
 
 }  // namespace lilsm
 

@@ -16,8 +16,12 @@ Status PgmIndex::Build(const Key* keys, size_t n, const IndexConfig& config) {
   if (n == 0) return Status::OK();
 
   levels_.push_back(OptimalPla(keys, n, epsilon_));
+  BuildUpperLevels();
+  return Status::OK();
+}
 
-  // Recursively index segment first-keys until one segment remains.
+// Recursively index segment first-keys until one segment remains.
+void PgmIndex::BuildUpperLevels() {
   while (levels_.back().size() > 1) {
     const std::vector<LinearSegment>& below = levels_.back();
     std::vector<LinearSegment> level;
@@ -33,6 +37,27 @@ Status PgmIndex::Build(const Key* keys, size_t n, const IndexConfig& config) {
     }
     levels_.push_back(std::move(level));
   }
+}
+
+bool PgmIndex::ExportSegments(std::vector<LinearSegment>* out,
+                              uint32_t* epsilon) const {
+  *epsilon = epsilon_;
+  if (levels_.empty()) return n_ == 0;
+  out->insert(out->end(), levels_[0].begin(), levels_[0].end());
+  return true;
+}
+
+Status PgmIndex::BuildFromSegments(std::vector<LinearSegment> segments,
+                                   size_t n, const IndexConfig& config) {
+  Status s = CheckStitchableSegments(segments, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  epsilon_recursive_ = std::max<uint32_t>(1, config.epsilon_recursive);
+  n_ = n;
+  levels_.clear();
+  if (n == 0) return Status::OK();
+  levels_.push_back(std::move(segments));
+  BuildUpperLevels();
   return Status::OK();
 }
 

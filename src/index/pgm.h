@@ -22,6 +22,10 @@ class PgmIndex final : public LearnedIndex {
     return levels_.empty() ? 0 : levels_[0].size();
   }
   size_t MemoryUsage() const override;
+  bool ExportSegments(std::vector<LinearSegment>* out,
+                      uint32_t* epsilon) const override;
+  Status BuildFromSegments(std::vector<LinearSegment> segments, size_t n,
+                           const IndexConfig& config) override;
   void EncodeTo(std::string* dst) const override;
   Status DecodeFrom(Slice* input) override;
 
@@ -29,6 +33,8 @@ class PgmIndex final : public LearnedIndex {
   size_t Height() const { return levels_.size(); }
 
  private:
+  /// Builds the recursive levels over levels_[0] (which must be set).
+  void BuildUpperLevels();
   // levels_[0]: epsilon-bounded segments over the data positions;
   // levels_[k>0]: epsilon_recursive-bounded segments over the first-keys of
   // level k-1. The top level always has exactly one segment.

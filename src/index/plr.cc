@@ -26,6 +26,23 @@ PredictResult PlrIndex::Predict(Key key) const {
   return ClampPrediction(seg.PredictF(anchored), n_, epsilon_);
 }
 
+bool PlrIndex::ExportSegments(std::vector<LinearSegment>* out,
+                              uint32_t* epsilon) const {
+  out->insert(out->end(), segments_.begin(), segments_.end());
+  *epsilon = epsilon_;
+  return true;
+}
+
+Status PlrIndex::BuildFromSegments(std::vector<LinearSegment> segments,
+                                   size_t n, const IndexConfig& config) {
+  Status s = CheckStitchableSegments(segments, n);
+  if (!s.ok()) return s;
+  epsilon_ = std::max<uint32_t>(1, config.epsilon);
+  n_ = n;
+  segments_ = std::move(segments);
+  return Status::OK();
+}
+
 size_t PlrIndex::MemoryUsage() const {
   return sizeof(*this) + segments_.capacity() * sizeof(LinearSegment);
 }

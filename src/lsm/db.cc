@@ -11,8 +11,8 @@
 
 #include "lsm/compaction.h"
 #include "lsm/db_iter.h"
-#include "lsm/level_index.h"
 #include "lsm/memtable.h"
+#include "lsm/model_catalog.h"
 #include "lsm/merger.h"
 #include "lsm/table_cache.h"
 #include "lsm/version.h"
@@ -69,7 +69,8 @@ class DBImpl final : public DB {
     versions_ = std::make_unique<VersionSet>(env_, dbname_);
     table_cache_ = std::make_unique<TableCache>(MakeTableOptions(), dbname_,
                                                 options_.max_open_tables);
-    level_indexes_ = std::make_unique<LevelIndexStore>(env_, &stats_);
+    model_catalog_ = std::make_unique<ModelCatalog>(
+        env_, &stats_, options_.model_stitch_blowup);
     mem_ = new MemTable();
     mem_->Ref();
   }
@@ -125,6 +126,12 @@ class DBImpl final : public DB {
       edit.SetLogNumber(wal_number_);
       s = versions_->LogAndApply(&edit);
       if (!s.ok()) return s;
+    }
+    if (maintained_models()) {
+      // Recovery installed versions with empty model slots; seed the
+      // recovered tree's models once, from per-file indexes (no key
+      // re-reads), so the first reads need no build.
+      PrefillLevelModelsLocked();
     }
     return RemoveObsoleteFiles();
   }
@@ -323,13 +330,26 @@ class DBImpl final : public DB {
         if (!s.ok()) return s;
       }
     }
-    level_indexes_->InvalidateAll();
+    // The per-file indexes changed type under the live readers: drop the
+    // stale stitched-segment cache and the current version's level models
+    // (older pinned versions keep theirs — still correct windows, just
+    // the old configuration; the API is quiescent-only anyway).
+    model_catalog_->Reset();
+    versions_->current().models()->Clear();
+    if (maintained_models()) PrefillLevelModelsLocked();
     return Status::OK();
   }
 
   void SetIndexGranularity(IndexGranularity granularity) override {
     std::lock_guard<std::mutex> lock(mutex_);
+    const bool was_maintained = maintained_models();
     options_.index_granularity = granularity;
+    if (!was_maintained && maintained_models()) {
+      // Switched into maintained level models mid-run: installs so far
+      // carried no deltas, so seed the current version's slots now. On
+      // failure readers simply fall back to the per-file index.
+      PrefillLevelModelsLocked();
+    }
   }
 
   size_t TotalIndexMemory() override {
@@ -338,7 +358,7 @@ class DBImpl final : public DB {
     if (options_.index_granularity == IndexGranularity::kLevel) {
       EnsureLevelModels(*v);
       // L0 stays file-grained (its files overlap).
-      total = level_indexes_->MemoryUsage();
+      total = v->models()->MemoryUsage();
       for (const FileMeta& meta : v->files(0)) {
         std::shared_ptr<TableReader> reader;
         if (table_cache_->GetReader(meta.number, &reader).ok()) {
@@ -380,7 +400,8 @@ class DBImpl final : public DB {
     size_t total = 0;
     if (options_.index_granularity == IndexGranularity::kLevel && level > 0) {
       EnsureLevelModels(*v);
-      total = level_indexes_->MemoryUsage();  // per-store; see store API
+      const LevelModelRef model = v->models()->GetBlocking(level);
+      total = model != nullptr ? model->MemoryUsage() : 0;
     } else {
       for (const FileMeta& meta : v->files(level)) {
         std::shared_ptr<TableReader> reader;
@@ -439,6 +460,18 @@ class DBImpl final : public DB {
 
   bool background_mode() const {
     return options_.concurrency == ConcurrencyMode::kBackground;
+  }
+
+  /// True when the write path should produce model deltas: maintained
+  /// policy AND a configuration whose read path can consult level models
+  /// (kLevel granularity over segmented tables). Other combinations would
+  /// build artifacts nobody reads — worse, non-positional formats cannot
+  /// stitch, degrading every install to a full-level scan.
+  bool maintained_models() const {
+    return options_.level_model_policy ==
+               LevelModelPolicy::kCompactionMaintained &&
+           options_.index_granularity == IndexGranularity::kLevel &&
+           options_.table_format == TableFormat::kSegmented;
   }
 
   ReadView PinView(const Snapshot* snapshot) {
@@ -672,7 +705,7 @@ class DBImpl final : public DB {
     VersionEdit edit;
     if (meta.entries > 0) edit.AddFile(0, meta);
     edit.SetLogNumber(log_number);
-    s = versions_->LogAndApply(&edit);
+    s = InstallEdit(&edit);
     if (!s.ok()) return s;
     imm_->Unref();
     imm_ = nullptr;
@@ -716,6 +749,73 @@ class DBImpl final : public DB {
   }
 
   // ---- maintenance helpers ----
+
+  /// REQUIRES mutex_. Installs `edit`, under kCompactionMaintained
+  /// first producing the model delta for every level >= 1 whose file list
+  /// the edit changes — stitched against the current version's models, so
+  /// the successor version is born with consistent models and readers
+  /// never pay a build.
+  Status InstallEdit(VersionEdit* edit) {
+    if (!maintained_models()) return versions_->LogAndApply(edit);
+    ModelDelta delta;
+    PrepareModelDelta(*edit, &delta);
+    Status s = versions_->LogAndApply(edit, &delta);
+    if (!s.ok()) return s;
+    model_catalog_->Prune(versions_->current());
+    return s;
+  }
+
+  /// REQUIRES mutex_. Stitch/retrain models for the edit-touched levels.
+  /// Models are read accelerators: a level whose build fails (or whose
+  /// index type cannot stitch — write-path retrains under the mutex
+  /// would be strictly worse than lazy) is installed with an empty slot,
+  /// which the read path fills lazily or serves per-file. The install
+  /// itself must never fail on model work.
+  void PrepareModelDelta(const VersionEdit& edit, ModelDelta* delta) {
+    for (const auto& [level, meta] : edit.new_files_) {
+      (void)meta;
+      delta->touched[level] = true;
+    }
+    for (const auto& [level, number] : edit.deleted_files_) {
+      (void)number;
+      delta->touched[level] = true;
+    }
+    if (!ModelCatalog::CanStitch(options_.index_type)) return;
+    const Version& base = versions_->current();
+    for (int level = 1; level < kNumLevels; level++) {
+      if (!delta->touched[level]) continue;
+      const std::vector<FileMeta> files = FilesAfterEdit(base, edit, level);
+      if (files.empty()) continue;  // level emptied: slot stays null
+      // Try-lock: this runs under the DB mutex and must not wait out a
+      // reader's in-flight lazy build; a missed prev only resets the
+      // blow-up baseline.
+      const LevelModelRef prev = base.models()->Get(level);
+      // kDefer: a failed stitch (blow-up, stale-blob export) must not
+      // scan the level here under mutex_; the slot stays empty and the
+      // read path's lazy build performs the retrain off-mutex.
+      model_catalog_->BuildForInstall(
+          files, table_cache_.get(), options_.index_type,
+          options_.index_config, prev.get(), &delta->models[level],
+          ModelCatalog::StitchFallback::kDefer);
+    }
+  }
+
+  /// REQUIRES mutex_ and a quiescent engine (Open, reconfiguration).
+  /// Fills the current version's model slots for every populated level.
+  /// Best-effort, like PrepareModelDelta: a level that fails to build is
+  /// left empty for the read path.
+  void PrefillLevelModelsLocked() {
+    if (!ModelCatalog::CanStitch(options_.index_type)) return;
+    const Version& v = versions_->current();
+    for (int level = 1; level < kNumLevels; level++) {
+      if (v.files(level).empty()) continue;
+      LevelModelRef model;
+      Status s = model_catalog_->BuildForInstall(
+          v.files(level), table_cache_.get(), options_.index_type,
+          options_.index_config, nullptr, &model);
+      if (s.ok()) v.models()->Publish(level, std::move(model));
+    }
+  }
 
   Status RollWal() {
     const uint64_t number = versions_->NewFileNumber();
@@ -828,7 +928,7 @@ class DBImpl final : public DB {
     VersionEdit edit;
     edit.AddFile(0, meta);
     edit.SetLogNumber(wal_number_);
-    s = versions_->LogAndApply(&edit);
+    s = InstallEdit(&edit);
     if (!s.ok()) return s;
 
     mem_->Unref();
@@ -855,6 +955,18 @@ class DBImpl final : public DB {
     VersionEdit edit;
     lock.unlock();
     Status s = job.Run(pick, *base, &edit);
+    if (s.ok() && maintained_models() &&
+        ModelCatalog::CanStitch(options_.index_type)) {
+      // Still off-lock: open the fresh outputs' readers and cache their
+      // segments now, so InstallEdit's mutex-held stitch below touches
+      // only in-memory state (the outputs are not in the table cache
+      // yet — FinishOutput only wrote them).
+      for (const auto& [level, meta] : edit.new_files_) {
+        if (level >= 1) {
+          model_catalog_->WarmFileSegments(meta, table_cache_.get());
+        }
+      }
+    }
     lock.lock();
     base->Unref();
     if (!s.ok()) {
@@ -867,7 +979,10 @@ class DBImpl final : public DB {
       }
       return s;
     }
-    s = versions_->LogAndApply(&edit);
+    // InstallEdit stitches the touched levels' models from the outputs'
+    // in-memory per-file indexes before the install (under mutex_, but
+    // zero disk I/O on the stitch path).
+    s = InstallEdit(&edit);
     if (!s.ok()) {
       // Deliberately do NOT remove the outputs here: a manifest append
       // that failed after writing bytes may still be durable, and a
@@ -922,34 +1037,40 @@ class DBImpl final : public DB {
     return Status::OK();
   }
 
+  /// Memory-accounting support: make sure the pinned version's models
+  /// exist before summing them (a no-op per level once published — the
+  /// maintained policy installs them on the write path).
   void EnsureLevelModels(const Version& v) {
     for (int level = 1; level < kNumLevels; level++) {
       if (v.NumFiles(level) == 0) continue;
-      level_indexes_->EnsureBuilt(level, v.files(level), table_cache_.get(),
-                                  options_.index_type, options_.index_config,
-                                  v.stamp());
+      model_catalog_->GetOrBuild(v, level, table_cache_.get(),
+                                 options_.index_type, options_.index_config);
     }
   }
 
   /// Per-file lookup honoring the configured granularity. `v` is the
-  /// reader's pinned version; its stamp keys the level-model cache, so a
-  /// reader racing a background version install simply falls back to the
-  /// file-granularity path instead of consulting a mismatched model.
+  /// reader's pinned version and models are attached to it, so the model
+  /// consulted always matches the file list being searched — a reader
+  /// racing a background version install needs no stamp check. Under
+  /// kCompactionMaintained the slot was filled at install time and
+  /// GetOrBuild returns it from its fast path; a missing model (lazy
+  /// policy, or a degraded/skipped write-path build) is trained here —
+  /// first reader wins, the rest fall back to the per-file index for
+  /// that lookup.
   Status TableGetAtLevel(const Version& v, int level, size_t file_idx,
                          Key key, std::string* value, uint64_t* tag,
                          bool* found) {
     const FileMeta& meta = v.files(level)[file_idx];
     if (options_.index_granularity == IndexGranularity::kLevel && level > 0 &&
         options_.table_format == TableFormat::kSegmented) {
-      Status s = level_indexes_->EnsureBuilt(
-          level, v.files(level), table_cache_.get(), options_.index_type,
-          options_.index_config, v.stamp());
-      if (!s.ok()) return s;
+      const LevelModelRef model = model_catalog_->GetOrBuild(
+          v, level, table_cache_.get(), options_.index_type,
+          options_.index_config);
       size_t lo = 0, hi = 0;
-      if (level_indexes_->PredictInFile(level, key, file_idx, v.stamp(), &lo,
-                                        &hi)) {
+      if (model != nullptr &&
+          ModelCatalog::PredictInFile(*model, key, file_idx, &lo, &hi)) {
         std::shared_ptr<TableReader> reader;
-        s = table_cache_->GetReader(meta.number, &reader);
+        Status s = table_cache_->GetReader(meta.number, &reader);
         if (!s.ok()) return s;
         return reader->GetWithBounds(key, lo, hi, value, tag, found);
       }
@@ -978,7 +1099,7 @@ class DBImpl final : public DB {
   uint64_t wal_number_ = 0;         // guarded by mutex_
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<TableCache> table_cache_;
-  std::unique_ptr<LevelIndexStore> level_indexes_;
+  std::unique_ptr<ModelCatalog> model_catalog_;
   bool bg_scheduled_ = false;  // one background closure at a time
   std::atomic<bool> shutting_down_{false};
   Status bg_error_;        // first background failure; guarded by mutex_

@@ -35,6 +35,28 @@ enum class IndexGranularity : uint8_t {
   kLevel = 1,
 };
 
+/// How level-granularity models are kept fresh (see DESIGN.md). Models
+/// are immutable, refcounted artifacts attached to each Version, so a
+/// reader pinned to a version always has a model consistent with its file
+/// lists under either policy.
+enum class LevelModelPolicy : uint8_t {
+  /// Models start empty in every installed version and are rebuilt on
+  /// first use from a full-level key scan — the paper's behavior (every
+  /// figure bench) and the default.
+  kLazyRebuild = 0,
+  /// Flush and compaction produce model updates: per-file trained
+  /// segments are stitched into the level model at version-install time
+  /// (touching only changed files, zero key re-reads), with a full
+  /// retrain fallback governed by model_stitch_blowup. Bourbon-style
+  /// train-on-the-write-path for write-heavy serving. Engages only when
+  /// the read path can consult level models (kLevel granularity over
+  /// kSegmented tables); non-segment index types (RMI, RadixSpline,
+  /// PLEX, fence pointers) cannot stitch, so for them the write path
+  /// produces nothing and models fall back to lazy read-path builds —
+  /// prefer a segment-based type (PGM, PLR, FITing-Tree) here.
+  kCompactionMaintained = 1,
+};
+
 /// Where LSM maintenance (flush, compaction) runs.
 enum class ConcurrencyMode : uint8_t {
   /// Maintenance runs inline on the writing thread; the engine is
@@ -94,6 +116,13 @@ struct DBOptions {
   IndexType index_type = IndexType::kPGM;
   IndexConfig index_config;
   IndexGranularity index_granularity = IndexGranularity::kFile;
+
+  /// Level-model lifecycle for IndexGranularity::kLevel (see DESIGN.md).
+  LevelModelPolicy level_model_policy = LevelModelPolicy::kLazyRebuild;
+  /// kCompactionMaintained only: fall back to a full level retrain when
+  /// the stitched model's segments-per-entry density exceeds this multiple
+  /// of the level's best observed density. <= 0 disables the fallback.
+  double model_stitch_blowup = 4.0;
 
   /// fdatasync the WAL on every write (off for benchmarks, matching the
   /// paper's setup; recovery tests turn it on).

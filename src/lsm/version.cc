@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lsm/model_catalog.h"
 #include "util/coding.h"
 
 namespace lilsm {
@@ -131,6 +132,9 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
 // Version
 // ---------------------------------------------------------------------------
 
+// Out of line: VersionModels is only forward-declared in the header.
+Version::Version() : models_(std::make_shared<VersionModels>()) {}
+
 uint64_t Version::LevelBytes(int level) const {
   uint64_t total = 0;
   for (const FileMeta& f : files_[level]) total += f.file_size;
@@ -185,6 +189,47 @@ void Version::Unref() const {
     if (vset_ != nullptr) vset_->ForgetVersion(this);
     delete this;
   }
+}
+
+std::vector<FileMeta> FilesAfterEdit(const Version& base,
+                                     const VersionEdit& edit, int level) {
+  // Untouched levels keep their (already ordered) list verbatim — the
+  // common case, since an edit touches at most two levels.
+  const auto touches = [level](const auto& entries) {
+    for (const auto& [l, payload] : entries) {
+      (void)payload;
+      if (l == level) return true;
+    }
+    return false;
+  };
+  if (!touches(edit.deleted_files_) && !touches(edit.new_files_)) {
+    return base.files(level);
+  }
+  std::vector<FileMeta> files = base.files(level);
+  for (const auto& [l, number] : edit.deleted_files_) {
+    if (l != level) continue;
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [n = number](const FileMeta& f) {
+                                 return f.number == n;
+                               }),
+                files.end());
+  }
+  for (const auto& [l, meta] : edit.new_files_) {
+    if (l == level) files.push_back(meta);
+  }
+  // Level ordering invariants: L0 newest-first, deeper levels by range.
+  if (level == 0) {
+    std::sort(files.begin(), files.end(),
+              [](const FileMeta& a, const FileMeta& b) {
+                return a.number > b.number;
+              });
+  } else {
+    std::sort(files.begin(), files.end(),
+              [](const FileMeta& a, const FileMeta& b) {
+                return a.smallest < b.smallest;
+              });
+  }
+  return files;
 }
 
 // ---------------------------------------------------------------------------
@@ -307,7 +352,7 @@ Status VersionSet::Recover() {
   return InstallManifest(manifest_number_);
 }
 
-void VersionSet::Apply(const VersionEdit& edit) {
+void VersionSet::Apply(const VersionEdit& edit, const ModelDelta* models) {
   if (edit.has_log_number_) log_number_ = edit.log_number_;
   if (edit.has_next_file_number_) {
     MarkFileNumberUsed(edit.next_file_number_ - 1);
@@ -321,34 +366,29 @@ void VersionSet::Apply(const VersionEdit& edit) {
   }
 
   // Build the successor version copy-on-write: the outgoing current stays
-  // untouched for whoever has it pinned.
+  // untouched for whoever has it pinned. FilesAfterEdit is the same
+  // transform the write path stitched its model delta against, so file
+  // lists and models agree by construction.
   Version* v = new Version();
   v->vset_ = this;
   for (int level = 0; level < kNumLevels; level++) {
-    v->files_[level] = current_->files_[level];
-  }
-  for (const auto& [level, number] : edit.deleted_files_) {
-    auto& files = v->files_[level];
-    files.erase(std::remove_if(files.begin(), files.end(),
-                               [n = number](const FileMeta& f) {
-                                 return f.number == n;
-                               }),
-                files.end());
+    v->files_[level] = FilesAfterEdit(*current_, edit, level);
   }
   for (const auto& [level, meta] : edit.new_files_) {
-    v->files_[level].push_back(meta);
+    (void)level;
     MarkFileNumberUsed(meta.number);
   }
-  // Restore level ordering invariants.
-  std::sort(v->files_[0].begin(), v->files_[0].end(),
-            [](const FileMeta& a, const FileMeta& b) {
-              return a.number > b.number;  // newest first
-            });
-  for (int level = 1; level < kNumLevels; level++) {
-    std::sort(v->files_[level].begin(), v->files_[level].end(),
-              [](const FileMeta& a, const FileMeta& b) {
-                return a.smallest < b.smallest;
-              });
+  if (models != nullptr) {
+    for (int level = 0; level < kNumLevels; level++) {
+      // Untouched levels inherit via the try-lock accessor: this runs
+      // with the DB mutex held, and a blocking read here would wait out
+      // a reader's in-flight lazy train (a full-level disk scan). Losing
+      // the inheritance race just leaves the slot empty for a later
+      // lazy build.
+      v->models_->Publish(level, models->touched[level]
+                                     ? models->models[level]
+                                     : current_->models_->Get(level));
+    }
   }
   v->stamp_ = stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
 
@@ -362,7 +402,7 @@ void VersionSet::Apply(const VersionEdit& edit) {
   old->Unref();
 }
 
-Status VersionSet::LogAndApply(VersionEdit* edit) {
+Status VersionSet::LogAndApply(VersionEdit* edit, const ModelDelta* models) {
   edit->SetNextFileNumber(next_file_number_);
   edit->SetLastSequence(last_sequence_);
   std::string record;
@@ -371,7 +411,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   if (!s.ok()) return s;
   s = manifest_->Sync();
   if (!s.ok()) return s;
-  Apply(*edit);
+  Apply(*edit, models);
   manifest_edits_++;
   return Status::OK();
 }

@@ -24,6 +24,8 @@
 namespace lilsm {
 
 class VersionSet;
+class VersionModels;  // per-version level-model slots (model_catalog.h)
+struct LevelModel;    // immutable trained level model (model_catalog.h)
 
 struct FileMeta {
   uint64_t number = 0;
@@ -75,13 +77,23 @@ class VersionEdit {
   std::vector<std::pair<int, FileMeta>> new_files_;
 };
 
+/// Per-level model refs accompanying a VersionEdit into LogAndApply — the
+/// write path's trained artifacts, installed copy-on-write alongside the
+/// file lists. Levels not marked touched inherit the predecessor
+/// version's ref; touched levels take the delta's model (possibly null).
+/// With no delta, the successor's slots start empty (the lazy policy).
+struct ModelDelta {
+  std::shared_ptr<const LevelModel> models[kNumLevels];
+  bool touched[kNumLevels] = {};
+};
+
 /// A snapshot of the LSM-tree shape. Level 0 holds possibly overlapping
 /// files ordered newest-first (descending file number); levels >= 1 hold
 /// disjoint files sorted by smallest key. Immutable once installed into a
 /// VersionSet; default-constructible standalone for tests.
 class Version {
  public:
-  Version() = default;
+  Version();
 
   int NumFiles(int level) const {
     return static_cast<int>(files_[level].size());
@@ -108,8 +120,15 @@ class Version {
   bool KeyMayExistBelow(int level, Key key) const;
 
   /// The VersionSet stamp at which this version was installed (0 for
-  /// standalone versions). Level models key their caches on it.
+  /// standalone versions).
   uint64_t stamp() const { return stamp_; }
+
+  /// This version's level-model slots (never null). A model published for
+  /// a version always matches its file lists — filled either by the write
+  /// path at install time (LevelModelPolicy::kCompactionMaintained) or on
+  /// demand by readers (kLazyRebuild), so a reader pinned to a version
+  /// has a consistent model with no stamp checks or fallback dance.
+  VersionModels* models() const { return models_.get(); }
 
   /// Thread-safe reference counting for set-managed versions. The last
   /// Unref unregisters the version from its owning set and deletes it.
@@ -124,8 +143,17 @@ class Version {
 
   VersionSet* vset_ = nullptr;  // owning set; null for standalone versions
   uint64_t stamp_ = 0;
+  std::shared_ptr<VersionModels> models_;
   mutable std::atomic<int32_t> refs_{0};
 };
+
+/// The file list `level` holds after applying `edit` to `base` — exactly
+/// the list (same ordering invariants) VersionSet::Apply installs. The
+/// write path stitches level models for the successor version from it
+/// before the install, guaranteeing model/file-list agreement by
+/// construction.
+std::vector<FileMeta> FilesAfterEdit(const Version& base,
+                                     const VersionEdit& edit, int level);
 
 class VersionSet {
  public:
@@ -138,8 +166,11 @@ class VersionSet {
   Status Recover();
 
   /// Persists the edit to the manifest and installs a new current version
-  /// built from current() + edit. Requires the DB mutex.
-  Status LogAndApply(VersionEdit* edit);
+  /// built from current() + edit. Requires the DB mutex. With `models`,
+  /// the successor's level-model slots are filled per the delta (touched
+  /// levels take the delta's ref, untouched levels inherit current()'s);
+  /// without, they start empty. Models are in-memory only — never logged.
+  Status LogAndApply(VersionEdit* edit, const ModelDelta* models = nullptr);
 
   /// The current version. The reference is only stable while the DB mutex
   /// is held; use PinCurrent() to read beyond it.
@@ -200,7 +231,7 @@ class VersionSet {
   friend class Version;
 
   Status WriteSnapshot(LogWriter* writer);
-  void Apply(const VersionEdit& edit);
+  void Apply(const VersionEdit& edit, const ModelDelta* models = nullptr);
   Status InstallManifest(uint64_t manifest_number);
   void ForgetVersion(const Version* v);
   /// The level whose score (fill fraction) is highest, or -1 when no level

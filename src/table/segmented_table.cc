@@ -397,6 +397,14 @@ size_t SegmentedTableReader::IndexMemoryUsage() const {
   return index_->MemoryUsage();
 }
 
+bool SegmentedTableReader::ExportIndexSegments(
+    std::vector<LinearSegment>* out, uint32_t* epsilon) {
+  // The in-memory index is trained over exactly the table's entry array
+  // (Open verifies num_keys == count_), so its leaf segments predict
+  // file-local entry positions — the stitch contract.
+  return index_->ExportSegments(out, epsilon);
+}
+
 Status SegmentedTableReader::ReadAllKeys(std::vector<Key>* keys) {
   keys->clear();
   keys->reserve(count_);

@@ -67,6 +67,8 @@ class SegmentedTableReader final : public TableReader {
   size_t IndexMemoryUsage() const override;
   size_t FilterMemoryUsage() const override { return bloom_data_.capacity(); }
   Status ReadAllKeys(std::vector<Key>* keys) override;
+  bool ExportIndexSegments(std::vector<LinearSegment>* out,
+                           uint32_t* epsilon) override;
 
   uint32_t entry_size() const { return entry_size_; }
 

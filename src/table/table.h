@@ -112,6 +112,16 @@ class TableReader {
   /// Reads every user key into *keys in order (used by level-granularity
   /// model training).
   virtual Status ReadAllKeys(std::vector<Key>* keys) = 0;
+
+  /// Appends this table's trained leaf segments (positions local to the
+  /// file) to *out with their training error bound in *epsilon — the
+  /// ModelCatalog's zero-I/O stitch input. False when the format keeps no
+  /// positional learned index (BlockTable) or the index type is not
+  /// segment-based; callers fall back to ReadAllKeys.
+  virtual bool ExportIndexSegments(std::vector<LinearSegment>* /*out*/,
+                                   uint32_t* /*epsilon*/) {
+    return false;
+  }
 };
 
 class TableBuilder {

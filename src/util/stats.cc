@@ -28,6 +28,10 @@ const char* TimerName(Timer t) {
       return "compact_write_model";
     case Timer::kLevelIndexBuild:
       return "level_index_build";
+    case Timer::kModelStitch:
+      return "model_stitch";
+    case Timer::kModelRetrain:
+      return "model_retrain";
     case Timer::kBackgroundWork:
       return "background_work";
     default:
@@ -61,6 +65,12 @@ const char* CounterName(Counter c) {
       return "entries_compacted";
     case Counter::kModelsTrained:
       return "models_trained";
+    case Counter::kModelsStitched:
+      return "models_stitched";
+    case Counter::kModelRetrains:
+      return "model_retrains";
+    case Counter::kModelBuildBytesRead:
+      return "model_build_bytes_read";
     case Counter::kWriteSlowdowns:
       return "write_slowdowns";
     case Counter::kWriteStalls:

@@ -24,7 +24,9 @@ enum class Timer : int {
   kCompactKvIo,       // reading inputs + writing merged entries
   kCompactTrain,      // training the learned index over the new table
   kCompactWriteModel, // serializing + writing the index blob
-  kLevelIndexBuild,   // rebuilding level-granularity models
+  kLevelIndexBuild,   // lazy-policy level-model rebuilds (read path)
+  kModelStitch,       // stitching per-file segments into a level model
+  kModelRetrain,      // maintained-policy full-retrain fallback
   kBackgroundWork,    // one background flush-or-compaction pass
   kNumTimers
 };
@@ -42,6 +44,9 @@ enum class Counter : int {
   kFlushes,
   kEntriesCompacted,
   kModelsTrained,
+  kModelsStitched,     // level models produced by segment stitching
+  kModelRetrains,      // stitch fallbacks to a full level retrain
+  kModelBuildBytesRead,  // table bytes scanned to (re)build level models
   kWriteSlowdowns,     // writes delayed by the L0 slowdown trigger
   kWriteStalls,        // writes blocked waiting on background work
   kNumCounters

@@ -320,6 +320,75 @@ TEST_F(DbConcurrencyTest, ModesAgreeOnFinalContents) {
   }
 }
 
+// Level-model catalog installs race pinned-snapshot reads: with
+// kCompactionMaintained + kLevel granularity, background compactions
+// stitch and install level models while readers hold snapshots pinned to
+// older versions. A pinned reader's version carries its own model refs,
+// so every read must stay correct with no fallback to stale models.
+// (Run under TSan in CI, like the rest of this suite.)
+TEST_F(DbConcurrencyTest, MaintainedModelInstallsVsPinnedSnapshotReads) {
+  DBOptions options = BackgroundDbOptions();
+  options.index_granularity = IndexGranularity::kLevel;
+  options.level_model_policy = LevelModelPolicy::kCompactionMaintained;
+  Open(options);
+
+  constexpr uint64_t kKeys = 3000;
+  for (uint64_t i = 0; i < kKeys; i++) {
+    const Key key = KeyFor(0, i);
+    ASSERT_LILSM_OK(db_->Put(key, ValueFor(key, 1)));
+  }
+  ASSERT_LILSM_OK(db_->CompactUntilStable());
+  const Snapshot* snap = db_->GetSnapshot();
+
+  std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    // Overwrites churn the tree: flushes and compactions install new
+    // versions (with freshly stitched models) under the readers.
+    for (uint64_t i = 0; i < kKeys && !failed.load(); i++) {
+      const Key key = KeyFor(0, i);
+      if (!db_->Put(key, ValueFor(key, 2)).ok()) failed.store(true);
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; r++) {
+    readers.emplace_back([&, r] {
+      Random rnd(77 + r);
+      std::string value;
+      while (!done.load() && !failed.load()) {
+        const Key key = KeyFor(0, rnd.Uniform(kKeys));
+        // Snapshot reads must see exactly the pinned (version 1) values.
+        Status s = db_->Get(key, &value, snap);
+        if (!s.ok() || value != ValueFor(key, 1)) {
+          failed.store(true);
+          break;
+        }
+        // Latest reads must see one of the two written values.
+        s = db_->Get(key, &value);
+        if (!s.ok() ||
+            (value != ValueFor(key, 1) && value != ValueFor(key, 2))) {
+          failed.store(true);
+          break;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  ASSERT_FALSE(failed.load());
+  db_->ReleaseSnapshot(snap);
+
+  ASSERT_LILSM_OK(db_->CompactUntilStable());
+  EXPECT_GT(db_->stats()->Count(Counter::kModelsStitched), 0u);
+  std::string value;
+  for (uint64_t i = 0; i < kKeys; i += 7) {
+    const Key key = KeyFor(0, i);
+    ASSERT_LILSM_OK(db_->Get(key, &value));
+    ASSERT_EQ(value, ValueFor(key, 2)) << "key " << key;
+  }
+}
+
 // Snapshots taken mid-stream by a concurrent reader are each internally
 // consistent: a snapshot never shows key i without key i/2.
 TEST_F(DbConcurrencyTest, SnapshotsConsistentUnderConcurrentWrites) {
