@@ -114,10 +114,15 @@ inline LevelModelPolicy ParseLevelModelPolicy(const std::string& name) {
 /// flag for the model-lifecycle benches (fig14); it receives the raw
 /// value (empty when the flag was not given) so a bench can default to
 /// sweeping both policies.
+///
+/// multiget_batch (optional) enables the --multiget-batch=N flag for the
+/// lookup benches (fig12, fig13): read ops are served through
+/// DB::MultiGet in batches of N (0 or 1 keeps the per-key Get path).
 inline ExperimentDefaults BenchDefaults(int argc, char** argv,
                                         bool* ops_from_flags = nullptr,
                                         size_t* threads = nullptr,
-                                        std::string* level_model = nullptr) {
+                                        std::string* level_model = nullptr,
+                                        size_t* multiget_batch = nullptr) {
   ExperimentDefaults d = BenchDefaults();
   if (ops_from_flags != nullptr) *ops_from_flags = false;
   auto require_positive = [](const char* flag, size_t value) {
@@ -153,15 +158,19 @@ inline ExperimentDefaults BenchDefaults(int argc, char** argv,
                ParseStringFlag(argc, argv, &i, "--level-model",
                                level_model)) {
       ParseLevelModelPolicy(*level_model);  // validate eagerly
+    } else if (multiget_batch != nullptr &&
+               ParseSizeFlag(argc, argv, &i, "--multiget-batch", &value)) {
+      *multiget_batch = value;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: %s [--n KEYS] [--ops OPS] [--value-size BYTES] "
-          "[--seed SEED]%s%s\n"
+          "[--seed SEED]%s%s%s\n"
           "Environment overrides (LILSM_N, LILSM_OPS, ...) are documented "
           "in src/core/config.h; flags take precedence.\n",
           argv[0], threads != nullptr ? " [--threads T]" : "",
-          level_model != nullptr ? " [--level-model lazy|maintained]" : "");
+          level_model != nullptr ? " [--level-model lazy|maintained]" : "",
+          multiget_batch != nullptr ? " [--multiget-batch N]" : "");
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown flag %s (try --help)\n", argv[0],

@@ -1,15 +1,28 @@
 // Figure 12: the six YCSB mixes — average operation latency against index
 // memory across index types (Observation 7: mixed-workload tradeoffs
 // mirror the read-only ones; PGM stays on the frontier).
+//
+// --multiget-batch=N routes read ops through DB::MultiGet in batches of N
+// (0/1 keeps per-key Get). The blm+prd/op column reports bloom probes and
+// index predictions per operation; batching amortizes both across each
+// sorted run of keys, so compare a batched run against the default to see
+// the per-key probe reduction (EXPERIMENTS.md records the numbers).
 #include "bench/bench_common.h"
 
 using namespace lilsm;
 
 int main(int argc, char** argv) {
   bool ops_from_flags = false;
-  ExperimentDefaults d = bench::BenchDefaults(argc, argv, &ops_from_flags);
+  size_t multiget_batch = 0;
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv, &ops_from_flags,
+                                              nullptr, nullptr,
+                                              &multiget_batch);
   if (!ops_from_flags) d.num_ops = std::max<size_t>(500, d.num_ops / 2);
   bench::PrintHeader("Figure 12", "YCSB A-F: latency vs index memory", d);
+  if (multiget_batch > 1) {
+    std::printf("# reads served through MultiGet, batch=%zu\n\n",
+                multiget_batch);
+  }
 
   for (YcsbWorkload workload : kAllYcsbWorkloads) {
     // Writes mutate the tree, so each workload gets a fresh load.
@@ -24,8 +37,8 @@ int main(int argc, char** argv) {
     }
     ReportTable table(std::string("Figure 12: YCSB-") +
                       YcsbWorkloadName(workload));
-    table.SetHeader({"index", "b=128 us", "b=128 mem", "b=16 us",
-                     "b=16 mem"});
+    table.SetHeader({"index", "b=128 us", "b=128 mem", "b=128 blm+prd/op",
+                     "b=16 us", "b=16 mem", "b=16 blm+prd/op"});
     for (IndexType type : kAllIndexTypes) {
       std::vector<std::string> row = {IndexTypeName(type)};
       for (uint32_t boundary : {128u, 16u}) {
@@ -34,9 +47,20 @@ int main(int argc, char** argv) {
         config.position_boundary = boundary;
         if (!(s = bed->Reconfigure(config)).ok()) break;
         RunMetrics metrics;
-        if (!(s = bed->RunYcsb(workload, d.num_ops, &metrics)).ok()) break;
+        if (!(s = bed->RunYcsb(workload, d.num_ops, &metrics,
+                               multiget_batch))
+                 .ok()) {
+          break;
+        }
         row.push_back(FormatMicros(metrics.MeanLatencyUs()));
         row.push_back(std::to_string(metrics.index_memory));
+        const double ops = static_cast<double>(d.num_ops);
+        char probes[64];
+        std::snprintf(
+            probes, sizeof(probes), "%.2f+%.2f",
+            metrics.stats.TimerCount(Timer::kBloomCheck) / ops,
+            metrics.stats.TimerCount(Timer::kIndexPredict) / ops);
+        row.push_back(probes);
       }
       if (!s.ok()) break;
       table.AddRow(row);

@@ -34,11 +34,33 @@ struct ThreadResult {
 
 void RunWorker(DB* db, const std::vector<Key>& keys, YcsbWorkload workload,
                size_t ops, uint32_t value_size, uint64_t seed,
-               size_t thread_id, size_t num_threads, ThreadResult* result) {
+               size_t thread_id, size_t num_threads, size_t multiget_batch,
+               ThreadResult* result) {
   YcsbGenerator gen(workload, keys.size(), seed);
   const Key max_key = keys.back();
   std::string value;
   std::vector<std::pair<Key, std::string>> range;
+  std::vector<Key> pending;  // buffered reads for --multiget-batch
+  std::vector<std::string> mg_values;
+  std::vector<Status> mg_statuses;
+  auto flush_reads = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    Status s = db->MultiGet(ReadOptions(), pending, &mg_values,
+                            &mg_statuses);
+    if (s.ok()) {
+      for (const Status& st : mg_statuses) {
+        if (st.IsNotFound()) {
+          result->not_found++;
+        } else if (!st.ok()) {
+          s = st;
+          break;
+        }
+      }
+    }
+    result->ops += pending.size();
+    pending.clear();
+    return s;
+  };
   for (size_t i = 0; i < ops; i++) {
     const YcsbOp op = gen.Next();
     // Inserts address indexes past the loaded set: synthesize fresh keys
@@ -49,6 +71,26 @@ void RunWorker(DB* db, const std::vector<Key>& keys, YcsbWorkload workload,
             : max_key + 1 +
                   (op.key_index - keys.size()) * num_threads + thread_id;
     Status s;
+    if (multiget_batch > 1 && op.type == YcsbOp::Type::kRead) {
+      pending.push_back(key);
+      if (pending.size() >= multiget_batch) {
+        s = flush_reads();
+        if (!s.ok()) {
+          result->status = s;
+          return;
+        }
+      }
+      continue;
+    }
+    if (multiget_batch > 1 && !pending.empty()) {
+      // A write/scan op follows buffered reads: flush so those reads are
+      // not reordered past it.
+      s = flush_reads();
+      if (!s.ok()) {
+        result->status = s;
+        return;
+      }
+    }
     switch (op.type) {
       case YcsbOp::Type::kRead:
         s = db->Get(key, &value);
@@ -81,14 +123,21 @@ void RunWorker(DB* db, const std::vector<Key>& keys, YcsbWorkload workload,
     }
     result->ops++;
   }
+  result->status = flush_reads();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t threads = 2;
-  ExperimentDefaults d = bench::BenchDefaults(argc, argv, nullptr, &threads);
+  size_t multiget_batch = 0;
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv, nullptr, &threads,
+                                              nullptr, &multiget_batch);
   bench::PrintHeader("Figure 13", "concurrent YCSB aggregate throughput", d);
+  if (multiget_batch > 1) {
+    std::printf("# reads served through MultiGet, batch=%zu\n\n",
+                multiget_batch);
+  }
 
   // Blocking (sleeping) device model: waits overlap across threads. The
   // effective floor is the OS timer slack (~60 us), i.e. a loaded
@@ -157,7 +206,7 @@ int main(int argc, char** argv) {
       for (size_t t = 0; t < threads; t++) {
         workers.emplace_back(RunWorker, db.get(), std::cref(keys), workload,
                              d.num_ops, d.value_size, d.seed + 1000 + t, t,
-                             threads, &results[t]);
+                             threads, multiget_batch, &results[t]);
       }
       for (std::thread& w : workers) w.join();
     }

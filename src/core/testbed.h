@@ -53,13 +53,21 @@ class Testbed {
   Status Reconfigure(const IndexSetup& setup);
 
   /// Point lookups on existing keys. `zipfian` selects the request skew.
-  Status RunPointLookups(size_t count, bool zipfian, RunMetrics* metrics);
+  /// With multiget_batch > 1, the request stream is served through
+  /// DB::MultiGet in batches of that size (batch latency is attributed
+  /// evenly across its keys).
+  Status RunPointLookups(size_t count, bool zipfian, RunMetrics* metrics,
+                         size_t multiget_batch = 0);
 
   /// Range lookups of `range_len` entries from random start keys.
   Status RunRangeLookups(size_t count, size_t range_len, RunMetrics* metrics);
 
-  /// One of the six YCSB mixes.
-  Status RunYcsb(YcsbWorkload workload, size_t count, RunMetrics* metrics);
+  /// One of the six YCSB mixes. With multiget_batch > 1, consecutive read
+  /// ops are buffered and served through DB::MultiGet (writes, scans, and
+  /// read-modify-writes flush the pending batch first, keeping the op
+  /// order the generator produced).
+  Status RunYcsb(YcsbWorkload workload, size_t count, RunMetrics* metrics,
+                 size_t multiget_batch = 0);
 
   /// Write-only workload of `count` fresh inserts (Figure 9): returns the
   /// compaction/train/write-model breakdown via metrics->stats.

@@ -136,19 +136,19 @@ class DBImpl final : public DB {
     return RemoveObsoleteFiles();
   }
 
-  Status Put(Key key, const Slice& value) override {
+  Status Put(const WriteOptions& wopts, Key key, const Slice& value) override {
     WriteBatch batch;
     batch.Put(key, value);
-    return Write(&batch);
+    return Write(wopts, &batch);
   }
 
-  Status Delete(Key key) override {
+  Status Delete(const WriteOptions& wopts, Key key) override {
     WriteBatch batch;
     batch.Delete(key);
-    return Write(&batch);
+    return Write(wopts, &batch);
   }
 
-  Status Write(WriteBatch* batch) override {
+  Status Write(const WriteOptions& wopts, WriteBatch* batch) override {
     if (batch->Count() == 0) return Status::OK();
     std::unique_lock<std::mutex> lock(mutex_);
     if (background_mode()) {
@@ -159,14 +159,20 @@ class DBImpl final : public DB {
     const SequenceNumber seq = versions_->last_sequence() + 1;
     WriteBatch::SetSequence(batch, seq);
 
-    Status s = wal_->AddRecord(batch->Contents());
-    if (!s.ok()) return s;
-    if (options_.sync_wal) {
-      s = wal_->Sync();
-    } else {
-      s = wal_->Flush();
+    Status s;
+    if (!wopts.disable_wal) {
+      // Per-call override first, DB-wide default second: a load phase can
+      // run unsynced (or fully WAL-less) against a durable-by-default DB,
+      // and a critical write can force a sync against a lazy one.
+      s = wal_->AddRecord(batch->Contents());
+      if (!s.ok()) return s;
+      if (wopts.sync.value_or(options_.sync_wal)) {
+        s = wal_->Sync();
+      } else {
+        s = wal_->Flush();
+      }
+      if (!s.ok()) return s;
     }
-    if (!s.ok()) return s;
 
     s = batch->InsertInto(mem_, seq);
     if (!s.ok()) return s;
@@ -182,48 +188,52 @@ class DBImpl final : public DB {
     return s;
   }
 
-  Status Get(Key key, std::string* value, const Snapshot* snapshot) override {
-    stats_.Add(Counter::kPointLookups);
-    ReadView view = PinView(snapshot);
-    Status s = GetFromView(view, key, value);
+  Status Get(const ReadOptions& ropts, Key key, std::string* value) override {
+    Stats* sink = EffectiveStats(ropts);
+    sink->Add(Counter::kPointLookups);
+    ReadView view = PinView(ropts.snapshot);
+    Status s = GetFromView(view, key, value, sink);
+    if (ropts.verify_found && (s.ok() || s.IsNotFound())) {
+      RefView(view);
+      auto ref = NewIteratorOverView(view);
+      Status vs = VerifyWithIterator(ref.get(), key, s, *value);
+      if (!vs.ok()) s = vs;
+    }
     UnpinView(view);
     return s;
   }
 
-  std::unique_ptr<Iterator> NewIterator(const Snapshot* snapshot) override {
-    ReadView view = PinView(snapshot);
+  Status MultiGet(const ReadOptions& ropts, std::span<const Key> keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override {
+    Stats* sink = EffectiveStats(ropts);
+    ScopedTimer batch_timer(sink, Timer::kMultiGet, env_);
+    sink->Add(Counter::kMultiGetBatches);
+    sink->Add(Counter::kMultiGetKeys, keys.size());
+    values->assign(keys.size(), std::string());
+    statuses->assign(keys.size(), Status::NotFound("not found"));
+    if (keys.empty()) return Status::OK();
 
-    std::vector<std::unique_ptr<TableIterator>> children;
-    // shared_ptr: the cleanup closure and this scope both reference it.
-    auto readers =
-        std::make_shared<std::vector<std::shared_ptr<TableReader>>>();
-    children.push_back(view.mem->NewIterator());
-    if (view.imm != nullptr) {
-      children.push_back(view.imm->NewIterator());
-    }
-    Status s;
-    for (int level = 0; level < kNumLevels && s.ok(); level++) {
-      for (const FileMeta& meta : view.version->files(level)) {
-        std::shared_ptr<TableReader> reader;
-        s = table_cache_->GetReader(meta.number, &reader);
-        if (!s.ok()) break;
-        readers->push_back(reader);
-        children.push_back(reader->NewIterator());
+    ReadView view = PinView(ropts.snapshot);
+    Status s = MultiGetFromView(view, keys, values, statuses, sink);
+    if (s.ok() && ropts.verify_found) {
+      RefView(view);
+      auto ref = NewIteratorOverView(view);
+      for (size_t i = 0; i < keys.size(); i++) {
+        Status vs = VerifyWithIterator(ref.get(), keys[i], (*statuses)[i],
+                                       (*values)[i]);
+        if (!vs.ok()) {
+          (*statuses)[i] = vs;
+          if (s.ok()) s = vs;
+        }
       }
     }
-    if (!s.ok()) {
-      // Surface the failure through an invalid iterator carrying status
-      // (RangeLookup and callers check status(), not just Valid()).
-      children.clear();
-      UnpinView(view);
-      return std::make_unique<ErrorIterator>(std::move(s));
-    }
-    auto cleanup = [this, view, readers]() {
-      readers->clear();
-      UnpinView(view);
-    };
-    return NewDBIterator(NewMergingIterator(std::move(children)), view.seq,
-                         std::move(cleanup));
+    UnpinView(view);
+    return s;
+  }
+
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& ropts) override {
+    return NewIteratorOverView(PinView(ropts.snapshot));
   }
 
   const Snapshot* GetSnapshot() override {
@@ -252,12 +262,12 @@ class DBImpl final : public DB {
     delete snap;
   }
 
-  Status RangeLookup(Key start, size_t count,
+  Status RangeLookup(const ReadOptions& ropts, Key start, size_t count,
                      std::vector<std::pair<Key, std::string>>* out) override {
-    stats_.Add(Counter::kRangeLookups);
+    EffectiveStats(ropts)->Add(Counter::kRangeLookups);
     out->clear();
     out->reserve(count);
-    auto iter = NewIterator(nullptr);
+    auto iter = NewIterator(ropts);
     for (iter->Seek(start); iter->Valid() && out->size() < count;
          iter->Next()) {
       out->emplace_back(iter->key(), iter->value().ToString());
@@ -352,7 +362,7 @@ class DBImpl final : public DB {
     }
   }
 
-  size_t TotalIndexMemory() override {
+  size_t TotalIndexMemory() const override {
     const Version* v = PinCurrentVersion();
     size_t total = 0;
     if (options_.index_granularity == IndexGranularity::kLevel) {
@@ -379,7 +389,7 @@ class DBImpl final : public DB {
     return total;
   }
 
-  size_t TotalFilterMemory() override {
+  size_t TotalFilterMemory() const override {
     const Version* v = PinCurrentVersion();
     size_t total = 0;
     for (int level = 0; level < kNumLevels; level++) {
@@ -394,7 +404,7 @@ class DBImpl final : public DB {
     return total;
   }
 
-  size_t LevelIndexMemory(int level) override {
+  size_t LevelIndexMemory(int level) const override {
     if (level < 0 || level >= kNumLevels) return 0;
     const Version* v = PinCurrentVersion();
     size_t total = 0;
@@ -414,24 +424,24 @@ class DBImpl final : public DB {
     return total;
   }
 
-  int NumFilesAtLevel(int level) override {
+  int NumFilesAtLevel(int level) const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return versions_->current().NumFiles(level);
   }
-  uint64_t BytesAtLevel(int level) override {
+  uint64_t BytesAtLevel(int level) const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return versions_->current().LevelBytes(level);
   }
-  uint64_t EntriesAtLevel(int level) override {
+  uint64_t EntriesAtLevel(int level) const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return versions_->current().LevelEntries(level);
   }
-  SequenceNumber LastSequence() override {
+  SequenceNumber LastSequence() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return versions_->last_sequence();
   }
 
-  Stats* stats() override { return &stats_; }
+  Stats* stats() const override { return &stats_; }
 
  private:
   /// The concrete snapshot: a sequence bound plus pinned sources. The
@@ -507,14 +517,260 @@ class DBImpl final : public DB {
     view.version->Unref();
   }
 
-  const Version* PinCurrentVersion() {
+  /// Takes an extra reference on every source of `view` (for handing a
+  /// view to a second owner, e.g. a verification iterator).
+  static void RefView(const ReadView& view) {
+    view.mem->Ref();
+    if (view.imm != nullptr) view.imm->Ref();
+    view.version->Ref();
+  }
+
+  /// ReadOptions::stats when set, the DB-wide sink otherwise.
+  Stats* EffectiveStats(const ReadOptions& ropts) const {
+    return ropts.stats != nullptr ? ropts.stats : &stats_;
+  }
+
+  const Version* PinCurrentVersion() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return versions_->PinCurrent();
   }
 
-  Status GetFromView(const ReadView& view, Key key, std::string* value) {
+  /// Builds a user iterator over `view`, taking ownership of the view's
+  /// references: the iterator's cleanup unpins them (on failure they are
+  /// unpinned before the error iterator is returned).
+  std::unique_ptr<Iterator> NewIteratorOverView(ReadView view) {
+    std::vector<std::unique_ptr<TableIterator>> children;
+    // shared_ptr: the cleanup closure and this scope both reference it.
+    auto readers =
+        std::make_shared<std::vector<std::shared_ptr<TableReader>>>();
+    children.push_back(view.mem->NewIterator());
+    if (view.imm != nullptr) {
+      children.push_back(view.imm->NewIterator());
+    }
+    Status s;
+    for (int level = 0; level < kNumLevels && s.ok(); level++) {
+      for (const FileMeta& meta : view.version->files(level)) {
+        std::shared_ptr<TableReader> reader;
+        s = table_cache_->GetReader(meta.number, &reader);
+        if (!s.ok()) break;
+        readers->push_back(reader);
+        children.push_back(reader->NewIterator());
+      }
+    }
+    if (!s.ok()) {
+      // Surface the failure through an invalid iterator carrying status
+      // (RangeLookup and callers check status(), not just Valid()).
+      children.clear();
+      UnpinView(view);
+      return std::make_unique<ErrorIterator>(std::move(s));
+    }
+    auto cleanup = [this, view, readers]() {
+      readers->clear();
+      UnpinView(view);
+    };
+    return NewDBIterator(NewMergingIterator(std::move(children)), view.seq,
+                         std::move(cleanup));
+  }
+
+  /// ReadOptions::verify_found support: replays one key's lookup through
+  /// `ref` (a merging-iterator view of the same pinned state — the
+  /// learned-index-free reference path) and compares it with the result
+  /// the point-lookup path produced. Environmental errors in the original
+  /// result are not verifiable and pass through.
+  Status VerifyWithIterator(Iterator* ref, Key key, const Status& got,
+                            const std::string& value) {
+    if (!got.ok() && !got.IsNotFound()) return Status::OK();
+    ref->Seek(key);
+    if (!ref->status().ok()) return ref->status();
+    const bool ref_found = ref->Valid() && ref->key() == key;
+    if (got.ok() != ref_found) {
+      return Status::Corruption("verify_found",
+                                got.ok() ? "lookup hit a key the reference "
+                                           "scan cannot see"
+                                         : "lookup missed a key the "
+                                           "reference scan sees");
+    }
+    if (ref_found && ref->value() != Slice(value)) {
+      return Status::Corruption("verify_found", "value mismatch");
+    }
+    return Status::OK();
+  }
+
+  /// The MultiGet core: serves a batch against one pinned view. Sorts the
+  /// batch, drains memtable hits, then for every level groups the
+  /// remaining keys into per-table runs so each table's reader fetch,
+  /// bloom filter, and learned index are consulted per run (the segmented
+  /// reader additionally reuses its fetched block across a run). Under
+  /// kLevel granularity the level model is resolved once per level and
+  /// its per-key predictions are handed to the reader as bounds.
+  Status MultiGetFromView(const ReadView& view, std::span<const Key> keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses, Stats* sink) {
+    const size_t n = keys.size();
+    std::vector<uint32_t> order(n);
+    for (uint32_t i = 0; i < n; i++) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](uint32_t a, uint32_t b) {
+                       return keys[a] < keys[b];
+                     });
+
+    std::vector<uint8_t> done(n, 0);
+    size_t remaining = n;
+    // An environmental failure aborts the batch: keys never served must
+    // not read as NotFound (db.h contract) — they carry the error.
+    auto abort_with = [&](const Status& s) {
+      for (uint32_t i = 0; i < n; i++) {
+        if (!done[i]) (*statuses)[i] = s;
+      }
+      return s;
+    };
+    auto resolve = [&](uint32_t idx, bool deleted) {
+      (*statuses)[idx] =
+          deleted ? Status::NotFound("deleted") : Status::OK();
+      if (deleted) (*values)[idx].clear();
+      done[idx] = 1;
+      remaining--;
+    };
+
     {
-      ScopedTimer timer(&stats_, Timer::kMemtableGet, env_);
+      ScopedTimer timer(sink, Timer::kMemtableGet, env_);
+      for (uint32_t idx : order) {
+        const Key key = keys[idx];
+        ValueType type;
+        std::string* out = &(*values)[idx];
+        if (view.mem->Get(key, view.seq, out, &type) ||
+            (view.imm != nullptr &&
+             view.imm->Get(key, view.seq, out, &type))) {
+          resolve(idx, type != kTypeValue);
+        }
+      }
+    }
+
+    const Version& v = *view.version;
+    // Scratch shared by every run of the batch, reused without shrinking.
+    std::vector<uint32_t> run_idx;
+    std::vector<Key> run_keys;
+    std::vector<std::string> run_values;
+    std::vector<uint64_t> run_tags;
+    std::unique_ptr<bool[]> run_found(new bool[n]);
+    std::vector<size_t> run_lo, run_hi;
+
+    /// Serves `run_keys` (ascending) against one table and resolves hits.
+    /// `bounds` toggles the level-model prediction arrays.
+    auto serve_run = [&](const FileMeta& meta, bool bounds) -> Status {
+      sink->Add(Counter::kTablesConsulted);
+      std::shared_ptr<TableReader> reader;
+      Status s = table_cache_->GetReader(meta.number, &reader);
+      if (!s.ok()) return s;
+      run_values.assign(run_keys.size(), std::string());
+      run_tags.assign(run_keys.size(), 0);
+      std::fill(run_found.get(), run_found.get() + run_keys.size(), false);
+      s = reader->MultiGet(std::span<const Key>(run_keys),
+                           bounds ? run_lo.data() : nullptr,
+                           bounds ? run_hi.data() : nullptr,
+                           run_values.data(), run_tags.data(),
+                           run_found.get(), sink);
+      if (!s.ok()) return s;
+      for (size_t r = 0; r < run_keys.size(); r++) {
+        if (!run_found[r]) continue;
+        const uint32_t idx = run_idx[r];
+        (*values)[idx] = std::move(run_values[r]);
+        resolve(idx, TagType(run_tags[r]) != kTypeValue);
+      }
+      return Status::OK();
+    };
+
+    // Level 0: files may overlap, so serve newest-first; each file gets
+    // the (still ascending) subset of unresolved keys in its range.
+    if (remaining > 0 && !v.files(0).empty()) {
+      const uint64_t level_start = env_->NowNanos();
+      bool consulted = false;
+      for (const FileMeta& meta : v.files(0)) {
+        if (remaining == 0) break;
+        run_idx.clear();
+        run_keys.clear();
+        for (uint32_t idx : order) {
+          if (done[idx]) continue;
+          const Key key = keys[idx];
+          if (key > meta.largest) break;  // ascending: the rest is past it
+          if (key < meta.smallest) continue;
+          run_idx.push_back(idx);
+          run_keys.push_back(key);
+        }
+        if (run_idx.empty()) continue;
+        consulted = true;
+        Status s = serve_run(meta, /*bounds=*/false);
+        if (!s.ok()) return abort_with(s);
+      }
+      if (consulted) sink->AddLevelRead(0, env_->NowNanos() - level_start);
+    }
+
+    for (int level = 1; level < kNumLevels && remaining > 0; level++) {
+      const std::vector<FileMeta>& files = v.files(level);
+      if (files.empty()) continue;
+      const uint64_t level_start = env_->NowNanos();
+      bool consulted = false;
+
+      // Resolve the level model once for the whole batch (single-key Get
+      // pays the catalog round-trip per lookup).
+      LevelModelRef model;
+      if (options_.index_granularity == IndexGranularity::kLevel &&
+          options_.table_format == TableFormat::kSegmented) {
+        model = model_catalog_->GetOrBuild(v, level, table_cache_.get(),
+                                           options_.index_type,
+                                           options_.index_config);
+      }
+
+      // Walk files and sorted keys in lockstep (the batched equivalent of
+      // per-key FindFile), recording which file serves each unresolved
+      // key. The I/O happens after, outside the kTableLookup timer.
+      std::vector<std::pair<uint32_t, size_t>> targets;  // (key idx, file)
+      {
+        ScopedTimer timer(sink, Timer::kTableLookup, env_);
+        size_t fi = 0;
+        for (uint32_t idx : order) {
+          if (done[idx]) continue;
+          const Key key = keys[idx];
+          while (fi < files.size() && files[fi].largest < key) fi++;
+          if (fi == files.size()) break;
+          if (key < files[fi].smallest) continue;
+          targets.emplace_back(idx, fi);
+        }
+      }
+
+      for (size_t t = 0; t < targets.size();) {
+        const size_t run_file = targets[t].second;
+        run_idx.clear();
+        run_keys.clear();
+        for (; t < targets.size() && targets[t].second == run_file; t++) {
+          run_idx.push_back(targets[t].first);
+          run_keys.push_back(keys[targets[t].first]);
+        }
+        consulted = true;
+        bool bounds = model != nullptr;
+        if (bounds) {
+          run_lo.resize(run_keys.size());
+          run_hi.resize(run_keys.size());
+          for (size_t r = 0; r < run_keys.size() && bounds; r++) {
+            bounds = ModelCatalog::PredictInFile(*model, run_keys[r],
+                                                 run_file, &run_lo[r],
+                                                 &run_hi[r]);
+          }
+        }
+        Status s = serve_run(files[run_file], bounds);
+        if (!s.ok()) return abort_with(s);
+      }
+      if (consulted) {
+        sink->AddLevelRead(level, env_->NowNanos() - level_start);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status GetFromView(const ReadView& view, Key key, std::string* value,
+                     Stats* sink) {
+    {
+      ScopedTimer timer(sink, Timer::kMemtableGet, env_);
       ValueType type;
       if (view.mem->Get(key, view.seq, value, &type)) {
         return type == kTypeValue ? Status::OK()
@@ -536,19 +792,19 @@ class DBImpl final : public DB {
       for (const FileMeta& meta : v.files(0)) {
         if (key < meta.smallest || key > meta.largest) continue;
         consulted = true;
-        stats_.Add(Counter::kTablesConsulted);
+        sink->Add(Counter::kTablesConsulted);
         bool found = false;
         uint64_t tag = 0;
-        Status s = TableGet(meta, /*level=*/0, key, value, &tag, &found);
+        Status s = TableGet(meta, /*level=*/0, key, value, &tag, &found, sink);
         if (!s.ok()) return s;
         if (found) {
-          stats_.AddLevelRead(0, env_->NowNanos() - level_start);
+          sink->AddLevelRead(0, env_->NowNanos() - level_start);
           return TagType(tag) == kTypeValue ? Status::OK()
                                             : Status::NotFound("deleted");
         }
       }
       if (consulted) {
-        stats_.AddLevelRead(0, env_->NowNanos() - level_start);
+        sink->AddLevelRead(0, env_->NowNanos() - level_start);
       }
     }
 
@@ -557,17 +813,17 @@ class DBImpl final : public DB {
       const uint64_t level_start = env_->NowNanos();
       int file_idx;
       {
-        ScopedTimer timer(&stats_, Timer::kTableLookup, env_);
+        ScopedTimer timer(sink, Timer::kTableLookup, env_);
         file_idx = v.FindFile(level, key);
       }
       if (file_idx < 0) continue;
-      stats_.Add(Counter::kTablesConsulted);
+      sink->Add(Counter::kTablesConsulted);
       bool found = false;
       uint64_t tag = 0;
       Status s = TableGetAtLevel(v, level, static_cast<size_t>(file_idx), key,
-                                 value, &tag, &found);
+                                 value, &tag, &found, sink);
       if (!s.ok()) return s;
-      stats_.AddLevelRead(level, env_->NowNanos() - level_start);
+      sink->AddLevelRead(level, env_->NowNanos() - level_start);
       if (found) {
         return TagType(tag) == kTypeValue ? Status::OK()
                                           : Status::NotFound("deleted");
@@ -1040,7 +1296,7 @@ class DBImpl final : public DB {
   /// Memory-accounting support: make sure the pinned version's models
   /// exist before summing them (a no-op per level once published — the
   /// maintained policy installs them on the write path).
-  void EnsureLevelModels(const Version& v) {
+  void EnsureLevelModels(const Version& v) const {
     for (int level = 1; level < kNumLevels; level++) {
       if (v.NumFiles(level) == 0) continue;
       model_catalog_->GetOrBuild(v, level, table_cache_.get(),
@@ -1059,7 +1315,7 @@ class DBImpl final : public DB {
   /// that lookup.
   Status TableGetAtLevel(const Version& v, int level, size_t file_idx,
                          Key key, std::string* value, uint64_t* tag,
-                         bool* found) {
+                         bool* found, Stats* sink) {
     const FileMeta& meta = v.files(level)[file_idx];
     if (options_.index_granularity == IndexGranularity::kLevel && level > 0 &&
         options_.table_format == TableFormat::kSegmented) {
@@ -1072,26 +1328,29 @@ class DBImpl final : public DB {
         std::shared_ptr<TableReader> reader;
         Status s = table_cache_->GetReader(meta.number, &reader);
         if (!s.ok()) return s;
-        return reader->GetWithBounds(key, lo, hi, value, tag, found);
+        return reader->GetWithBounds(key, lo, hi, value, tag, found, sink);
       }
     }
-    return TableGet(meta, level, key, value, tag, found);
+    return TableGet(meta, level, key, value, tag, found, sink);
   }
 
   Status TableGet(const FileMeta& meta, int /*level*/, Key key,
-                  std::string* value, uint64_t* tag, bool* found) {
+                  std::string* value, uint64_t* tag, bool* found,
+                  Stats* sink) {
     std::shared_ptr<TableReader> reader;
     Status s = table_cache_->GetReader(meta.number, &reader);
     if (!s.ok()) return s;
-    return reader->Get(key, value, tag, found);
+    return reader->Get(key, value, tag, found, sink);
   }
 
   DBOptions options_;
   const std::string dbname_;
   Env* const env_;
-  Stats stats_;
+  // Mutable: stats() and the const introspection surface record through
+  // it; the object is internally synchronized.
+  mutable Stats stats_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;  // const observers lock it too
   std::condition_variable bg_cv_;
   MemTable* mem_ = nullptr;  // active buffer; pointer guarded by mutex_
   MemTable* imm_ = nullptr;  // frozen, being flushed; guarded by mutex_
@@ -1108,10 +1367,47 @@ class DBImpl final : public DB {
 
 }  // namespace
 
+Status DBOptions::Validate() const {
+  if (table_format == TableFormat::kSegmented && value_size == 0) {
+    return Status::InvalidArgument(
+        "DBOptions::value_size",
+        "the segmented format's fixed entry geometry needs value_size > 0");
+  }
+  if (size_ratio <= 0) {
+    return Status::InvalidArgument("DBOptions::size_ratio",
+                                   "must be positive");
+  }
+  if (l0_compaction_trigger <= 0) {
+    return Status::InvalidArgument("DBOptions::l0_compaction_trigger",
+                                   "must be positive");
+  }
+  if (l0_slowdown_trigger <= 0) {
+    return Status::InvalidArgument("DBOptions::l0_slowdown_trigger",
+                                   "must be positive");
+  }
+  if (l0_stop_trigger <= 0) {
+    return Status::InvalidArgument("DBOptions::l0_stop_trigger",
+                                   "must be positive");
+  }
+  if (key_size < 8) {
+    return Status::InvalidArgument(
+        "DBOptions::key_size",
+        "must be at least 8 bytes to round-trip the uint64_t Key");
+  }
+  if (key_size > 64) {
+    return Status::InvalidArgument(
+        "DBOptions::key_size",
+        "must be at most 64 bytes (the table formats' key buffers)");
+  }
+  return Status::OK();
+}
+
 Status DB::Open(const DBOptions& options, const std::string& name,
                 std::unique_ptr<DB>* dbptr) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
   auto impl = std::make_unique<DBImpl>(options, name);
-  Status s = impl->Init();
+  s = impl->Init();
   if (!s.ok()) return s;
   *dbptr = std::move(impl);
   return Status::OK();

@@ -18,7 +18,10 @@
 #define LILSM_LSM_DB_H_
 
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "lsm/db_iter.h"
 #include "lsm/dbformat.h"
@@ -82,6 +85,44 @@ class Snapshot {
   virtual ~Snapshot() = default;
 };
 
+/// Per-call read options (LevelDB/RocksDB idiom). Every read entry point
+/// (Get, MultiGet, NewIterator, RangeLookup) takes one; the zero-argument
+/// convenience overloads forward a default-constructed instance.
+struct ReadOptions {
+  /// Read from this snapshot's pinned state instead of the latest state.
+  /// Must stay unreleased for the duration of the call (and, for
+  /// NewIterator, may be released once the iterator exists — the iterator
+  /// holds its own pins).
+  const Snapshot* snapshot = nullptr;
+
+  /// Per-call instrumentation sink. When non-null, every timer and counter
+  /// this call would have recorded against DB::stats() goes here instead —
+  /// callers attribute lookup stages (bloom, predict, disk, search) to one
+  /// request stream without tearing apart the DB-wide totals. Iterator
+  /// internals (block fetches during NewIterator scans) still record to
+  /// the DB-wide sink; see DESIGN.md.
+  Stats* stats = nullptr;
+
+  /// Debug mode: cross-check every Get/MultiGet outcome against a
+  /// learned-index-free reference read (a merging-iterator seek over the
+  /// same pinned view) and return Corruption on divergence. Expensive;
+  /// meant for tests and bring-up of new index types.
+  bool verify_found = false;
+};
+
+/// Per-call write options.
+struct WriteOptions {
+  /// Overrides DBOptions::sync_wal for this write: true forces an
+  /// fdatasync of the WAL before the write is acknowledged, false skips
+  /// it. Unset inherits the DB-wide default.
+  std::optional<bool> sync;
+
+  /// Skips the WAL entirely — the write is only as durable as the next
+  /// memtable flush. The standard bulk-load switch: load with
+  /// disable_wal=true, then FlushMemTable() once at the end.
+  bool disable_wal = false;
+};
+
 struct DBOptions {
   Env* env = nullptr;  // defaults to Env::Default()
 
@@ -132,6 +173,14 @@ struct DBOptions {
   bool error_if_exists = false;
 
   size_t max_open_tables = 4096;
+
+  /// Sanity-checks the option values against the engine's invariants;
+  /// DB::Open calls this first and refuses to open on failure. Rejects a
+  /// zero value_size under the fixed-geometry segmented format,
+  /// non-positive size_ratio and L0 triggers, and a key_size the 8-byte
+  /// uint64_t Key cannot round-trip through (< 8, or past the 64-byte
+  /// encode buffers).
+  Status Validate() const;
 };
 
 class DB {
@@ -144,35 +193,84 @@ class DB {
   /// snapshots and iterators must be released first.
   virtual ~DB() = default;
 
-  virtual Status Put(Key key, const Slice& value) = 0;
-  virtual Status Delete(Key key) = 0;
-  virtual Status Write(WriteBatch* batch) = 0;
+  virtual Status Put(const WriteOptions& options, Key key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, Key key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* batch) = 0;
 
-  /// Point lookup; NotFound if absent or deleted. With a null snapshot the
-  /// read sees the latest state; with a snapshot it sees exactly the state
-  /// the snapshot pinned. The snapshot must stay unreleased for the call.
-  virtual Status Get(Key key, std::string* value,
-                     const Snapshot* snapshot) = 0;
-  Status Get(Key key, std::string* value) {
-    return Get(key, value, nullptr);
+  // Convenience overloads with default write options.
+  Status Put(Key key, const Slice& value) {
+    return Put(WriteOptions(), key, value);
   }
+  Status Delete(Key key) { return Delete(WriteOptions(), key); }
+  Status Write(WriteBatch* batch) { return Write(WriteOptions(), batch); }
+
+  /// Point lookup; NotFound if absent or deleted. Honors
+  /// options.snapshot, options.stats, and options.verify_found.
+  virtual Status Get(const ReadOptions& options, Key key,
+                     std::string* value) = 0;
+
+  /// Batched point lookup: serves `keys` as one operation against a
+  /// single pinned view (memtables + version), so every key sees the same
+  /// state. statuses->at(i) is OK (values->at(i) set), NotFound, or — on
+  /// an environmental failure — whatever error aborted the batch (also
+  /// returned). The batch is sorted internally; the remainder after the
+  /// memtable pass is grouped into per-table runs per level (and served
+  /// against the level model under IndexGranularity::kLevel), so each
+  /// table's reader fetch, bloom filter, and learned index are consulted
+  /// per run instead of per key. Results are bit-identical to per-key Get
+  /// with the same options. kMultiGet / kMultiGetKeys / kMultiGetBatches
+  /// instrument the batch; per-level AddLevelRead attribution is recorded
+  /// once per consulted level per batch.
+  virtual Status MultiGet(const ReadOptions& options,
+                          std::span<const Key> keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses) = 0;
 
   /// Iterator over live entries. It pins the memtables and version it
   /// reads, so it stays valid (at its creation-time view) under concurrent
-  /// writes, flushes, and compactions; destroy it to unpin. With a
-  /// snapshot, iterates that snapshot's view instead.
-  virtual std::unique_ptr<Iterator> NewIterator(const Snapshot* snapshot) = 0;
-  std::unique_ptr<Iterator> NewIterator() { return NewIterator(nullptr); }
+  /// writes, flushes, and compactions; destroy it to unpin. With
+  /// options.snapshot, iterates that snapshot's view instead.
+  virtual std::unique_ptr<Iterator> NewIterator(
+      const ReadOptions& options) = 0;
+
+  /// Range lookup: up to `count` entries starting at the first key >=
+  /// `start` (the paper's range workload). With options.snapshot, the
+  /// range is read from the snapshot's pinned view.
+  virtual Status RangeLookup(const ReadOptions& options, Key start,
+                             size_t count,
+                             std::vector<std::pair<Key, std::string>>* out) = 0;
+
+  // Convenience overloads with default read options. The snapshot-pointer
+  // forms mirror the pre-ReadOptions signatures (deprecated style; prefer
+  // passing ReadOptions explicitly).
+  Status Get(Key key, std::string* value) {
+    return Get(ReadOptions(), key, value);
+  }
+  Status Get(Key key, std::string* value, const Snapshot* snapshot) {
+    ReadOptions options;
+    options.snapshot = snapshot;
+    return Get(options, key, value);
+  }
+  Status MultiGet(std::span<const Key> keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses) {
+    return MultiGet(ReadOptions(), keys, values, statuses);
+  }
+  std::unique_ptr<Iterator> NewIterator() { return NewIterator(ReadOptions()); }
+  std::unique_ptr<Iterator> NewIterator(const Snapshot* snapshot) {
+    ReadOptions options;
+    options.snapshot = snapshot;
+    return NewIterator(options);
+  }
+  Status RangeLookup(Key start, size_t count,
+                     std::vector<std::pair<Key, std::string>>* out) {
+    return RangeLookup(ReadOptions(), start, count, out);
+  }
 
   /// Pins the current state for repeatable reads. Must be released via
   /// ReleaseSnapshot before the DB is destroyed.
   virtual const Snapshot* GetSnapshot() = 0;
   virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
-
-  /// Range lookup: up to `count` entries starting at the first key >=
-  /// `start` (the paper's range workload).
-  virtual Status RangeLookup(Key start, size_t count,
-                             std::vector<std::pair<Key, std::string>>* out) = 0;
 
   /// Flushes the memtable to level 0 (no-op when empty) and settles the
   /// tree. In kBackground this drains the background queue first.
@@ -199,21 +297,29 @@ class DB {
   /// Changes the index granularity (file- or level-grained lookups).
   virtual void SetIndexGranularity(IndexGranularity granularity) = 0;
 
+  // The introspection surface below is const so read-only observers
+  // (monitoring threads, report emitters) can hold a `const DB&`. The
+  // methods may still take the DB mutex or build lazy level models
+  // internally; they never change user-visible state.
+
   /// Index-only memory across live tables (level models when granularity
   /// is kLevel), excluding bloom filters — the paper's "Memory (B)" axis.
-  virtual size_t TotalIndexMemory() = 0;
+  virtual size_t TotalIndexMemory() const = 0;
   /// Bloom filter memory across live tables.
-  virtual size_t TotalFilterMemory() = 0;
+  virtual size_t TotalFilterMemory() const = 0;
   /// Index memory attributed to one level (Figure 10).
-  virtual size_t LevelIndexMemory(int level) = 0;
+  virtual size_t LevelIndexMemory(int level) const = 0;
 
-  virtual int NumFilesAtLevel(int level) = 0;
-  virtual uint64_t BytesAtLevel(int level) = 0;
-  virtual uint64_t EntriesAtLevel(int level) = 0;
-  virtual SequenceNumber LastSequence() = 0;
+  virtual int NumFilesAtLevel(int level) const = 0;
+  virtual uint64_t BytesAtLevel(int level) const = 0;
+  virtual uint64_t EntriesAtLevel(int level) const = 0;
+  virtual SequenceNumber LastSequence() const = 0;
 
-  /// Measurement sink for all engine instrumentation.
-  virtual Stats* stats() = 0;
+  /// Measurement sink for all engine instrumentation. The Stats object is
+  /// internally synchronized, so handing out a mutable pointer from a
+  /// const DB is sound (observers read counters; benches Reset between
+  /// runs).
+  virtual Stats* stats() const = 0;
 
   /// Destroys the database contents at `name` (files + directory).
   static Status Destroy(const DBOptions& options, const std::string& name);

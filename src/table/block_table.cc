@@ -362,17 +362,18 @@ Status BlockTableReader::ReadBlock(size_t block_idx,
 }
 
 Status BlockTableReader::Get(Key key, std::string* value, uint64_t* tag,
-                             bool* found) {
+                             bool* found, Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
   *found = false;
   if (count_ == 0 || key < min_key_ || key > max_key_) return Status::OK();
 
   {
-    ScopedTimer timer(options_.stats, Timer::kBloomCheck, options_.env);
+    ScopedTimer timer(stats, Timer::kBloomCheck, options_.env);
     char bloom_buf[8];
     BloomFilterReader bloom{Slice(bloom_data_)};
     if (!bloom.KeyMayMatch(BloomKey(key, bloom_buf))) {
-      if (options_.stats != nullptr) {
-        options_.stats->Add(Counter::kBloomNegatives);
+      if (stats != nullptr) {
+        stats->Add(Counter::kBloomNegatives);
       }
       return Status::OK();
     }
@@ -380,7 +381,7 @@ Status BlockTableReader::Get(Key key, std::string* value, uint64_t* tag,
 
   size_t block_idx;
   {
-    ScopedTimer timer(options_.stats, Timer::kIndexPredict, options_.env);
+    ScopedTimer timer(stats, Timer::kIndexPredict, options_.env);
     block_idx = FindBlock(key);
   }
   if (block_idx >= blocks_.size()) return Status::OK();
@@ -389,7 +390,7 @@ Status BlockTableReader::Get(Key key, std::string* value, uint64_t* tag,
   Status s = ReadBlock(block_idx, &contents);
   if (!s.ok()) return s;
 
-  ScopedTimer timer(options_.stats, Timer::kBinarySearch, options_.env);
+  ScopedTimer timer(stats, Timer::kBinarySearch, options_.env);
   BlockParser parser(&contents, key_size_);
   parser.Seek(key);
   if (!parser.status().ok()) return parser.status();
@@ -397,11 +398,11 @@ Status BlockTableReader::Get(Key key, std::string* value, uint64_t* tag,
     *tag = parser.tag();
     value->assign(parser.value().data(), parser.value().size());
     *found = true;
-    if (options_.stats != nullptr) {
-      options_.stats->Add(Counter::kBloomTruePositive);
+    if (stats != nullptr) {
+      stats->Add(Counter::kBloomTruePositive);
     }
-  } else if (options_.stats != nullptr) {
-    options_.stats->Add(Counter::kBloomFalsePositive);
+  } else if (stats != nullptr) {
+    stats->Add(Counter::kBloomFalsePositive);
   }
   return Status::OK();
 }

@@ -60,7 +60,8 @@ class BlockTableReader final : public TableReader {
   static Status Open(const TableOptions& options, const std::string& fname,
                      std::unique_ptr<TableReader>* reader);
 
-  Status Get(Key key, std::string* value, uint64_t* tag, bool* found) override;
+  Status Get(Key key, std::string* value, uint64_t* tag, bool* found,
+             Stats* stats) override;
   std::unique_ptr<TableIterator> NewIterator() override;
 
   uint64_t NumEntries() const override { return count_; }

@@ -287,8 +287,8 @@ Status SegmentedTableReader::FindLowerBound(Key target, size_t* pos) {
   return Status::OK();
 }
 
-bool SegmentedTableReader::MayContain(Key key) {
-  Stats* stats = options_.stats;
+bool SegmentedTableReader::MayContain(Key key, Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
   ScopedTimer timer(stats, Timer::kBloomCheck, options_.env);
   char bloom_buf[8];
   BloomFilterReader bloom{Slice(bloom_data_)};
@@ -301,8 +301,9 @@ bool SegmentedTableReader::MayContain(Key key) {
 
 Status SegmentedTableReader::SearchRange(Key key, size_t range_lo,
                                          size_t range_hi, std::string* value,
-                                         uint64_t* tag, bool* found) {
-  Stats* stats = options_.stats;
+                                         uint64_t* tag, bool* found,
+                                         Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
   Env* env = options_.env;
   *found = false;
 
@@ -324,58 +325,138 @@ Status SegmentedTableReader::SearchRange(Key key, size_t range_lo,
 
   {
     ScopedTimer timer(stats, Timer::kBinarySearch, env);
-    // Binary search the fetched entries for the exact key.
-    size_t lo = range_lo, hi = range_hi + 1;
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (EntryKeyInBuffer(base, first, mid) < key) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo <= range_hi && EntryKeyInBuffer(base, first, lo) == key) {
-      const char* entry = base + (lo - first) * entry_size_;
-      *tag = DecodeFixed64(entry + key_size_);
-      value->assign(entry + key_size_ + 8, value_size_);
-      *found = true;
-    } else if (stats != nullptr) {
-      stats->Add(Counter::kBloomFalsePositive);
-    }
+    *found = SearchBuffer(base, first, range_lo, range_hi, key, value, tag);
   }
-  if (*found && stats != nullptr) {
-    stats->Add(Counter::kBloomTruePositive);
+  if (stats != nullptr) {
+    stats->Add(*found ? Counter::kBloomTruePositive
+                      : Counter::kBloomFalsePositive);
   }
   return Status::OK();
 }
 
 Status SegmentedTableReader::Get(Key key, std::string* value, uint64_t* tag,
-                                 bool* found) {
+                                 bool* found, Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
   *found = false;
   if (count_ == 0 || key < min_key_ || key > max_key_) {
     return Status::OK();
   }
-  if (!MayContain(key)) return Status::OK();
+  if (!MayContain(key, stats)) return Status::OK();
 
   PredictResult prediction;
   {
-    ScopedTimer timer(options_.stats, Timer::kIndexPredict, options_.env);
+    ScopedTimer timer(stats, Timer::kIndexPredict, options_.env);
     prediction = index_->Predict(key);
   }
-  return SearchRange(key, prediction.lo, prediction.hi, value, tag, found);
+  return SearchRange(key, prediction.lo, prediction.hi, value, tag, found,
+                     stats);
 }
 
 Status SegmentedTableReader::GetWithBounds(Key key, size_t lo, size_t hi,
                                            std::string* value, uint64_t* tag,
-                                           bool* found) {
+                                           bool* found, Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
   *found = false;
   if (count_ == 0 || key < min_key_ || key > max_key_) {
     return Status::OK();
   }
   if (hi >= count_) hi = count_ - 1;
   if (lo > hi) lo = hi;
-  if (!MayContain(key)) return Status::OK();
-  return SearchRange(key, lo, hi, value, tag, found);
+  if (!MayContain(key, stats)) return Status::OK();
+  return SearchRange(key, lo, hi, value, tag, found, stats);
+}
+
+bool SegmentedTableReader::SearchBuffer(const char* base, size_t first,
+                                        size_t lo, size_t hi, Key key,
+                                        std::string* value,
+                                        uint64_t* tag) const {
+  // Lower bound over the inclusive entry range [lo, hi].
+  size_t l = lo, h = hi + 1;
+  while (l < h) {
+    const size_t mid = l + (h - l) / 2;
+    if (EntryKeyInBuffer(base, first, mid) < key) {
+      l = mid + 1;
+    } else {
+      h = mid;
+    }
+  }
+  if (l > hi || EntryKeyInBuffer(base, first, l) != key) return false;
+  const char* entry = base + (l - first) * entry_size_;
+  *tag = DecodeFixed64(entry + key_size_);
+  value->assign(entry + key_size_ + 8, value_size_);
+  return true;
+}
+
+Status SegmentedTableReader::MultiGet(std::span<const Key> keys,
+                                      const size_t* bounds_lo,
+                                      const size_t* bounds_hi,
+                                      std::string* values, uint64_t* tags,
+                                      bool* founds, Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
+  Env* env = options_.env;
+
+  // Separate from Get's scratch: a batch interleaved with point lookups
+  // (level-model fallbacks) must keep its reusable block intact.
+  thread_local std::string batch_scratch;
+  const char* base = nullptr;
+  size_t buf_first = 0, buf_last = 0;
+  bool buffered = false;
+  Key buf_first_key = 0, buf_last_key = 0;
+
+  for (size_t i = 0; i < keys.size(); i++) {
+    const Key key = keys[i];
+    founds[i] = false;
+    if (count_ == 0 || key < min_key_ || key > max_key_) continue;
+
+    // A key inside the buffered block's key range is answered exactly from
+    // memory: the block holds every entry between its first and last key,
+    // so absence here is absence from the table — no bloom probe, no
+    // index descent, no I/O.
+    if (buffered && key >= buf_first_key && key <= buf_last_key) {
+      ScopedTimer timer(stats, Timer::kBinarySearch, env);
+      founds[i] =
+          SearchBuffer(base, buf_first, buf_first, buf_last, key, &values[i],
+                       &tags[i]);
+      continue;
+    }
+
+    if (!MayContain(key, stats)) continue;
+
+    size_t lo, hi;
+    if (bounds_lo != nullptr) {
+      lo = bounds_lo[i];
+      hi = bounds_hi[i];
+      if (hi >= count_) hi = count_ - 1;
+      if (lo > hi) lo = hi;
+    } else {
+      ScopedTimer timer(stats, Timer::kIndexPredict, env);
+      const PredictResult prediction = index_->Predict(key);
+      lo = prediction.lo;
+      hi = prediction.hi;
+    }
+
+    {
+      ScopedTimer timer(stats, Timer::kDiskRead, env);
+      Status s =
+          ReadEntryRange(lo, hi, &batch_scratch, &base, &buf_first, &buf_last);
+      if (!s.ok()) return s;
+      if (stats != nullptr) stats->Add(Counter::kSegmentsFetched);
+    }
+    buffered = true;
+    buf_first_key = EntryKeyInBuffer(base, buf_first, buf_first);
+    buf_last_key = EntryKeyInBuffer(base, buf_first, buf_last);
+
+    {
+      ScopedTimer timer(stats, Timer::kBinarySearch, env);
+      founds[i] =
+          SearchBuffer(base, buf_first, lo, hi, key, &values[i], &tags[i]);
+    }
+    if (stats != nullptr) {
+      stats->Add(founds[i] ? Counter::kBloomTruePositive
+                           : Counter::kBloomFalsePositive);
+    }
+  }
+  return Status::OK();
 }
 
 Status SegmentedTableReader::RetrainIndex(IndexType type,

@@ -54,9 +54,17 @@ class SegmentedTableReader final : public TableReader {
   static Status Open(const TableOptions& options, const std::string& fname,
                      std::unique_ptr<TableReader>* reader);
 
-  Status Get(Key key, std::string* value, uint64_t* tag, bool* found) override;
+  Status Get(Key key, std::string* value, uint64_t* tag, bool* found,
+             Stats* stats) override;
   Status GetWithBounds(Key key, size_t lo, size_t hi, std::string* value,
-                       uint64_t* tag, bool* found) override;
+                       uint64_t* tag, bool* found, Stats* stats) override;
+  /// Batched lookup that serves a run of sorted keys from one fetched I/O
+  /// block where possible: a key inside the key range of the previously
+  /// fetched block needs no bloom probe, no index descent, and no disk
+  /// read — the per-run amortization DB::MultiGet is built on.
+  Status MultiGet(std::span<const Key> keys, const size_t* bounds_lo,
+                  const size_t* bounds_hi, std::string* values,
+                  uint64_t* tags, bool* founds, Stats* stats) override;
   std::unique_ptr<TableIterator> NewIterator() override;
 
   uint64_t NumEntries() const override { return count_; }
@@ -93,11 +101,17 @@ class SegmentedTableReader final : public TableReader {
   SegmentedTableReader(const TableOptions& options) : options_(options) {}
 
   Status ReadEntryKey(size_t pos, Key* key);
-  /// Bloom probe; false means the key is definitely absent.
-  bool MayContain(Key key);
+  /// Bloom probe; false means the key is definitely absent. `stats` (may
+  /// be null) overrides options_.stats for this call.
+  bool MayContain(Key key, Stats* stats);
   /// Fetch + in-range binary search shared by Get and GetWithBounds.
   Status SearchRange(Key key, size_t lo, size_t hi, std::string* value,
-                     uint64_t* tag, bool* found);
+                     uint64_t* tag, bool* found, Stats* stats);
+  /// Binary search entries [lo, hi] inside a fetched buffer (`base` points
+  /// at entry `first`) for the exact key; bloom hit/miss attribution is
+  /// the caller's.
+  bool SearchBuffer(const char* base, size_t first, size_t lo, size_t hi,
+                    Key key, std::string* value, uint64_t* tag) const;
 
   TableOptions options_;
   std::unique_ptr<RandomAccessFile> file_;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "index/index.h"
@@ -74,9 +75,11 @@ class TableReader {
   virtual ~TableReader() = default;
 
   /// Point lookup. On hit sets *found=true, *tag and *value; a bloom
-  /// negative or absent key sets *found=false with OK status.
-  virtual Status Get(Key key, std::string* value, uint64_t* tag,
-                     bool* found) = 0;
+  /// negative or absent key sets *found=false with OK status. `stats`
+  /// (when non-null) receives this call's instrumentation instead of the
+  /// table's configured sink — the DB threads ReadOptions::stats here.
+  virtual Status Get(Key key, std::string* value, uint64_t* tag, bool* found,
+                     Stats* stats = nullptr) = 0;
 
   /// Point lookup with externally supplied position bounds (inclusive
   /// entry indexes), used by level-granularity models that predict across
@@ -84,9 +87,23 @@ class TableReader {
   /// return NotSupported.
   virtual Status GetWithBounds(Key /*key*/, size_t /*lo*/, size_t /*hi*/,
                                std::string* /*value*/, uint64_t* /*tag*/,
-                               bool* /*found*/) {
+                               bool* /*found*/, Stats* /*stats*/ = nullptr) {
     return Status::NotSupported("GetWithBounds");
   }
+
+  /// Batched point lookup over ascending (not necessarily distinct) keys.
+  /// For each keys[i]: on a hit sets founds[i]=true plus tags[i] and
+  /// values[i]; otherwise founds[i]=false. `bounds_lo`/`bounds_hi` (both
+  /// null or both non-null, one inclusive entry range per key) carry the
+  /// predictions of a level-granularity model; formats without positional
+  /// entries must be called with null bounds. The base implementation
+  /// loops Get/GetWithBounds; the segmented format overrides it to reuse
+  /// the fetched I/O block across a run of keys, consulting the bloom
+  /// filter and learned index only for keys the buffered block cannot
+  /// answer.
+  virtual Status MultiGet(std::span<const Key> keys, const size_t* bounds_lo,
+                          const size_t* bounds_hi, std::string* values,
+                          uint64_t* tags, bool* founds, Stats* stats);
 
   virtual std::unique_ptr<TableIterator> NewIterator() = 0;
 

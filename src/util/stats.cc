@@ -34,6 +34,8 @@ const char* TimerName(Timer t) {
       return "model_retrain";
     case Timer::kBackgroundWork:
       return "background_work";
+    case Timer::kMultiGet:
+      return "multiget";
     default:
       return "unknown";
   }
@@ -75,6 +77,10 @@ const char* CounterName(Counter c) {
       return "write_slowdowns";
     case Counter::kWriteStalls:
       return "write_stalls";
+    case Counter::kMultiGetKeys:
+      return "multiget_keys";
+    case Counter::kMultiGetBatches:
+      return "multiget_batches";
     default:
       return "unknown";
   }

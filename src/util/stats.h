@@ -28,6 +28,7 @@ enum class Timer : int {
   kModelStitch,       // stitching per-file segments into a level model
   kModelRetrain,      // maintained-policy full-retrain fallback
   kBackgroundWork,    // one background flush-or-compaction pass
+  kMultiGet,          // one whole MultiGet batch
   kNumTimers
 };
 
@@ -49,6 +50,8 @@ enum class Counter : int {
   kModelBuildBytesRead,  // table bytes scanned to (re)build level models
   kWriteSlowdowns,     // writes delayed by the L0 slowdown trigger
   kWriteStalls,        // writes blocked waiting on background work
+  kMultiGetKeys,       // keys served through MultiGet batches
+  kMultiGetBatches,    // MultiGet calls
   kNumCounters
 };
 

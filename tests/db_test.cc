@@ -437,6 +437,364 @@ TEST(DbStatsTest, LookupCountersTrackOperations) {
   EXPECT_GT(db->stats()->TimerCount(Timer::kBinarySearch), 0u);
 }
 
+// ---- per-call options structs, MultiGet, DBOptions::Validate ----
+
+TEST(DbOptionsValidateTest, RejectsEachInvalidConfiguration) {
+  ScratchDir dir("dbvalidate");
+  std::unique_ptr<DB> db;
+  auto expect_rejected = [&](DBOptions options, const char* what) {
+    Status s = DB::Open(options, dir.path() + "/db", &db);
+    EXPECT_TRUE(s.IsInvalidArgument()) << what << ": " << s.ToString();
+    EXPECT_EQ(db, nullptr) << what;
+  };
+
+  {
+    DBOptions o = SmallDbOptions();
+    o.value_size = 0;  // segmented format: fixed geometry needs a size
+    expect_rejected(o, "value_size == 0 under kSegmented");
+  }
+  {
+    DBOptions o = SmallDbOptions();
+    o.size_ratio = 0;
+    expect_rejected(o, "size_ratio == 0");
+  }
+  {
+    DBOptions o = SmallDbOptions();
+    o.size_ratio = -10;
+    expect_rejected(o, "negative size_ratio");
+  }
+  {
+    DBOptions o = SmallDbOptions();
+    o.l0_compaction_trigger = 0;
+    expect_rejected(o, "l0_compaction_trigger == 0");
+  }
+  {
+    DBOptions o = SmallDbOptions();
+    o.l0_slowdown_trigger = -1;
+    expect_rejected(o, "negative l0_slowdown_trigger");
+  }
+  {
+    DBOptions o = SmallDbOptions();
+    o.l0_stop_trigger = 0;
+    expect_rejected(o, "l0_stop_trigger == 0");
+  }
+  {
+    DBOptions o = SmallDbOptions();
+    o.key_size = 7;  // cannot round-trip the 8-byte uint64_t Key
+    expect_rejected(o, "key_size < 8");
+  }
+  {
+    DBOptions o = SmallDbOptions();
+    o.key_size = 65;  // past the table formats' 64-byte key buffers
+    expect_rejected(o, "key_size > 64");
+  }
+}
+
+TEST(DbOptionsValidateTest, BlockedFormatAllowsVariableValueSize) {
+  // value_size is a segmented-geometry constraint; the classic block
+  // format stores variable-length values and must open with 0.
+  ScratchDir dir("dbvalidate_blocked");
+  DBOptions options = SmallDbOptions();
+  options.table_format = TableFormat::kBlocked;
+  options.value_size = 0;
+  std::unique_ptr<DB> db;
+  ASSERT_LILSM_OK(DB::Open(options, dir.path() + "/db", &db));
+  ASSERT_LILSM_OK(db->Put(1, "short"));
+  ASSERT_LILSM_OK(db->Put(2, std::string(300, 'x')));
+  ASSERT_LILSM_OK(db->FlushMemTable());
+  std::string value;
+  ASSERT_LILSM_OK(db->Get(1, &value));
+  EXPECT_EQ(value, "short");
+  ASSERT_LILSM_OK(db->Get(2, &value));
+  EXPECT_EQ(value, std::string(300, 'x'));
+}
+
+/// MultiGet equivalence harness shared by the granularity variants:
+/// builds a tree with flushed, compacted, memtable-resident, overwritten,
+/// deleted, and absent keys, then checks randomized batches bit-for-bit
+/// against per-key Get.
+class DbMultiGetTest : public ::testing::TestWithParam<IndexGranularity> {
+ protected:
+  void LoadMixedTree(DB* db) {
+    loaded_ = RandomGapKeys(6000, 33);
+    std::vector<Key> order = loaded_;
+    Random rnd(91);
+    for (size_t i = order.size(); i > 1; i--) {
+      std::swap(order[i - 1], order[rnd.Uniform(i)]);
+    }
+    for (Key key : order) {
+      ASSERT_LILSM_OK(db->Put(key, ValueFor(key, 0)));
+    }
+    // Deletions and overwrites that go through flush + compaction.
+    for (size_t i = 0; i < loaded_.size(); i += 5) {
+      ASSERT_LILSM_OK(db->Delete(loaded_[i]));
+    }
+    for (size_t i = 1; i < loaded_.size(); i += 7) {
+      ASSERT_LILSM_OK(db->Put(loaded_[i], ValueFor(loaded_[i], 1)));
+    }
+    ASSERT_LILSM_OK(db->FlushMemTable());
+    ASSERT_LILSM_OK(db->CompactUntilStable());
+    // A memtable-resident tail (fresh values, plus deletes shadowing
+    // flushed entries) so the batch's memtable pass is exercised.
+    for (size_t i = 2; i < loaded_.size(); i += 11) {
+      ASSERT_LILSM_OK(db->Put(loaded_[i], ValueFor(loaded_[i], 2)));
+    }
+    for (size_t i = 3; i < loaded_.size(); i += 13) {
+      ASSERT_LILSM_OK(db->Delete(loaded_[i]));
+    }
+  }
+
+  /// A request pool of present, deleted, overwritten, and absent keys.
+  std::vector<Key> RequestPool() const {
+    std::vector<Key> pool = loaded_;
+    for (size_t i = 0; i < loaded_.size(); i += 3) {
+      pool.push_back(loaded_[i] + 1);  // gaps are >= 1: usually absent
+    }
+    pool.push_back(0);
+    pool.push_back(~uint64_t{0});
+    return pool;
+  }
+
+  void CheckBatchesMatchGet(DB* db) {
+    const std::vector<Key> pool = RequestPool();
+    Random rnd(277);
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    std::string expected;
+    for (size_t batch_size : {1u, 3u, 128u, 2048u, 10000u}) {
+      std::vector<Key> batch;
+      batch.reserve(batch_size);
+      for (size_t i = 0; i < batch_size; i++) {
+        batch.push_back(pool[rnd.Uniform(pool.size())]);
+      }
+      ASSERT_LILSM_OK(db->MultiGet(ReadOptions(), batch, &values,
+                                   &statuses));
+      ASSERT_EQ(values.size(), batch.size());
+      ASSERT_EQ(statuses.size(), batch.size());
+      for (size_t i = 0; i < batch.size(); i++) {
+        Status ref = db->Get(batch[i], &expected);
+        ASSERT_EQ(statuses[i].ok(), ref.ok())
+            << "key " << batch[i] << " batch_size " << batch_size;
+        if (ref.ok()) {
+          ASSERT_EQ(values[i], expected) << "key " << batch[i];
+        } else {
+          ASSERT_TRUE(statuses[i].IsNotFound()) << statuses[i].ToString();
+          ASSERT_TRUE(values[i].empty());
+        }
+      }
+    }
+  }
+
+  std::vector<Key> loaded_;
+};
+
+TEST_P(DbMultiGetTest, MatchesGetOnRandomizedBatches) {
+  ScratchDir dir("dbmultiget");
+  DBOptions options = SmallDbOptions();
+  options.index_granularity = GetParam();
+  std::unique_ptr<DB> db;
+  ASSERT_LILSM_OK(DB::Open(options, dir.path() + "/db", &db));
+  LoadMixedTree(db.get());
+  CheckBatchesMatchGet(db.get());
+
+  // Batch instrumentation fired.
+  EXPECT_GT(db->stats()->Count(Counter::kMultiGetBatches), 0u);
+  EXPECT_GT(db->stats()->Count(Counter::kMultiGetKeys), 0u);
+  EXPECT_GT(db->stats()->TimerCount(Timer::kMultiGet), 0u);
+}
+
+TEST_P(DbMultiGetTest, VerifyFoundAgreesOnEveryBatch) {
+  ScratchDir dir("dbmultiget_verify");
+  DBOptions options = SmallDbOptions();
+  options.index_granularity = GetParam();
+  std::unique_ptr<DB> db;
+  ASSERT_LILSM_OK(DB::Open(options, dir.path() + "/db", &db));
+  LoadMixedTree(db.get());
+
+  ReadOptions verify;
+  verify.verify_found = true;
+  const std::vector<Key> pool = RequestPool();
+  Random rnd(407);
+  std::vector<Key> batch;
+  for (size_t i = 0; i < 512; i++) {
+    batch.push_back(pool[rnd.Uniform(pool.size())]);
+  }
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_LILSM_OK(db->MultiGet(verify, batch, &values, &statuses));
+  for (const Status& s : statuses) {
+    ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+  }
+  // Single-key verify mode too, on hits and misses.
+  std::string value;
+  for (size_t i = 0; i < 64; i++) {
+    Status s = db->Get(verify, pool[rnd.Uniform(pool.size())], &value);
+    ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Granularities, DbMultiGetTest,
+    ::testing::Values(IndexGranularity::kFile, IndexGranularity::kLevel),
+    [](const ::testing::TestParamInfo<IndexGranularity>& info) {
+      return info.param == IndexGranularity::kFile ? "file" : "level";
+    });
+
+TEST_F(DbTest, MultiGetHonorsSnapshots) {
+  Open();
+  for (Key key = 1; key <= 500; key++) {
+    ASSERT_LILSM_OK(db_->Put(key, ValueFor(key, 0)));
+  }
+  ASSERT_LILSM_OK(db_->FlushMemTable());
+  const Snapshot* snap = db_->GetSnapshot();
+  for (Key key = 1; key <= 500; key++) {
+    ASSERT_LILSM_OK(db_->Put(key, ValueFor(key, 1)));
+  }
+  ASSERT_LILSM_OK(db_->FlushMemTable());
+
+  std::vector<Key> batch;
+  for (Key key = 1; key <= 500; key += 7) batch.push_back(key);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+
+  ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  ASSERT_LILSM_OK(db_->MultiGet(at_snap, batch, &values, &statuses));
+  for (size_t i = 0; i < batch.size(); i++) {
+    ASSERT_LILSM_OK(statuses[i]);
+    EXPECT_EQ(values[i], ValueFor(batch[i], 0)) << "key " << batch[i];
+  }
+  ASSERT_LILSM_OK(db_->MultiGet(ReadOptions(), batch, &values, &statuses));
+  for (size_t i = 0; i < batch.size(); i++) {
+    ASSERT_LILSM_OK(statuses[i]);
+    EXPECT_EQ(values[i], ValueFor(batch[i], 1)) << "key " << batch[i];
+  }
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DbTest, RangeLookupHonorsSnapshots) {
+  Open();
+  for (Key key = 10; key <= 100; key += 10) {
+    ASSERT_LILSM_OK(db_->Put(key, ValueFor(key, 0)));
+  }
+  ASSERT_LILSM_OK(db_->FlushMemTable());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_LILSM_OK(db_->Delete(50));
+  ASSERT_LILSM_OK(db_->Put(55, ValueFor(55, 0)));
+
+  std::vector<std::pair<Key, std::string>> out;
+  ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  ASSERT_LILSM_OK(db_->RangeLookup(at_snap, 45, 3, &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 50u);  // still visible through the snapshot
+  EXPECT_EQ(out[1].first, 60u);
+  EXPECT_EQ(out[2].first, 70u);
+
+  ASSERT_LILSM_OK(db_->RangeLookup(ReadOptions(), 45, 3, &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 55u);  // 50 deleted, 55 inserted since
+  EXPECT_EQ(out[1].first, 60u);
+  EXPECT_EQ(out[2].first, 70u);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DbTest, WriteOptionsDisableWalIsLostWithoutFlush) {
+  Open();
+  ASSERT_LILSM_OK(db_->Put(1, ValueFor(1, 0)));  // logged
+  WriteOptions no_wal;
+  no_wal.disable_wal = true;
+  ASSERT_LILSM_OK(db_->Put(no_wal, 2, ValueFor(2, 0)));
+  Reopen();  // simulated crash: only the WAL survives the memtable
+  std::string value;
+  ASSERT_LILSM_OK(db_->Get(1, &value));
+  EXPECT_EQ(value, ValueFor(1, 0));
+  EXPECT_TRUE(db_->Get(2, &value).IsNotFound());
+
+  // Flushed WAL-less writes are durable.
+  ASSERT_LILSM_OK(db_->Put(no_wal, 3, ValueFor(3, 0)));
+  ASSERT_LILSM_OK(db_->FlushMemTable());
+  Reopen();
+  ASSERT_LILSM_OK(db_->Get(3, &value));
+  EXPECT_EQ(value, ValueFor(3, 0));
+}
+
+TEST_F(DbTest, WriteOptionsSyncOverridesDbDefault) {
+  // Functional smoke in both directions: a per-call sync against a lazy
+  // DB and a per-call no-sync against a durable DB both land.
+  DBOptions durable = SmallDbOptions();
+  durable.sync_wal = true;
+  Open(durable);
+  WriteOptions lazy;
+  lazy.sync = false;
+  ASSERT_LILSM_OK(db_->Put(lazy, 1, ValueFor(1, 0)));
+  WriteOptions synced;
+  synced.sync = true;
+  ASSERT_LILSM_OK(db_->Put(synced, 2, ValueFor(2, 0)));
+  Reopen(durable);
+  std::string value;
+  ASSERT_LILSM_OK(db_->Get(1, &value));
+  ASSERT_LILSM_OK(db_->Get(2, &value));
+}
+
+TEST_F(DbTest, PerCallStatsSinkRedirectsInstrumentation) {
+  Open();
+  for (Key key = 1; key <= 2000; key++) {
+    ASSERT_LILSM_OK(db_->Put(key * 3, ValueFor(key, 0)));
+  }
+  ASSERT_LILSM_OK(db_->FlushMemTable());
+  db_->stats()->Reset();
+
+  Stats local;
+  ReadOptions tracked;
+  tracked.stats = &local;
+  std::string value;
+  for (Key key = 1; key <= 50; key++) {
+    ASSERT_LILSM_OK(db_->Get(tracked, key * 3, &value));
+  }
+  EXPECT_EQ(local.Count(Counter::kPointLookups), 50u);
+  EXPECT_GT(local.TimerCount(Timer::kMemtableGet), 0u);
+  // The redirect is exclusive: the DB-wide sink saw none of it.
+  EXPECT_EQ(db_->stats()->Count(Counter::kPointLookups), 0u);
+  EXPECT_EQ(db_->stats()->TimerCount(Timer::kBloomCheck), 0u);
+
+  // MultiGet redirects the batch instrumentation the same way.
+  std::vector<Key> batch = {3, 6, 9, 12, 1};
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_LILSM_OK(db_->MultiGet(tracked, batch, &values, &statuses));
+  EXPECT_EQ(local.Count(Counter::kMultiGetBatches), 1u);
+  EXPECT_EQ(local.Count(Counter::kMultiGetKeys), batch.size());
+  EXPECT_EQ(db_->stats()->Count(Counter::kMultiGetBatches), 0u);
+}
+
+/// The read-only introspection surface is const: this compiles only if
+/// every observer method is callable through `const DB&`.
+size_t ObserveConstSurface(const DB& db) {
+  size_t total = db.TotalIndexMemory() + db.TotalFilterMemory();
+  for (int level = 0; level < kNumLevels; level++) {
+    total += static_cast<size_t>(db.NumFilesAtLevel(level));
+    total += static_cast<size_t>(db.BytesAtLevel(level));
+    total += static_cast<size_t>(db.EntriesAtLevel(level));
+    total += db.LevelIndexMemory(level);
+  }
+  total += static_cast<size_t>(db.LastSequence());
+  total += static_cast<size_t>(db.stats()->Count(Counter::kWrites));
+  return total;
+}
+
+TEST_F(DbTest, ConstObserverSeesIntrospectionSurface) {
+  Open();
+  for (Key key = 1; key <= 1000; key++) {
+    ASSERT_LILSM_OK(db_->Put(key * 2, ValueFor(key, 0)));
+  }
+  ASSERT_LILSM_OK(db_->FlushMemTable());
+  const DB& observer = *db_;
+  EXPECT_GT(ObserveConstSurface(observer), 0u);
+  EXPECT_EQ(observer.LastSequence(), 1000u);
+  EXPECT_GT(observer.NumFilesAtLevel(0) + observer.NumFilesAtLevel(1), 0);
+}
+
 TEST(DbBlockedFormatTest, ClassicFormatCrossCheck) {
   // The block-based (classic LevelDB) substrate must agree with the
   // segmented format on the same workload.

@@ -164,6 +164,42 @@ TEST_P(SegmentedTableTest, GetWithBoundsHonorsWindow) {
   }
 }
 
+TEST_P(SegmentedTableTest, MultiGetMatchesGetOnSortedRuns) {
+  // Ascending mix of present, absent-in-gap, and duplicate keys: the
+  // batched path's block reuse must be invisible in the results.
+  std::vector<Key> batch;
+  for (size_t i = 0; i < keys_.size(); i += 97) {
+    batch.push_back(keys_[i]);
+    batch.push_back(keys_[i]);      // duplicate: served from the buffer
+    batch.push_back(keys_[i] + 1);  // gaps are >= 1: usually absent
+  }
+  std::sort(batch.begin(), batch.end());
+
+  std::vector<std::string> values(batch.size());
+  std::vector<uint64_t> tags(batch.size(), 0);
+  std::unique_ptr<bool[]> founds(new bool[batch.size()]);
+  Stats local;
+  ASSERT_LILSM_OK(reader_->MultiGet(batch, nullptr, nullptr, values.data(),
+                                    tags.data(), founds.get(), &local));
+
+  std::string expected;
+  uint64_t expected_tag = 0;
+  bool expected_found = false;
+  for (size_t i = 0; i < batch.size(); i++) {
+    ASSERT_LILSM_OK(reader_->Get(batch[i], &expected, &expected_tag,
+                                 &expected_found));
+    ASSERT_EQ(founds[i], expected_found) << "key " << batch[i];
+    if (expected_found) {
+      ASSERT_EQ(values[i], expected) << "key " << batch[i];
+      ASSERT_EQ(tags[i], expected_tag) << "key " << batch[i];
+    }
+  }
+  // The per-call sink saw the batch's probes, and the duplicates were
+  // answered without a second bloom probe (fewer probes than keys).
+  EXPECT_GT(local.TimerCount(Timer::kBloomCheck), 0u);
+  EXPECT_LT(local.TimerCount(Timer::kBloomCheck), batch.size());
+}
+
 TEST_P(SegmentedTableTest, ReadAllKeysRoundTrips) {
   std::vector<Key> read_keys;
   ASSERT_LILSM_OK(reader_->ReadAllKeys(&read_keys));

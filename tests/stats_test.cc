@@ -66,6 +66,16 @@ TEST(StatsTest, NamesAreStable) {
   EXPECT_STREQ(TimerName(Timer::kDiskRead), "disk_read");
   EXPECT_STREQ(TimerName(Timer::kCompactTrain), "compact_train");
   EXPECT_STREQ(CounterName(Counter::kBloomNegatives), "bloom_negatives");
+  EXPECT_STREQ(TimerName(Timer::kMultiGet), "multiget");
+  EXPECT_STREQ(CounterName(Counter::kMultiGetKeys), "multiget_keys");
+  EXPECT_STREQ(CounterName(Counter::kMultiGetBatches), "multiget_batches");
+  // Every enum value must have a real name (no "unknown" holes).
+  for (int t = 0; t < static_cast<int>(Timer::kNumTimers); t++) {
+    EXPECT_STRNE(TimerName(static_cast<Timer>(t)), "unknown") << t;
+  }
+  for (int c = 0; c < static_cast<int>(Counter::kNumCounters); c++) {
+    EXPECT_STRNE(CounterName(static_cast<Counter>(c)), "unknown") << c;
+  }
 }
 
 TEST(StatsTest, ToStringListsActiveEntries) {
