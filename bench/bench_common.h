@@ -118,11 +118,18 @@ inline LevelModelPolicy ParseLevelModelPolicy(const std::string& name) {
 /// multiget_batch (optional) enables the --multiget-batch=N flag for the
 /// lookup benches (fig12, fig13): read ops are served through
 /// DB::MultiGet in batches of N (0 or 1 keeps the per-key Get path).
+///
+/// block_cache (optional) enables the --block-cache-mb=N flag for the
+/// lookup benches (fig12, fig13): the DB is opened with an N MiB shared
+/// block cache (0, the default, keeps the paper's uncached read path).
+/// The parsed capacity lands in ExperimentDefaults::block_cache_bytes;
+/// the pointer just opts the flag in and reports the raw MiB value.
 inline ExperimentDefaults BenchDefaults(int argc, char** argv,
                                         bool* ops_from_flags = nullptr,
                                         size_t* threads = nullptr,
                                         std::string* level_model = nullptr,
-                                        size_t* multiget_batch = nullptr) {
+                                        size_t* multiget_batch = nullptr,
+                                        size_t* block_cache_mb = nullptr) {
   ExperimentDefaults d = BenchDefaults();
   if (ops_from_flags != nullptr) *ops_from_flags = false;
   auto require_positive = [](const char* flag, size_t value) {
@@ -161,16 +168,21 @@ inline ExperimentDefaults BenchDefaults(int argc, char** argv,
     } else if (multiget_batch != nullptr &&
                ParseSizeFlag(argc, argv, &i, "--multiget-batch", &value)) {
       *multiget_batch = value;
+    } else if (block_cache_mb != nullptr &&
+               ParseSizeFlag(argc, argv, &i, "--block-cache-mb", &value)) {
+      *block_cache_mb = value;
+      d.block_cache_bytes = value << 20;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: %s [--n KEYS] [--ops OPS] [--value-size BYTES] "
-          "[--seed SEED]%s%s%s\n"
+          "[--seed SEED]%s%s%s%s\n"
           "Environment overrides (LILSM_N, LILSM_OPS, ...) are documented "
           "in src/core/config.h; flags take precedence.\n",
           argv[0], threads != nullptr ? " [--threads T]" : "",
           level_model != nullptr ? " [--level-model lazy|maintained]" : "",
-          multiget_batch != nullptr ? " [--multiget-batch N]" : "");
+          multiget_batch != nullptr ? " [--multiget-batch N]" : "",
+          block_cache_mb != nullptr ? " [--block-cache-mb MB]" : "");
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown flag %s (try --help)\n", argv[0],

@@ -7,6 +7,11 @@
 // index predictions per operation; batching amortizes both across each
 // sorted run of keys, so compare a batched run against the default to see
 // the per-key probe reduction (EXPERIMENTS.md records the numbers).
+//
+// --block-cache-mb=N opens the DB with an N MiB shared block cache; the
+// extra hit% column then reports the block-cache hit rate per config, and
+// the io/op column the Env reads actually issued per operation — sweep N
+// to trade memory for device reads on the zipfian mixes (EXPERIMENTS.md).
 #include "bench/bench_common.h"
 
 using namespace lilsm;
@@ -14,14 +19,23 @@ using namespace lilsm;
 int main(int argc, char** argv) {
   bool ops_from_flags = false;
   size_t multiget_batch = 0;
+  size_t block_cache_mb = 0;
   ExperimentDefaults d = bench::BenchDefaults(argc, argv, &ops_from_flags,
                                               nullptr, nullptr,
-                                              &multiget_batch);
+                                              &multiget_batch,
+                                              &block_cache_mb);
   if (!ops_from_flags) d.num_ops = std::max<size_t>(500, d.num_ops / 2);
   bench::PrintHeader("Figure 12", "YCSB A-F: latency vs index memory", d);
   if (multiget_batch > 1) {
     std::printf("# reads served through MultiGet, batch=%zu\n\n",
                 multiget_batch);
+  }
+  // The env override (LILSM_BLOCK_CACHE_MB) enables the cache too, so
+  // key the extra columns off the resolved capacity, not the flag.
+  const bool cached = d.block_cache_bytes > 0;
+  if (cached) {
+    std::printf("# shared block cache: %zu MiB\n\n",
+                d.block_cache_bytes >> 20);
   }
 
   for (YcsbWorkload workload : kAllYcsbWorkloads) {
@@ -37,8 +51,19 @@ int main(int argc, char** argv) {
     }
     ReportTable table(std::string("Figure 12: YCSB-") +
                       YcsbWorkloadName(workload));
-    table.SetHeader({"index", "b=128 us", "b=128 mem", "b=128 blm+prd/op",
-                     "b=16 us", "b=16 mem", "b=16 blm+prd/op"});
+    std::vector<std::string> header;
+    for (uint32_t boundary : {128u, 16u}) {
+      const std::string prefix = "b=" + std::to_string(boundary);
+      header.push_back(prefix + " us");
+      header.push_back(prefix + " mem");
+      header.push_back(prefix + " blm+prd/op");
+      if (cached) {
+        header.push_back(prefix + " hit%");
+        header.push_back(prefix + " io/op");
+      }
+    }
+    header.insert(header.begin(), "index");
+    table.SetHeader(header);
     for (IndexType type : kAllIndexTypes) {
       std::vector<std::string> row = {IndexTypeName(type)};
       for (uint32_t boundary : {128u, 16u}) {
@@ -61,6 +86,20 @@ int main(int argc, char** argv) {
             metrics.stats.TimerCount(Timer::kBloomCheck) / ops,
             metrics.stats.TimerCount(Timer::kIndexPredict) / ops);
         row.push_back(probes);
+        if (cached) {
+          const double hits = static_cast<double>(
+              metrics.stats.Count(Counter::kBlockCacheHits));
+          const double misses = static_cast<double>(
+              metrics.stats.Count(Counter::kBlockCacheMisses));
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.1f",
+                        hits + misses > 0 ? 100.0 * hits / (hits + misses)
+                                          : 0.0);
+          row.push_back(buf);
+          std::snprintf(buf, sizeof(buf), "%.2f",
+                        static_cast<double>(metrics.io_reads) / ops);
+          row.push_back(buf);
+        }
       }
       if (!s.ok()) break;
       table.AddRow(row);

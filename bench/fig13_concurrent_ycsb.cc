@@ -131,12 +131,18 @@ void RunWorker(DB* db, const std::vector<Key>& keys, YcsbWorkload workload,
 int main(int argc, char** argv) {
   size_t threads = 2;
   size_t multiget_batch = 0;
+  size_t block_cache_mb = 0;
   ExperimentDefaults d = bench::BenchDefaults(argc, argv, nullptr, &threads,
-                                              nullptr, &multiget_batch);
+                                              nullptr, &multiget_batch,
+                                              &block_cache_mb);
   bench::PrintHeader("Figure 13", "concurrent YCSB aggregate throughput", d);
   if (multiget_batch > 1) {
     std::printf("# reads served through MultiGet, batch=%zu\n\n",
                 multiget_batch);
+  }
+  if (d.block_cache_bytes > 0) {
+    std::printf("# shared block cache: %zu MiB\n\n",
+                d.block_cache_bytes >> 20);
   }
 
   // Blocking (sleeping) device model: waits overlap across threads. The
@@ -162,6 +168,7 @@ int main(int argc, char** argv) {
   options.bloom_bits_per_key = d.bloom_bits_per_key;
   options.key_size = d.key_size;
   options.value_size = d.value_size;
+  options.block_cache_bytes = d.block_cache_bytes;
   const std::string dbdir = bench::BenchDir("fig13");
 
   ReportTable table("Figure 13: aggregate throughput by workload");

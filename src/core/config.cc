@@ -35,6 +35,9 @@ ExperimentDefaults ExperimentDefaults::FromEnvironment() {
     Dataset dataset;
     if (ParseDataset(v, &dataset)) d.dataset = dataset;
   }
+  if (const char* v = std::getenv("LILSM_BLOCK_CACHE_MB")) {
+    d.block_cache_bytes = std::strtoull(v, nullptr, 10) << 20;
+  }
   return d;
 }
 

@@ -29,7 +29,7 @@ struct IndexSetup {
 /// environment overrides below so the full-size runs remain one command
 /// away:
 ///   LILSM_N, LILSM_VALUE_SIZE, LILSM_OPS, LILSM_SST_MB, LILSM_SEED,
-///   LILSM_DATASET, LILSM_READ_LAT_NS.
+///   LILSM_DATASET, LILSM_READ_LAT_NS, LILSM_BLOCK_CACHE_MB.
 struct ExperimentDefaults {
   size_t num_keys = 200'000;
   uint32_t key_size = 24;
@@ -41,6 +41,10 @@ struct ExperimentDefaults {
   int bloom_bits_per_key = 10;
   uint64_t seed = 42;
   Dataset dataset = Dataset::kRandom;
+  /// Shared block cache capacity (0 = off, the paper's configuration —
+  /// every segment fetch is a device I/O). The benches expose it as
+  /// --block-cache-mb.
+  size_t block_cache_bytes = 0;
 
   /// Reads the LILSM_* environment overrides.
   static ExperimentDefaults FromEnvironment();

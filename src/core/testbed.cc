@@ -31,6 +31,7 @@ Status Testbed::Create(const Options& options,
   db_options.index_type = options.setup.type;
   db_options.index_config = options.setup.ToIndexConfig();
   db_options.index_granularity = options.setup.granularity;
+  db_options.block_cache_bytes = d.block_cache_bytes;
 
   DB::Destroy(db_options, options.dir);
   std::unique_ptr<DB> db;
@@ -91,6 +92,10 @@ Status Testbed::Reconfigure(const IndexSetup& setup) {
 
 void Testbed::BeginRun() {
   db_->stats()->Reset();
+  // Every measured run starts with a cold block cache: without this, the
+  // rows of a (type x boundary) sweep inherit the previous config's warm
+  // set and stop being comparable to each other.
+  db_->ClearBlockCache();
   if (sim_env_ != nullptr) {
     io_reads_at_start_ = sim_env_->io_stats()->random_reads.load();
     io_blocks_at_start_ = sim_env_->io_stats()->blocks_read.load();

@@ -41,7 +41,9 @@ Status CompactionJob::Run(const VersionSet::CompactionPick& pick,
       std::shared_ptr<TableReader> reader;
       Status s = ctx_.table_cache->GetReader(meta.number, &reader);
       if (!s.ok()) return s;
-      children.push_back(reader->NewIterator());
+      // Compaction streams every input once; filling the block cache here
+      // would evict the point-lookup hot set for blocks about to die.
+      children.push_back(reader->NewIterator(/*fill_cache=*/false));
     }
   }
   std::unique_ptr<TableIterator> iter =

@@ -67,6 +67,9 @@ class DBImpl final : public DB {
     options_.l0_stop_trigger =
         std::max(options_.l0_stop_trigger, options_.l0_slowdown_trigger);
     versions_ = std::make_unique<VersionSet>(env_, dbname_);
+    if (options_.block_cache_bytes > 0) {
+      block_cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes);
+    }
     table_cache_ = std::make_unique<TableCache>(MakeTableOptions(), dbname_,
                                                 options_.max_open_tables);
     model_catalog_ = std::make_unique<ModelCatalog>(
@@ -192,10 +195,10 @@ class DBImpl final : public DB {
     Stats* sink = EffectiveStats(ropts);
     sink->Add(Counter::kPointLookups);
     ReadView view = PinView(ropts.snapshot);
-    Status s = GetFromView(view, key, value, sink);
+    Status s = GetFromView(view, key, value, sink, ropts.fill_cache);
     if (ropts.verify_found && (s.ok() || s.IsNotFound())) {
       RefView(view);
-      auto ref = NewIteratorOverView(view);
+      auto ref = NewIteratorOverView(view, /*fill_cache=*/false);
       Status vs = VerifyWithIterator(ref.get(), key, s, *value);
       if (!vs.ok()) s = vs;
     }
@@ -215,10 +218,11 @@ class DBImpl final : public DB {
     if (keys.empty()) return Status::OK();
 
     ReadView view = PinView(ropts.snapshot);
-    Status s = MultiGetFromView(view, keys, values, statuses, sink);
+    Status s = MultiGetFromView(view, keys, values, statuses, sink,
+                                ropts.fill_cache);
     if (s.ok() && ropts.verify_found) {
       RefView(view);
-      auto ref = NewIteratorOverView(view);
+      auto ref = NewIteratorOverView(view, /*fill_cache=*/false);
       for (size_t i = 0; i < keys.size(); i++) {
         Status vs = VerifyWithIterator(ref.get(), keys[i], (*statuses)[i],
                                        (*values)[i]);
@@ -233,7 +237,7 @@ class DBImpl final : public DB {
   }
 
   std::unique_ptr<Iterator> NewIterator(const ReadOptions& ropts) override {
-    return NewIteratorOverView(PinView(ropts.snapshot));
+    return NewIteratorOverView(PinView(ropts.snapshot), ropts.fill_cache);
   }
 
   const Snapshot* GetSnapshot() override {
@@ -441,6 +445,14 @@ class DBImpl final : public DB {
     return versions_->last_sequence();
   }
 
+  size_t BlockCacheMemory() const override {
+    return block_cache_ != nullptr ? block_cache_->MemoryUsage() : 0;
+  }
+
+  void ClearBlockCache() override {
+    if (block_cache_ != nullptr) block_cache_->Clear();
+  }
+
   Stats* stats() const override { return &stats_; }
 
  private:
@@ -537,8 +549,10 @@ class DBImpl final : public DB {
 
   /// Builds a user iterator over `view`, taking ownership of the view's
   /// references: the iterator's cleanup unpins them (on failure they are
-  /// unpinned before the error iterator is returned).
-  std::unique_ptr<Iterator> NewIteratorOverView(ReadView view) {
+  /// unpinned before the error iterator is returned). `fill_cache` gates
+  /// whether the table iterators' block fetches populate the block cache.
+  std::unique_ptr<Iterator> NewIteratorOverView(ReadView view,
+                                                bool fill_cache) {
     std::vector<std::unique_ptr<TableIterator>> children;
     // shared_ptr: the cleanup closure and this scope both reference it.
     auto readers =
@@ -554,7 +568,7 @@ class DBImpl final : public DB {
         s = table_cache_->GetReader(meta.number, &reader);
         if (!s.ok()) break;
         readers->push_back(reader);
-        children.push_back(reader->NewIterator());
+        children.push_back(reader->NewIterator(fill_cache));
       }
     }
     if (!s.ok()) {
@@ -605,7 +619,8 @@ class DBImpl final : public DB {
   /// its per-key predictions are handed to the reader as bounds.
   Status MultiGetFromView(const ReadView& view, std::span<const Key> keys,
                           std::vector<std::string>* values,
-                          std::vector<Status>* statuses, Stats* sink) {
+                          std::vector<Status>* statuses, Stats* sink,
+                          bool fill_cache) {
     const size_t n = keys.size();
     std::vector<uint32_t> order(n);
     for (uint32_t i = 0; i < n; i++) order[i] = i;
@@ -669,7 +684,7 @@ class DBImpl final : public DB {
                            bounds ? run_lo.data() : nullptr,
                            bounds ? run_hi.data() : nullptr,
                            run_values.data(), run_tags.data(),
-                           run_found.get(), sink);
+                           run_found.get(), sink, fill_cache);
       if (!s.ok()) return s;
       for (size_t r = 0; r < run_keys.size(); r++) {
         if (!run_found[r]) continue;
@@ -768,7 +783,7 @@ class DBImpl final : public DB {
   }
 
   Status GetFromView(const ReadView& view, Key key, std::string* value,
-                     Stats* sink) {
+                     Stats* sink, bool fill_cache) {
     {
       ScopedTimer timer(sink, Timer::kMemtableGet, env_);
       ValueType type;
@@ -795,7 +810,8 @@ class DBImpl final : public DB {
         sink->Add(Counter::kTablesConsulted);
         bool found = false;
         uint64_t tag = 0;
-        Status s = TableGet(meta, /*level=*/0, key, value, &tag, &found, sink);
+        Status s = TableGet(meta, /*level=*/0, key, value, &tag, &found, sink,
+                            fill_cache);
         if (!s.ok()) return s;
         if (found) {
           sink->AddLevelRead(0, env_->NowNanos() - level_start);
@@ -821,7 +837,7 @@ class DBImpl final : public DB {
       bool found = false;
       uint64_t tag = 0;
       Status s = TableGetAtLevel(v, level, static_cast<size_t>(file_idx), key,
-                                 value, &tag, &found, sink);
+                                 value, &tag, &found, sink, fill_cache);
       if (!s.ok()) return s;
       sink->AddLevelRead(level, env_->NowNanos() - level_start);
       if (found) {
@@ -843,6 +859,7 @@ class DBImpl final : public DB {
     topts.index_type = options_.index_type;
     topts.index_config = options_.index_config;
     topts.index_config.stored_key_bytes = options_.key_size;
+    topts.block_cache = block_cache_;
     return topts;
   }
 
@@ -1247,9 +1264,14 @@ class DBImpl final : public DB {
       // version, or swept by its RemoveObsoleteFiles).
       return s;
     }
-    for (const auto& [level, number] : edit.deleted_files_) {
-      (void)level;
-      table_cache_->Evict(number);
+    {
+      std::vector<uint64_t> deleted;
+      deleted.reserve(edit.deleted_files_.size());
+      for (const auto& [level, number] : edit.deleted_files_) {
+        (void)level;
+        deleted.push_back(number);
+      }
+      table_cache_->EvictBatch(deleted);
     }
     return RemoveObsoleteFiles();
   }
@@ -1263,12 +1285,17 @@ class DBImpl final : public DB {
     std::vector<std::string> children;
     Status s = env_->GetChildren(dbname_, &children);
     if (!s.ok()) return s;
+    // Evict dead tables as one batch: the block-cache purge scans the
+    // whole cache once per call, not once per retired file.
+    std::vector<uint64_t> dead_tables;
+    std::vector<std::string> dead_names;
     for (const std::string& name : children) {
       uint64_t number = 0;
       bool keep = true;
       switch (ParseFileName(name, &number)) {
         case FileKind::kTableFile:
           keep = live.count(number) > 0;
+          if (!keep) dead_tables.push_back(number);
           break;
         case FileKind::kWalFile:
           keep = number >= versions_->log_number() || number == wal_number_;
@@ -1283,12 +1310,11 @@ class DBImpl final : public DB {
           keep = true;
           break;
       }
-      if (!keep) {
-        if (ParseFileName(name, &number) == FileKind::kTableFile) {
-          table_cache_->Evict(number);
-        }
-        env_->RemoveFile(dbname_ + "/" + name);
-      }
+      if (!keep) dead_names.push_back(name);
+    }
+    table_cache_->EvictBatch(dead_tables);
+    for (const std::string& name : dead_names) {
+      env_->RemoveFile(dbname_ + "/" + name);
     }
     return Status::OK();
   }
@@ -1315,7 +1341,7 @@ class DBImpl final : public DB {
   /// that lookup.
   Status TableGetAtLevel(const Version& v, int level, size_t file_idx,
                          Key key, std::string* value, uint64_t* tag,
-                         bool* found, Stats* sink) {
+                         bool* found, Stats* sink, bool fill_cache) {
     const FileMeta& meta = v.files(level)[file_idx];
     if (options_.index_granularity == IndexGranularity::kLevel && level > 0 &&
         options_.table_format == TableFormat::kSegmented) {
@@ -1328,19 +1354,20 @@ class DBImpl final : public DB {
         std::shared_ptr<TableReader> reader;
         Status s = table_cache_->GetReader(meta.number, &reader);
         if (!s.ok()) return s;
-        return reader->GetWithBounds(key, lo, hi, value, tag, found, sink);
+        return reader->GetWithBounds(key, lo, hi, value, tag, found, sink,
+                                     fill_cache);
       }
     }
-    return TableGet(meta, level, key, value, tag, found, sink);
+    return TableGet(meta, level, key, value, tag, found, sink, fill_cache);
   }
 
   Status TableGet(const FileMeta& meta, int /*level*/, Key key,
                   std::string* value, uint64_t* tag, bool* found,
-                  Stats* sink) {
+                  Stats* sink, bool fill_cache) {
     std::shared_ptr<TableReader> reader;
     Status s = table_cache_->GetReader(meta.number, &reader);
     if (!s.ok()) return s;
-    return reader->Get(key, value, tag, found, sink);
+    return reader->Get(key, value, tag, found, sink, fill_cache);
   }
 
   DBOptions options_;
@@ -1357,6 +1384,9 @@ class DBImpl final : public DB {
   std::unique_ptr<LogWriter> wal_;  // guarded by mutex_
   uint64_t wal_number_ = 0;         // guarded by mutex_
   std::unique_ptr<VersionSet> versions_;
+  // Shared by every reader the table cache opens; created once at Open
+  // (block_cache_bytes > 0) and immutable afterwards.
+  std::shared_ptr<BlockCache> block_cache_;
   std::unique_ptr<TableCache> table_cache_;
   std::unique_ptr<ModelCatalog> model_catalog_;
   bool bg_scheduled_ = false;  // one background closure at a time
@@ -1388,6 +1418,12 @@ Status DBOptions::Validate() const {
   if (l0_stop_trigger <= 0) {
     return Status::InvalidArgument("DBOptions::l0_stop_trigger",
                                    "must be positive");
+  }
+  if (max_open_tables == 0) {
+    return Status::InvalidArgument(
+        "DBOptions::max_open_tables",
+        "must be positive: a zero-capacity table cache would re-open and "
+        "re-parse a table on every lookup");
   }
   if (key_size < 8) {
     return Status::InvalidArgument(

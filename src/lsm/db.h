@@ -108,6 +108,13 @@ struct ReadOptions {
   /// same pinned view) and return Corruption on divergence. Expensive;
   /// meant for tests and bring-up of new index types.
   bool verify_found = false;
+
+  /// Whether blocks fetched by this call may be inserted into the shared
+  /// block cache (DBOptions::block_cache_bytes). Cache hits are always
+  /// served. Set false for large scans so a one-pass iterator does not
+  /// evict the point-lookup hot set (the RocksDB idiom); compaction
+  /// input reads behave as if it were false.
+  bool fill_cache = true;
 };
 
 /// Per-call write options.
@@ -172,14 +179,23 @@ struct DBOptions {
   bool create_if_missing = true;
   bool error_if_exists = false;
 
+  /// Capacity (in open readers) of the table cache. Must be positive:
+  /// zero would force every lookup through a full open/parse cycle.
   size_t max_open_tables = 4096;
+
+  /// Charged capacity of the shared block cache consulted by both table
+  /// formats before any Env read of table data. 0 (default) disables
+  /// caching entirely, preserving the paper-reproduction path where each
+  /// segment fetch is a device I/O with exactly the seed's SimEnv counts.
+  size_t block_cache_bytes = 0;
 
   /// Sanity-checks the option values against the engine's invariants;
   /// DB::Open calls this first and refuses to open on failure. Rejects a
   /// zero value_size under the fixed-geometry segmented format,
-  /// non-positive size_ratio and L0 triggers, and a key_size the 8-byte
-  /// uint64_t Key cannot round-trip through (< 8, or past the 64-byte
-  /// encode buffers).
+  /// non-positive size_ratio and L0 triggers, a zero max_open_tables
+  /// (every lookup would thrash a full table open/close), and a key_size
+  /// the 8-byte uint64_t Key cannot round-trip through (< 8, or past the
+  /// 64-byte encode buffers).
   Status Validate() const;
 };
 
@@ -297,6 +313,12 @@ class DB {
   /// Changes the index granularity (file- or level-grained lookups).
   virtual void SetIndexGranularity(IndexGranularity granularity) = 0;
 
+  /// Drops every entry of the shared block cache (no-op when
+  /// block_cache_bytes is 0). Experiment support: the testbed clears it
+  /// before each measured run so per-configuration measurements start
+  /// cold instead of inheriting the previous configuration's warm set.
+  virtual void ClearBlockCache() = 0;
+
   // The introspection surface below is const so read-only observers
   // (monitoring threads, report emitters) can hold a `const DB&`. The
   // methods may still take the DB mutex or build lazy level models
@@ -307,6 +329,9 @@ class DB {
   virtual size_t TotalIndexMemory() const = 0;
   /// Bloom filter memory across live tables.
   virtual size_t TotalFilterMemory() const = 0;
+  /// Charged bytes currently held by the shared block cache (0 when
+  /// block_cache_bytes is 0). Hit/miss/eviction rates are in stats().
+  virtual size_t BlockCacheMemory() const = 0;
   /// Index memory attributed to one level (Figure 10).
   virtual size_t LevelIndexMemory(int level) const = 0;
 

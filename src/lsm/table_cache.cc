@@ -5,11 +5,13 @@ namespace lilsm {
 TableCache::TableCache(const TableOptions& options, std::string dbname,
                        size_t capacity)
     : options_(options),
+      block_cache_(options.block_cache),
       dbname_(std::move(dbname)),
       capacity_(capacity == 0 ? 1 : capacity) {}
 
 Status TableCache::GetReader(uint64_t file_number,
                              std::shared_ptr<TableReader>* reader) {
+  TableOptions open_options;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(file_number);
@@ -22,12 +24,18 @@ Status TableCache::GetReader(uint64_t file_number,
       *reader = it->second->reader;
       return Status::OK();
     }
+    // Snapshot the options under mu_ (SetIndexOptions mutates them) and
+    // stamp the file number so the shared block cache keys this file's
+    // blocks into their own namespace.
+    open_options = options_;
+    open_options.cache_file_number = file_number;
   }
 
   // Open outside the lock: misses do disk I/O and must not serialize the
   // concurrent readers that hit the cache.
   std::unique_ptr<TableReader> opened;
-  Status s = OpenTable(options_, TableFileName(dbname_, file_number), &opened);
+  Status s =
+      OpenTable(open_options, TableFileName(dbname_, file_number), &opened);
   if (!s.ok()) return s;
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -52,6 +60,15 @@ Status TableCache::GetReader(uint64_t file_number,
 }
 
 void TableCache::Evict(uint64_t file_number) {
+  // A file is evicted because it was deleted (compaction GC): its cached
+  // blocks can never be read again, so reclaim their budget now. This is
+  // best-effort memory hygiene, not correctness: file numbers are never
+  // reused, and a lookup already in flight on a previously handed-out
+  // reader may re-insert a few of the dead file's blocks after this
+  // purge — they simply age out of the LRU like any other cold entry.
+  if (block_cache_ != nullptr) {
+    block_cache_->EraseFile(file_number);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(file_number);
   if (it == map_.end()) return;
@@ -59,7 +76,24 @@ void TableCache::Evict(uint64_t file_number) {
   map_.erase(it);
 }
 
+void TableCache::EvictBatch(const std::vector<uint64_t>& file_numbers) {
+  if (file_numbers.empty()) return;
+  if (block_cache_ != nullptr) {
+    block_cache_->EraseFiles(file_numbers);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t file_number : file_numbers) {
+    auto it = map_.find(file_number);
+    if (it == map_.end()) continue;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+}
+
 void TableCache::Clear() {
+  if (block_cache_ != nullptr) {
+    block_cache_->Clear();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();

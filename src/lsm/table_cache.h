@@ -1,9 +1,13 @@
 // TableCache: LRU cache of open table readers keyed by file number.
-// Thread-safe: an internal mutex guards the LRU structures, and readers
-// are handed out as shared_ptr so an evicted table stays open for whoever
-// is mid-lookup on it. SetIndexOptions is the exception — it is only legal
-// in quiescent states (no concurrent lookups), like the experiment
-// reconfiguration APIs that call it.
+// Thread-safe: an internal mutex guards the LRU structures and the table
+// options, and readers are handed out as shared_ptr so an evicted table
+// stays open for whoever is mid-lookup on it. SetIndexOptions used to be
+// exempt ("quiescent-only"), which let a concurrent GetReader read
+// options_ mid-mutation; it now takes the mutex like everything else.
+//
+// When a shared BlockCache is configured (TableOptions::block_cache),
+// Evict and Clear also purge the dropped files' cached blocks — the
+// invalidation half of the block-cache contract.
 #ifndef LILSM_LSM_TABLE_CACHE_H_
 #define LILSM_LSM_TABLE_CACHE_H_
 
@@ -12,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "lsm/dbformat.h"
 #include "table/table.h"
@@ -29,16 +34,26 @@ class TableCache {
   /// Drops a file's reader (after the file is deleted by a compaction).
   void Evict(uint64_t file_number);
 
+  /// Batched Evict: one block-cache scan for the whole set instead of
+  /// one per file (obsolete-file GC retires compaction input sets).
+  void EvictBatch(const std::vector<uint64_t>& file_numbers);
+
   void Clear();
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return map_.size();
   }
-  const TableOptions& options() const { return options_; }
+  /// Snapshot of the current table options (by value: options_ mutates
+  /// under mu_ and a reference would race SetIndexOptions).
+  TableOptions options() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_;
+  }
 
   /// Updates the index configuration used for newly built tables; callers
   /// retrain existing readers separately (DB::ReconfigureIndexes).
   void SetIndexOptions(IndexType type, const IndexConfig& config) {
+    std::lock_guard<std::mutex> lock(mu_);
     options_.index_type = type;
     options_.index_config = config;
   }
@@ -54,7 +69,11 @@ class TableCache {
     std::shared_ptr<TableReader> reader;
   };
 
-  TableOptions options_;
+  TableOptions options_;  // guarded by mu_ (SetIndexOptions mutates it)
+  // Hoisted out of options_ so the invalidation paths (Evict/Clear) can
+  // purge blocks without taking mu_: immutable after construction, unlike
+  // the index fields SetIndexOptions rewrites.
+  const std::shared_ptr<BlockCache> block_cache_;
   const std::string dbname_;
   const size_t capacity_;
   mutable std::mutex mu_;

@@ -61,8 +61,8 @@ class BlockTableReader final : public TableReader {
                      std::unique_ptr<TableReader>* reader);
 
   Status Get(Key key, std::string* value, uint64_t* tag, bool* found,
-             Stats* stats) override;
-  std::unique_ptr<TableIterator> NewIterator() override;
+             Stats* stats, bool fill_cache) override;
+  std::unique_ptr<TableIterator> NewIterator(bool fill_cache) override;
 
   uint64_t NumEntries() const override { return count_; }
   Key MinKey() const override { return min_key_; }
@@ -83,7 +83,11 @@ class BlockTableReader final : public TableReader {
   /// Index of the first block whose last key >= key (blocks_.size() if
   /// past the end).
   size_t FindBlock(Key key) const;
-  Status ReadBlock(size_t block_idx, std::string* contents) const;
+  /// Reads (and checksum-verifies) one block, consulting the block cache
+  /// first when configured — the cache stores the verified payload keyed
+  /// by the block's file offset, so hits skip both the pread and the crc.
+  Status ReadBlock(size_t block_idx, std::string* contents,
+                   Stats* stats = nullptr, bool fill_cache = true) const;
 
   struct BlockEntry {
     Key last_key;

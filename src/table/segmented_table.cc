@@ -224,25 +224,125 @@ Status SegmentedTableReader::Open(const TableOptions& options,
   return Status::OK();
 }
 
+Status SegmentedTableReader::FetchAlignedCached(uint64_t byte_lo,
+                                                uint64_t byte_hi, char* dst,
+                                                Stats* stats,
+                                                bool fill_cache) {
+  BlockCache* cache = options_.block_cache.get();
+  const uint64_t block = options_.io_block_size;
+  const uint64_t file_number = options_.cache_file_number;
+
+  // Probe every constituent block first: an all-hit span is assembled
+  // from memory with zero Env reads. Blocks are cached at their canonical
+  // length min(block, data_size_ - offset) — byte_hi is either
+  // block-aligned or data_size_ itself, so any span fetching a block
+  // covers all of it and entries never straddle a cache boundary.
+  const size_t num_blocks =
+      static_cast<size_t>((byte_hi - byte_lo + block - 1) / block);
+  // thread_local to amortize the allocation; cleared before every return
+  // so an idle thread does not keep evicted blocks pinned past the
+  // cache's charged budget.
+  thread_local std::vector<BlockCache::BlockRef> refs;
+  refs.assign(num_blocks, nullptr);
+  size_t hit_count = 0;
+  for (size_t i = 0; i < num_blocks; i++) {
+    refs[i] = cache->Lookup(file_number, byte_lo + i * block);
+    if (refs[i] != nullptr) hit_count++;
+  }
+
+  if (hit_count == num_blocks) {
+    if (stats != nullptr) stats->Add(Counter::kBlockCacheHits, num_blocks);
+    for (size_t i = 0; i < num_blocks; i++) {
+      std::memcpy(dst + i * block, refs[i]->data(), refs[i]->size());
+    }
+    refs.clear();
+    return Status::OK();
+  }
+
+  // At least one block is cold: fetch the whole span with the same single
+  // aligned pread the uncached path issues, then cache the cold blocks.
+  // The counters track what the device saw, not the probes: a partially
+  // warm span's cached bytes are discarded in favor of the span pread,
+  // so every one of its blocks counts as a miss (hit% then agrees with
+  // the Env-read savings instead of overstating them). The disk-read
+  // timer likewise wraps only this pread — a span served from memory
+  // must not masquerade as device I/O in the stage breakdown.
+  if (stats != nullptr) {
+    stats->Add(Counter::kBlockCacheMisses, num_blocks);
+  }
+  const size_t len = static_cast<size_t>(byte_hi - byte_lo);
+  Slice contents;
+  Status s;
+  {
+    ScopedTimer timer(stats, Timer::kDiskRead, options_.env);
+    s = file_->Read(byte_lo, len, &contents, dst);
+  }
+  if (!s.ok()) {
+    refs.clear();
+    return s;
+  }
+  if (contents.size() < len) {
+    refs.clear();
+    return Status::Corruption("segmented table: short data read");
+  }
+  if (contents.data() != dst) std::memmove(dst, contents.data(), len);
+  if (fill_cache) {
+    uint64_t evicted = 0;
+    for (size_t i = 0; i < num_blocks; i++) {
+      if (refs[i] != nullptr) continue;
+      const uint64_t offset = byte_lo + i * block;
+      const size_t block_len =
+          static_cast<size_t>(std::min<uint64_t>(block, byte_hi - offset));
+      evicted += cache->Insert(file_number, offset,
+                               std::string(dst + i * block, block_len));
+    }
+    if (stats != nullptr && evicted > 0) {
+      stats->Add(Counter::kBlockCacheEvictions, evicted);
+    }
+  }
+  refs.clear();
+  return Status::OK();
+}
+
 Status SegmentedTableReader::ReadEntryRange(size_t lo, size_t hi,
                                             std::string* scratch,
                                             const char** base, size_t* first,
-                                            size_t* last) {
+                                            size_t* last, Stats* stats,
+                                            bool fill_cache) {
   assert(lo <= hi && hi < count_);
+  // Release-mode guard: a prediction from a corrupt or stale index blob
+  // must clamp to the entry array instead of reading past the data region.
+  if (hi >= count_) hi = count_ - 1;
+  if (lo > hi) lo = hi;
+  if (stats == nullptr) stats = options_.stats;
   const uint64_t block = options_.io_block_size;
   uint64_t byte_lo = static_cast<uint64_t>(lo) * entry_size_;
   uint64_t byte_hi = static_cast<uint64_t>(hi + 1) * entry_size_;
-  // Align the fetch to device blocks: this is the paper's unit of I/O cost.
+  // Align the fetch to device blocks: this is the paper's unit of I/O
+  // cost. The upper bound is clamped to the data region's end — on the
+  // last segment of a table whose data section ends mid-block, the
+  // aligned range would otherwise extend into the trailing bloom block
+  // (and, were the data region the whole file, past end-of-file).
   byte_lo = (byte_lo / block) * block;
   byte_hi = std::min<uint64_t>(data_size_, ((byte_hi + block - 1) / block) * block);
 
   const size_t len = static_cast<size_t>(byte_hi - byte_lo);
   if (scratch->size() < len) scratch->resize(len);
-  Slice contents;
-  Status s = file_->Read(byte_lo, len, &contents, scratch->data());
-  if (!s.ok()) return s;
-  if (contents.size() < len) {
-    return Status::Corruption("segmented table: short data read");
+  if (options_.block_cache != nullptr) {
+    Status s =
+        FetchAlignedCached(byte_lo, byte_hi, scratch->data(), stats,
+                           fill_cache);
+    if (!s.ok()) return s;
+  } else {
+    Slice contents;
+    Status s = file_->Read(byte_lo, len, &contents, scratch->data());
+    if (!s.ok()) return s;
+    if (contents.size() < len) {
+      return Status::Corruption("segmented table: short data read");
+    }
+    if (contents.data() != scratch->data()) {
+      std::memmove(scratch->data(), contents.data(), len);
+    }
   }
 
   // First fully contained entry at or below `lo`.
@@ -250,7 +350,7 @@ Status SegmentedTableReader::ReadEntryRange(size_t lo, size_t hi,
       static_cast<size_t>((byte_lo + entry_size_ - 1) / entry_size_);
   const size_t last_entry = static_cast<size_t>(byte_hi / entry_size_) - 1;
   assert(first_entry <= lo && last_entry >= hi);
-  *base = contents.data() + (first_entry * entry_size_ - byte_lo);
+  *base = scratch->data() + (first_entry * entry_size_ - byte_lo);
   *first = first_entry;
   *last = std::min<size_t>(last_entry, count_ - 1);
   return Status::OK();
@@ -302,7 +402,7 @@ bool SegmentedTableReader::MayContain(Key key, Stats* stats) {
 Status SegmentedTableReader::SearchRange(Key key, size_t range_lo,
                                          size_t range_hi, std::string* value,
                                          uint64_t* tag, bool* found,
-                                         Stats* stats) {
+                                         Stats* stats, bool fill_cache) {
   if (stats == nullptr) stats = options_.stats;
   Env* env = options_.env;
   *found = false;
@@ -316,9 +416,14 @@ Status SegmentedTableReader::SearchRange(Key key, size_t range_lo,
   const char* base = nullptr;
   size_t first = 0, last = 0;
   {
-    ScopedTimer timer(stats, Timer::kDiskRead, env);
+    // With a block cache the fetch may be served from memory, so the
+    // disk-read timer moves inside FetchAlignedCached's pread branch (a
+    // null Stats* here disables this outer timer); uncached, this outer
+    // scope times the single pread exactly as it always did.
+    ScopedTimer timer(options_.block_cache == nullptr ? stats : nullptr,
+                      Timer::kDiskRead, env);
     Status s = ReadEntryRange(range_lo, range_hi, &get_scratch, &base,
-                              &first, &last);
+                              &first, &last, stats, fill_cache);
     if (!s.ok()) return s;
     if (stats != nullptr) stats->Add(Counter::kSegmentsFetched);
   }
@@ -335,7 +440,7 @@ Status SegmentedTableReader::SearchRange(Key key, size_t range_lo,
 }
 
 Status SegmentedTableReader::Get(Key key, std::string* value, uint64_t* tag,
-                                 bool* found, Stats* stats) {
+                                 bool* found, Stats* stats, bool fill_cache) {
   if (stats == nullptr) stats = options_.stats;
   *found = false;
   if (count_ == 0 || key < min_key_ || key > max_key_) {
@@ -349,12 +454,13 @@ Status SegmentedTableReader::Get(Key key, std::string* value, uint64_t* tag,
     prediction = index_->Predict(key);
   }
   return SearchRange(key, prediction.lo, prediction.hi, value, tag, found,
-                     stats);
+                     stats, fill_cache);
 }
 
 Status SegmentedTableReader::GetWithBounds(Key key, size_t lo, size_t hi,
                                            std::string* value, uint64_t* tag,
-                                           bool* found, Stats* stats) {
+                                           bool* found, Stats* stats,
+                                           bool fill_cache) {
   if (stats == nullptr) stats = options_.stats;
   *found = false;
   if (count_ == 0 || key < min_key_ || key > max_key_) {
@@ -363,7 +469,7 @@ Status SegmentedTableReader::GetWithBounds(Key key, size_t lo, size_t hi,
   if (hi >= count_) hi = count_ - 1;
   if (lo > hi) lo = hi;
   if (!MayContain(key, stats)) return Status::OK();
-  return SearchRange(key, lo, hi, value, tag, found, stats);
+  return SearchRange(key, lo, hi, value, tag, found, stats, fill_cache);
 }
 
 bool SegmentedTableReader::SearchBuffer(const char* base, size_t first,
@@ -391,7 +497,8 @@ Status SegmentedTableReader::MultiGet(std::span<const Key> keys,
                                       const size_t* bounds_lo,
                                       const size_t* bounds_hi,
                                       std::string* values, uint64_t* tags,
-                                      bool* founds, Stats* stats) {
+                                      bool* founds, Stats* stats,
+                                      bool fill_cache) {
   if (stats == nullptr) stats = options_.stats;
   Env* env = options_.env;
 
@@ -436,9 +543,12 @@ Status SegmentedTableReader::MultiGet(std::span<const Key> keys,
     }
 
     {
-      ScopedTimer timer(stats, Timer::kDiskRead, env);
-      Status s =
-          ReadEntryRange(lo, hi, &batch_scratch, &base, &buf_first, &buf_last);
+      // Same timer arrangement as SearchRange: cached fetches time only
+      // their actual pread (inside FetchAlignedCached).
+      ScopedTimer timer(options_.block_cache == nullptr ? stats : nullptr,
+                        Timer::kDiskRead, env);
+      Status s = ReadEntryRange(lo, hi, &batch_scratch, &base, &buf_first,
+                                &buf_last, stats, fill_cache);
       if (!s.ok()) return s;
       if (stats != nullptr) stats->Add(Counter::kSegmentsFetched);
     }
@@ -518,8 +628,9 @@ Status SegmentedTableReader::ReadAllKeys(std::vector<Key>* keys) {
 /// following I/O block when exhausted (the paper's range-lookup phase 2).
 class SegmentedTableIterator final : public TableIterator {
  public:
-  explicit SegmentedTableIterator(SegmentedTableReader* reader)
-      : reader_(reader) {}
+  explicit SegmentedTableIterator(SegmentedTableReader* reader,
+                                  bool fill_cache)
+      : reader_(reader), fill_cache_(fill_cache) {}
 
   bool Valid() const override {
     return status_.ok() && pos_ < reader_->count_;
@@ -550,10 +661,19 @@ class SegmentedTableIterator final : public TableIterator {
                         reader_->options_.env);
       prediction = reader_->index_->Predict(target);
     }
+    // Clamp here, not just in ReadEntryRange: the window arithmetic below
+    // indexes the fetched buffer with prediction.hi, so an out-of-range
+    // prediction from a corrupt index blob must be pinned to the entry
+    // array before it is used.
+    if (prediction.hi >= reader_->count_) {
+      prediction.hi = reader_->count_ - 1;
+    }
+    if (prediction.lo > prediction.hi) prediction.lo = prediction.hi;
     const char* base = nullptr;
     size_t first = 0, last = 0;
     status_ = reader_->ReadEntryRange(prediction.lo, prediction.hi, &buffer_,
-                                      &base, &first, &last);
+                                      &base, &first, &last, nullptr,
+                                      fill_cache_);
     if (!status_.ok()) return;
     buf_base_offset_ = static_cast<size_t>(base - buffer_.data());
     buf_first_ = first;
@@ -630,7 +750,7 @@ class SegmentedTableIterator final : public TableIterator {
     const char* base = nullptr;
     size_t first = 0, last = 0;
     status_ = reader_->ReadEntryRange(pos_, pos_, &buffer_, &base, &first,
-                                      &last);
+                                      &last, nullptr, fill_cache_);
     if (!status_.ok()) return;
     buf_base_offset_ = static_cast<size_t>(base - buffer_.data());
     buf_first_ = first;
@@ -640,6 +760,7 @@ class SegmentedTableIterator final : public TableIterator {
   static constexpr size_t kInvalid = static_cast<size_t>(-1);
 
   SegmentedTableReader* const reader_;
+  const bool fill_cache_;
   Status status_;
   std::string buffer_;
   size_t buf_base_offset_ = 0;
@@ -648,8 +769,9 @@ class SegmentedTableIterator final : public TableIterator {
   size_t pos_ = 0;
 };
 
-std::unique_ptr<TableIterator> SegmentedTableReader::NewIterator() {
-  return std::make_unique<SegmentedTableIterator>(this);
+std::unique_ptr<TableIterator> SegmentedTableReader::NewIterator(
+    bool fill_cache) {
+  return std::make_unique<SegmentedTableIterator>(this, fill_cache);
 }
 
 }  // namespace lilsm

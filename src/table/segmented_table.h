@@ -55,17 +55,19 @@ class SegmentedTableReader final : public TableReader {
                      std::unique_ptr<TableReader>* reader);
 
   Status Get(Key key, std::string* value, uint64_t* tag, bool* found,
-             Stats* stats) override;
+             Stats* stats, bool fill_cache) override;
   Status GetWithBounds(Key key, size_t lo, size_t hi, std::string* value,
-                       uint64_t* tag, bool* found, Stats* stats) override;
+                       uint64_t* tag, bool* found, Stats* stats,
+                       bool fill_cache) override;
   /// Batched lookup that serves a run of sorted keys from one fetched I/O
   /// block where possible: a key inside the key range of the previously
   /// fetched block needs no bloom probe, no index descent, and no disk
   /// read — the per-run amortization DB::MultiGet is built on.
   Status MultiGet(std::span<const Key> keys, const size_t* bounds_lo,
                   const size_t* bounds_hi, std::string* values,
-                  uint64_t* tags, bool* founds, Stats* stats) override;
-  std::unique_ptr<TableIterator> NewIterator() override;
+                  uint64_t* tags, bool* founds, Stats* stats,
+                  bool fill_cache) override;
+  std::unique_ptr<TableIterator> NewIterator(bool fill_cache) override;
 
   uint64_t NumEntries() const override { return count_; }
   Key MinKey() const override { return min_key_; }
@@ -81,10 +83,16 @@ class SegmentedTableReader final : public TableReader {
   uint32_t entry_size() const { return entry_size_; }
 
   /// Reads the entry range [lo, hi] (inclusive) with one pread aligned to
-  /// the I/O block size. On success *base points at entry `first` inside
-  /// `scratch`. Exposed for the iterator and the level-model read path.
+  /// the I/O block size, clamped to the end of the data region (the last
+  /// segment of a table whose data section ends mid-block must not read
+  /// the trailing bloom/index/meta bytes as entries). With a block cache
+  /// configured, constituent I/O blocks are served from / inserted into it
+  /// (insertion gated by `fill_cache`). On success *base points at entry
+  /// `first` inside `scratch`. Exposed for the iterator and the
+  /// level-model read path.
   Status ReadEntryRange(size_t lo, size_t hi, std::string* scratch,
-                        const char** base, size_t* first, size_t* last);
+                        const char** base, size_t* first, size_t* last,
+                        Stats* stats = nullptr, bool fill_cache = true);
 
   /// Entry-index lower bound via O(log n) single-entry probes; correctness
   /// fallback for Seek() when the model range does not bracket an absent
@@ -106,7 +114,15 @@ class SegmentedTableReader final : public TableReader {
   bool MayContain(Key key, Stats* stats);
   /// Fetch + in-range binary search shared by Get and GetWithBounds.
   Status SearchRange(Key key, size_t lo, size_t hi, std::string* value,
-                     uint64_t* tag, bool* found, Stats* stats);
+                     uint64_t* tag, bool* found, Stats* stats,
+                     bool fill_cache);
+  /// Serves the aligned byte range [byte_lo, byte_hi) into `dst` through
+  /// the block cache: all-hit spans copy out of the cache with zero Env
+  /// reads; otherwise one pread fetches the whole span (the same single
+  /// I/O the uncached path issues) and the missing blocks are inserted
+  /// when `fill_cache` is set.
+  Status FetchAlignedCached(uint64_t byte_lo, uint64_t byte_hi, char* dst,
+                            Stats* stats, bool fill_cache);
   /// Binary search entries [lo, hi] inside a fetched buffer (`base` points
   /// at entry `first`) for the exact key; bloom hit/miss attribution is
   /// the caller's.

@@ -8,12 +8,14 @@ namespace lilsm {
 Status TableReader::MultiGet(std::span<const Key> keys,
                              const size_t* bounds_lo, const size_t* bounds_hi,
                              std::string* values, uint64_t* tags, bool* founds,
-                             Stats* stats) {
+                             Stats* stats, bool fill_cache) {
   for (size_t i = 0; i < keys.size(); i++) {
-    Status s = bounds_lo != nullptr
-                   ? GetWithBounds(keys[i], bounds_lo[i], bounds_hi[i],
-                                   &values[i], &tags[i], &founds[i], stats)
-                   : Get(keys[i], &values[i], &tags[i], &founds[i], stats);
+    Status s =
+        bounds_lo != nullptr
+            ? GetWithBounds(keys[i], bounds_lo[i], bounds_hi[i], &values[i],
+                            &tags[i], &founds[i], stats, fill_cache)
+            : Get(keys[i], &values[i], &tags[i], &founds[i], stats,
+                  fill_cache);
     if (!s.ok()) return s;
   }
   return Status::OK();

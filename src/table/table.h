@@ -21,6 +21,7 @@
 #include "index/index.h"
 #include "table/format.h"
 #include "util/env.h"
+#include "util/lru_cache.h"
 #include "util/stats.h"
 
 namespace lilsm {
@@ -48,6 +49,16 @@ struct TableOptions {
 
   /// Alignment unit for segment fetches.
   uint32_t io_block_size = static_cast<uint32_t>(kIoBlockSize);
+
+  /// Shared block cache consulted before any Env read of table data
+  /// (null = off, the paper-reproduction path: every fetch is a device
+  /// I/O). Requires cache_file_number to be unique per open file; the
+  /// TableCache stamps it when opening readers.
+  std::shared_ptr<BlockCache> block_cache;
+  /// Cache key namespace for this file's blocks. Only meaningful when
+  /// block_cache is set; files opened outside the TableCache leave it 0
+  /// and must not share a cache.
+  uint64_t cache_file_number = 0;
 
   uint32_t entry_size() const { return key_size + 8 + value_size; }
 };
@@ -78,8 +89,10 @@ class TableReader {
   /// negative or absent key sets *found=false with OK status. `stats`
   /// (when non-null) receives this call's instrumentation instead of the
   /// table's configured sink — the DB threads ReadOptions::stats here.
+  /// `fill_cache` = false serves from the block cache but does not
+  /// populate it on a miss (ReadOptions::fill_cache).
   virtual Status Get(Key key, std::string* value, uint64_t* tag, bool* found,
-                     Stats* stats = nullptr) = 0;
+                     Stats* stats = nullptr, bool fill_cache = true) = 0;
 
   /// Point lookup with externally supplied position bounds (inclusive
   /// entry indexes), used by level-granularity models that predict across
@@ -87,7 +100,8 @@ class TableReader {
   /// return NotSupported.
   virtual Status GetWithBounds(Key /*key*/, size_t /*lo*/, size_t /*hi*/,
                                std::string* /*value*/, uint64_t* /*tag*/,
-                               bool* /*found*/, Stats* /*stats*/ = nullptr) {
+                               bool* /*found*/, Stats* /*stats*/ = nullptr,
+                               bool /*fill_cache*/ = true) {
     return Status::NotSupported("GetWithBounds");
   }
 
@@ -103,9 +117,14 @@ class TableReader {
   /// answer.
   virtual Status MultiGet(std::span<const Key> keys, const size_t* bounds_lo,
                           const size_t* bounds_hi, std::string* values,
-                          uint64_t* tags, bool* founds, Stats* stats);
+                          uint64_t* tags, bool* founds, Stats* stats,
+                          bool fill_cache = true);
 
-  virtual std::unique_ptr<TableIterator> NewIterator() = 0;
+  /// `fill_cache` = false keeps the iterator's block fetches from
+  /// populating the block cache (scans and compaction inputs must not
+  /// evict the point-lookup hot set); cache hits are still served.
+  virtual std::unique_ptr<TableIterator> NewIterator(
+      bool fill_cache = true) = 0;
 
   virtual uint64_t NumEntries() const = 0;
   virtual Key MinKey() const = 0;

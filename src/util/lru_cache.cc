@@ -1,0 +1,73 @@
+#include "util/lru_cache.h"
+
+#include <algorithm>
+
+namespace lilsm {
+
+size_t BlockCache::BlockKeyHash::operator()(const BlockKey& key) const {
+  // 64-bit mix (splitmix64 finalizer) over the xor-folded pair; both
+  // fields are low-entropy counters, so a plain xor would collide shards.
+  uint64_t x = key.file_number * 0x9e3779b97f4a7c15ull ^ key.offset;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+
+size_t BlockCache::ShardsForCapacity(size_t capacity_bytes) {
+  // Keep every shard slice at >= 256 KiB (~64 typical 4 KiB blocks) so
+  // the per-slice eviction loop has real LRU depth to work with.
+  size_t shards = 1;
+  while (shards < 16 && capacity_bytes / (shards * 2) >= (256u << 10)) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+BlockCache::BlockCache(size_t capacity_bytes)
+    : cache_(capacity_bytes, ShardsForCapacity(capacity_bytes)) {}
+
+BlockCache::BlockRef BlockCache::Lookup(uint64_t file_number,
+                                        uint64_t offset) {
+  return cache_.Lookup(BlockKey{file_number, offset});
+}
+
+size_t BlockCache::Insert(uint64_t file_number, uint64_t offset,
+                          std::string block) {
+  const size_t charge = block.size() + kEntryOverhead;
+  return cache_.Insert(BlockKey{file_number, offset}, std::move(block),
+                       charge);
+}
+
+void BlockCache::EraseFile(uint64_t file_number) {
+  cache_.EraseIf([file_number](const BlockKey& key) {
+    return key.file_number == file_number;
+  });
+}
+
+void BlockCache::EraseFiles(const std::vector<uint64_t>& file_numbers) {
+  if (file_numbers.empty()) return;
+  if (file_numbers.size() == 1) {
+    EraseFile(file_numbers[0]);
+    return;
+  }
+  std::vector<uint64_t> sorted = file_numbers;
+  std::sort(sorted.begin(), sorted.end());
+  cache_.EraseIf([&sorted](const BlockKey& key) {
+    return std::binary_search(sorted.begin(), sorted.end(),
+                              key.file_number);
+  });
+}
+
+void BlockCache::Clear() { cache_.Clear(); }
+
+size_t BlockCache::MemoryUsage() const { return cache_.MemoryUsage(); }
+size_t BlockCache::size() const { return cache_.size(); }
+size_t BlockCache::capacity() const { return cache_.capacity(); }
+uint64_t BlockCache::hits() const { return cache_.hits(); }
+uint64_t BlockCache::misses() const { return cache_.misses(); }
+uint64_t BlockCache::evictions() const { return cache_.evictions(); }
+
+}  // namespace lilsm

@@ -1,0 +1,251 @@
+// Sharded, charged-capacity LRU cache (the LevelDB/RocksDB block-cache
+// shape). `LRUCache<K, V>` is the generic engine: entries live in
+// per-shard LRU lists guarded by per-shard mutexes, each entry carries a
+// byte charge, and a shard evicts from its cold end whenever its charged
+// bytes exceed its slice of the capacity. Values are handed out as
+// `shared_ptr<const V>`, so an evicted entry stays alive for whoever is
+// still reading it — eviction only drops the cache's own reference.
+//
+// `BlockCache` is the concrete instantiation the read stack shares: table
+// blocks keyed by (file_number, block_offset). Both table formats consult
+// it before touching the Env (see DESIGN.md "Block cache").
+#ifndef LILSM_UTIL_LRU_CACHE_H_
+#define LILSM_UTIL_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lilsm {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LRUCache {
+ public:
+  /// `capacity_bytes` is the total charged capacity across all shards;
+  /// `num_shards` is rounded up to a power of two. More shards cut mutex
+  /// contention at a small granularity cost (each shard enforces only its
+  /// slice of the capacity). Because an entry larger than its shard's
+  /// slice self-evicts on insert, the shard count is clamped down until
+  /// every slice holds at least kMinShardSlice bytes — a small cache
+  /// must degrade to fewer shards, not to a silent 100% miss rate.
+  explicit LRUCache(size_t capacity_bytes, size_t num_shards = 16)
+      : capacity_(capacity_bytes) {
+    size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    while (shards > 1 && capacity_bytes / shards < kMinShardSlice) {
+      shards >>= 1;
+    }
+    shard_mask_ = shards - 1;
+    shards_ = std::vector<Shard>(shards);
+    per_shard_capacity_ = capacity_bytes / shards;
+  }
+
+  LRUCache(const LRUCache&) = delete;
+  LRUCache& operator=(const LRUCache&) = delete;
+
+  /// Returns the cached value and promotes it to most-recently-used, or
+  /// null on a miss. Hit/miss tallies are kept internally; callers that
+  /// attribute them to a per-call Stats sink count on their side too.
+  std::shared_ptr<const V> Lookup(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    if (it->second != shard.lru.begin()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key` with `value` charged at `charge` bytes
+  /// and returns how many entries were evicted to make room. An entry
+  /// larger than its shard's capacity slice is evicted immediately — the
+  /// caller keeps its own copy of the data, so nothing is lost.
+  size_t Insert(const K& key, V value, size_t charge) {
+    Shard& shard = ShardFor(key);
+    size_t evicted = 0;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.usage -= it->second->charge;
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+    }
+    shard.lru.push_front(
+        Entry{key, std::make_shared<const V>(std::move(value)), charge});
+    shard.map[key] = shard.lru.begin();
+    shard.usage += charge;
+    while (shard.usage > per_shard_capacity_ && !shard.lru.empty()) {
+      const Entry& cold = shard.lru.back();
+      shard.usage -= cold.charge;
+      shard.map.erase(cold.key);
+      shard.lru.pop_back();
+      evicted++;
+    }
+    if (evicted > 0) {
+      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    }
+    return evicted;
+  }
+
+  void Erase(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return;
+    shard.usage -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+
+  /// Drops every entry matching `pred` (the invalidation hook: purge a
+  /// deleted file's blocks). Linear in the cache size; invalidation is
+  /// compaction-rate, not lookup-rate.
+  template <typename Pred>
+  void EraseIf(Pred pred) {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if (pred(it->key)) {
+          shard.usage -= it->charge;
+          shard.map.erase(it->key);
+          it = shard.lru.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.map.clear();
+      shard.usage = 0;
+    }
+  }
+
+  /// Total charged bytes currently held (summed per shard; not an atomic
+  /// snapshot under concurrent mutation, like the Stats accessors).
+  size_t MemoryUsage() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.usage;
+    }
+    return total;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    K key;
+    std::shared_ptr<const V> value;
+    size_t charge;
+  };
+
+  /// Cache-line aligned so neighbouring shard mutexes do not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used; guarded by mu
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map;
+    size_t usage = 0;  // charged bytes; guarded by mu
+  };
+
+  Shard& ShardFor(const K& key) { return shards_[Hash{}(key) & shard_mask_]; }
+
+  /// Floor on a shard's capacity slice (see the constructor).
+  static constexpr size_t kMinShardSlice = 64 << 10;
+
+  const size_t capacity_;
+  size_t per_shard_capacity_ = 0;
+  size_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// The shared block cache: table blocks keyed by (file_number, offset).
+/// File numbers are never reused (VersionSet::NewFileNumber is monotonic),
+/// so a stale entry can never alias a new file's blocks — invalidation via
+/// EraseFile reclaims memory rather than guarding correctness.
+class BlockCache {
+ public:
+  using BlockRef = std::shared_ptr<const std::string>;
+
+  explicit BlockCache(size_t capacity_bytes);
+
+  BlockRef Lookup(uint64_t file_number, uint64_t offset);
+  /// Caches `block` and returns the number of entries evicted.
+  size_t Insert(uint64_t file_number, uint64_t offset, std::string block);
+  /// Purges every block of `file_number` (the file was deleted).
+  void EraseFile(uint64_t file_number);
+  /// Purges every block of the given (sorted or unsorted) files in one
+  /// cache scan — obsolete-file GC retires whole compaction input sets,
+  /// and a scan per file would block readers K times over.
+  void EraseFiles(const std::vector<uint64_t>& file_numbers);
+  void Clear();
+
+  size_t MemoryUsage() const;
+  size_t size() const;
+  size_t capacity() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct BlockKey {
+    uint64_t file_number;
+    uint64_t offset;
+    bool operator==(const BlockKey& other) const {
+      return file_number == other.file_number && offset == other.offset;
+    }
+  };
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey& key) const;
+  };
+
+  /// Per-entry bookkeeping overhead added to each block's byte charge
+  /// (key, list node, map slot) so tiny blocks cannot blow past the
+  /// configured memory budget.
+  static constexpr size_t kEntryOverhead = 64;
+
+  /// Shard count scaled to the capacity: capacity is enforced per shard
+  /// slice, and a slice smaller than a handful of table blocks would
+  /// self-evict every insert, so small caches get fewer shards (1 shard
+  /// below 512 KiB, the full 16 from 4 MiB up).
+  static size_t ShardsForCapacity(size_t capacity_bytes);
+
+  LRUCache<BlockKey, std::string, BlockKeyHash> cache_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_LRU_CACHE_H_

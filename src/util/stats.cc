@@ -81,6 +81,12 @@ const char* CounterName(Counter c) {
       return "multiget_keys";
     case Counter::kMultiGetBatches:
       return "multiget_batches";
+    case Counter::kBlockCacheHits:
+      return "block_cache_hits";
+    case Counter::kBlockCacheMisses:
+      return "block_cache_misses";
+    case Counter::kBlockCacheEvictions:
+      return "block_cache_evictions";
     default:
       return "unknown";
   }

@@ -52,6 +52,9 @@ enum class Counter : int {
   kWriteStalls,        // writes blocked waiting on background work
   kMultiGetKeys,       // keys served through MultiGet batches
   kMultiGetBatches,    // MultiGet calls
+  kBlockCacheHits,     // table blocks served from the shared block cache
+  kBlockCacheMisses,   // table blocks fetched from the Env
+  kBlockCacheEvictions,  // cache entries dropped under capacity pressure
   kNumCounters
 };
 

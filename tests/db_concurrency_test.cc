@@ -3,6 +3,7 @@
 // engagement, background-compaction convergence, and clean shutdown while
 // maintenance work is queued. Run under TSan in CI (see ci.yml).
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <thread>
 #include <vector>
@@ -30,6 +31,12 @@ DBOptions BackgroundDbOptions() {
   options.l0_stop_trigger = 8;
   options.value_size = kValueSize;
   options.key_size = 24;
+  // The TSan CI job reruns this whole suite with the shared block cache
+  // enabled (db_concurrency_test_blockcache in CMakeLists.txt), so every
+  // concurrency scenario also races cache hits/misses/invalidation.
+  if (const char* mb = std::getenv("LILSM_TEST_BLOCK_CACHE_MB")) {
+    options.block_cache_bytes = std::strtoull(mb, nullptr, 10) << 20;
+  }
   return options;
 }
 

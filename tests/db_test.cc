@@ -480,6 +480,11 @@ TEST(DbOptionsValidateTest, RejectsEachInvalidConfiguration) {
   }
   {
     DBOptions o = SmallDbOptions();
+    o.max_open_tables = 0;  // would thrash open/close on every lookup
+    expect_rejected(o, "max_open_tables == 0");
+  }
+  {
+    DBOptions o = SmallDbOptions();
     o.key_size = 7;  // cannot round-trip the 8-byte uint64_t Key
     expect_rejected(o, "key_size < 8");
   }

@@ -311,5 +311,175 @@ TEST(SegmentedTableIoTest, PointLookupCostsOneAlignedRead) {
   EXPECT_LE(sim.io_stats()->blocks_read.load(), 2 * lookups);
 }
 
+// ---- end-of-data boundary behaviour ----
+
+/// RandomAccessFile decorator that fails any read crossing the file's
+/// end: the regression oracle for the aligned-fetch clamp (a pread past
+/// EOF would silently short-read instead of erroring on POSIX).
+class StrictBoundsFile final : public RandomAccessFile {
+ public:
+  StrictBoundsFile(std::unique_ptr<RandomAccessFile> base, uint64_t size)
+      : base_(std::move(base)), size_(size) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    if (offset + n > size_) {
+      return Status::IOError("StrictBoundsFile",
+                             "read crosses end-of-file");
+    }
+    return base_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  const std::unique_ptr<RandomAccessFile> base_;
+  const uint64_t size_;
+};
+
+/// Env decorator wrapping every random-access file in StrictBoundsFile.
+class StrictBoundsEnv final : public Env {
+ public:
+  explicit StrictBoundsEnv(Env* base) : base_(base) {}
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    uint64_t size = 0;
+    Status s = base_->GetFileSize(fname, &size);
+    if (!s.ok()) return s;
+    std::unique_ptr<RandomAccessFile> file;
+    s = base_->NewRandomAccessFile(fname, &file);
+    if (!s.ok()) return s;
+    *result = std::make_unique<StrictBoundsFile>(std::move(file), size);
+    return Status::OK();
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    return base_->NewWritableFile(fname, result);
+  }
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+  uint64_t NowNanos() override { return base_->NowNanos(); }
+
+ private:
+  Env* const base_;
+};
+
+/// The aligned fetch must clamp at the end of the data region: with a
+/// 96-byte entry and 4096-byte I/O blocks, count=101 ends the data
+/// section mid-block (9696 bytes), so an unclamped aligned fetch of the
+/// last segment would read trailing bloom/index bytes as entries — and,
+/// under a reader whose file ends at the data region's block boundary,
+/// cross EOF. Every access pattern that touches the last entries runs
+/// against the strict-bounds env.
+TEST(SegmentedTableBoundaryTest, LastSegmentClampsToDataEnd) {
+  ScratchDir dir("segbound");
+  TableOptions options = MakeOptions(IndexType::kPGM, 64);
+  const std::string fname = dir.file("t.lst");
+  // 101 * 96 = 9696 bytes of data: ends mid-way through block 2.
+  std::vector<Key> keys = RandomGapKeys(101, 42);
+  ASSERT_NE((keys.size() * options.entry_size()) % kIoBlockSize, 0u);
+  ASSERT_LILSM_OK(BuildTable(options, fname, keys));
+
+  StrictBoundsEnv strict(Env::Default());
+  options.env = &strict;
+  std::unique_ptr<TableReader> reader;
+  ASSERT_LILSM_OK(OpenTable(options, fname, &reader));
+
+  // Point lookups across the whole table, hammering the tail.
+  std::string value;
+  uint64_t tag = 0;
+  bool found = false;
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_LILSM_OK(reader->Get(keys[i], &value, &tag, &found));
+    ASSERT_TRUE(found) << "key index " << i;
+    EXPECT_EQ(value, DeriveValue(keys[i], kValueSize));
+  }
+  // Absent keys past the last entry's block boundary.
+  ASSERT_LILSM_OK(reader->Get(keys.back() - 1, &value, &tag, &found));
+  ASSERT_LILSM_OK(
+      reader->GetWithBounds(keys.back(), keys.size() - 2, keys.size() + 50,
+                            &value, &tag, &found));
+  EXPECT_TRUE(found);
+
+  // Full scan and tail seeks drive the iterator's block-by-block fetches
+  // through the final partial block.
+  auto iter = reader->NewIterator();
+  size_t n = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) n++;
+  ASSERT_LILSM_OK(iter->status());
+  EXPECT_EQ(n, keys.size());
+  iter->Seek(keys.back());
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), keys.back());
+  iter->Seek(keys.back() + 1);
+  EXPECT_FALSE(iter->Valid());
+  ASSERT_LILSM_OK(iter->status());
+
+  // The batched path's block reuse around the tail.
+  std::vector<Key> batch = {keys[keys.size() - 3], keys[keys.size() - 2],
+                            keys.back(), keys.back() + 10};
+  std::vector<std::string> values(batch.size());
+  std::vector<uint64_t> tags(batch.size());
+  std::unique_ptr<bool[]> founds(new bool[batch.size()]);
+  ASSERT_LILSM_OK(reader->MultiGet(batch, nullptr, nullptr, values.data(),
+                                   tags.data(), founds.get(), nullptr));
+  EXPECT_TRUE(founds[0] && founds[1] && founds[2]);
+  EXPECT_FALSE(founds[3]);
+}
+
+/// The same boundary contract holds with a block cache attached: cached
+/// assembly of the final partial block must match the direct read.
+TEST(SegmentedTableBoundaryTest, LastSegmentCachedMatchesDirect) {
+  ScratchDir dir("segbound_cache");
+  TableOptions options = MakeOptions(IndexType::kPGM, 64);
+  const std::string fname = dir.file("t.lst");
+  std::vector<Key> keys = RandomGapKeys(101, 43);
+  ASSERT_LILSM_OK(BuildTable(options, fname, keys));
+
+  StrictBoundsEnv strict(Env::Default());
+  options.env = &strict;
+  options.block_cache = std::make_shared<BlockCache>(1 << 20);
+  options.cache_file_number = 1;
+  std::unique_ptr<TableReader> reader;
+  ASSERT_LILSM_OK(OpenTable(options, fname, &reader));
+
+  std::string value;
+  uint64_t tag = 0;
+  bool found = false;
+  for (int pass = 0; pass < 2; pass++) {  // cold then fully cached
+    for (size_t i = 0; i < keys.size(); i++) {
+      ASSERT_LILSM_OK(reader->Get(keys[i], &value, &tag, &found));
+      ASSERT_TRUE(found) << "pass " << pass << " key index " << i;
+      EXPECT_EQ(value, DeriveValue(keys[i], kValueSize));
+    }
+  }
+  EXPECT_GT(options.block_cache->hits(), 0u);
+}
+
 }  // namespace
 }  // namespace lilsm
