@@ -12,7 +12,20 @@
 // outstanding I/Os. That makes the speedup visible even on a single core
 // (the paper figures are unaffected: they all run kInline with the
 // spinning SimEnv; see EXPERIMENTS.md).
+//
+// Write-heavy mode (PR 6): --workload=writeheavy switches to the parallel
+// write path experiment — N writer threads issue sync'd Puts on disjoint
+// key stripes against a device model that charges a ~100 us fsync
+// (SimEnvOptions::sync_latency_ns). Group commit amortizes that fsync
+// across the writer queue, so aggregate throughput scales with --writers;
+// the run reports group-commit/stall/subcompaction counters alongside the
+// ops table. Compare e.g.:
+//   fig13_concurrent_ycsb --workload=writeheavy --writers=1
+//   fig13_concurrent_ycsb --workload=writeheavy --writers=4
+// Knobs: --group-commit=0|1 (default on here), --bg-jobs=N and
+// --subcompactions=N (default 2 each here, 1 in YCSB mode).
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -126,15 +139,182 @@ void RunWorker(DB* db, const std::vector<Key>& keys, YcsbWorkload workload,
   result->status = flush_reads();
 }
 
+/// One write-heavy worker: sync'd Puts on the writer's disjoint key
+/// stripe (w * 2^32 + i), fresh keys throughout — an ingest stream.
+void RunWriteWorker(DB* db, size_t ops, uint32_t value_size, size_t writer,
+                    ThreadResult* result) {
+  WriteOptions wopts;
+  wopts.sync = true;  // every write wants durability; groups amortize it
+  for (size_t i = 0; i < ops; i++) {
+    const Key key = (static_cast<Key>(writer) << 32) + i + 1;
+    Status s = db->Put(wopts, key, DeriveValue(key, value_size));
+    if (!s.ok()) {
+      result->status = s;
+      return;
+    }
+    result->ops++;
+  }
+}
+
+/// The write-heavy experiment: aggregate sync'd-Put throughput for one
+/// writer count. Fresh DB per call; returns false on failure.
+bool RunWriteHeavy(const DBOptions& options, const std::string& dbdir,
+                   Env* env, const ExperimentDefaults& d, size_t writers,
+                   ReportTable* table) {
+  DB::Destroy(options, dbdir);
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, dbdir, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig13: open: %s\n", s.ToString().c_str());
+    return false;
+  }
+  const size_t ops_per_writer = d.num_ops / writers;
+  std::vector<ThreadResult> results(writers);
+  const uint64_t start = env->NowNanos();
+  {
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < writers; w++) {
+      workers.emplace_back(RunWriteWorker, db.get(), ops_per_writer,
+                           d.value_size, w, &results[w]);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const double seconds = (env->NowNanos() - start) / 1e9;
+
+  uint64_t total_ops = 0;
+  for (const ThreadResult& r : results) {
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "fig13: writer: %s\n", r.status.ToString().c_str());
+      return false;
+    }
+    total_ops += r.ops;
+  }
+  const Stats* stats = db->stats();
+  const uint64_t groups = stats->Count(Counter::kGroupCommits);
+  const uint64_t served = stats->Count(Counter::kGroupCommitBatchSize);
+  const double mean_group =
+      groups > 0 ? static_cast<double>(served) / groups : 0.0;
+  const double kops_per_sec = total_ops / seconds / 1000.0;
+  table->AddRow({"writeheavy", std::to_string(writers),
+                 std::to_string(total_ops), FormatMicros(kops_per_sec),
+                 FormatMicros(seconds * 1e6 * writers / total_ops)});
+  std::printf(
+      "# writers=%zu: group_commits=%llu mean_group=%.2f write_stalls=%llu "
+      "write_slowdowns=%llu subcompactions=%llu flushes=%llu "
+      "compactions=%llu\n",
+      writers, static_cast<unsigned long long>(groups), mean_group,
+      static_cast<unsigned long long>(stats->Count(Counter::kWriteStalls)),
+      static_cast<unsigned long long>(stats->Count(Counter::kWriteSlowdowns)),
+      static_cast<unsigned long long>(stats->Count(Counter::kSubcompactions)),
+      static_cast<unsigned long long>(stats->Count(Counter::kFlushes)),
+      static_cast<unsigned long long>(stats->Count(Counter::kCompactions)));
+  db.reset();
+  DB::Destroy(options, dbdir);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t threads = 2;
   size_t multiget_batch = 0;
   size_t block_cache_mb = 0;
-  ExperimentDefaults d = bench::BenchDefaults(argc, argv, nullptr, &threads,
-                                              nullptr, &multiget_batch,
-                                              &block_cache_mb);
+  // fig13-specific flags are stripped before BenchDefaults (which rejects
+  // unknown flags); the rest pass through.
+  std::string workload_mode;
+  size_t writers = 4;
+  size_t group_commit = 1;
+  size_t bg_jobs = 2;
+  size_t subcompactions = 2;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; i++) {
+    size_t value = 0;
+    if (bench::ParseStringFlag(argc, argv, &i, "--workload",
+                               &workload_mode)) {
+      if (workload_mode != "writeheavy" && workload_mode != "ycsb") {
+        std::fprintf(stderr,
+                     "--workload must be 'ycsb' or 'writeheavy' (got '%s')\n",
+                     workload_mode.c_str());
+        return 2;
+      }
+    } else if (bench::ParseSizeFlag(argc, argv, &i, "--writers", &value)) {
+      if (value == 0) {
+        std::fprintf(stderr, "--writers must be positive\n");
+        return 2;
+      }
+      writers = value;
+    } else if (bench::ParseSizeFlag(argc, argv, &i, "--group-commit",
+                                    &value)) {
+      group_commit = value;
+    } else if (bench::ParseSizeFlag(argc, argv, &i, "--bg-jobs", &value)) {
+      if (value == 0) {
+        std::fprintf(stderr, "--bg-jobs must be positive\n");
+        return 2;
+      }
+      bg_jobs = value;
+    } else if (bench::ParseSizeFlag(argc, argv, &i, "--subcompactions",
+                                    &value)) {
+      if (value == 0) {
+        std::fprintf(stderr, "--subcompactions must be positive\n");
+        return 2;
+      }
+      subcompactions = value;
+    } else {
+      if (std::strcmp(argv[i], "--help") == 0 ||
+          std::strcmp(argv[i], "-h") == 0) {
+        std::printf(
+            "fig13 extras: [--workload ycsb|writeheavy] [--writers N] "
+            "[--group-commit 0|1] [--bg-jobs N] [--subcompactions N]\n");
+      }
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  ExperimentDefaults d =
+      bench::BenchDefaults(pass_argc, passthrough.data(), nullptr, &threads,
+                           nullptr, &multiget_batch, &block_cache_mb);
+  const bool writeheavy = workload_mode == "writeheavy";
+
+  if (writeheavy) {
+    bench::PrintHeader("Figure 13", "parallel write path throughput", d);
+    // Blocking device model with an fsync cost: every WAL Sync charges a
+    // flash-class ~100 us unless LILSM_SYNC_LAT_NS overrides it. This is
+    // the serial cost group commit amortizes across a writer group.
+    SimEnvOptions sim_options = SimEnv::OptionsFromEnvironment();
+    sim_options.sleep_instead_of_spin = true;
+    if (std::getenv("LILSM_SYNC_LAT_NS") == nullptr) {
+      sim_options.sync_latency_ns = 100'000;
+    }
+    SimEnv sim_env(Env::Default(), sim_options);
+    std::printf(
+        "# writers=%zu, group_commit=%s, bg_jobs=%zu, subcompactions=%zu, "
+        "fsync model %.0f us\n\n",
+        writers, group_commit != 0 ? "on" : "off", bg_jobs, subcompactions,
+        sim_options.sync_latency_ns / 1000.0);
+
+    DBOptions options;
+    options.env = &sim_env;
+    options.concurrency = ConcurrencyMode::kBackground;
+    options.group_commit = group_commit != 0;
+    options.max_background_jobs = static_cast<int>(bg_jobs);
+    options.max_subcompactions = static_cast<int>(subcompactions);
+    options.write_buffer_size = d.write_buffer_size;
+    options.sstable_target_size = d.sstable_target_size;
+    options.size_ratio = d.size_ratio;
+    options.bloom_bits_per_key = d.bloom_bits_per_key;
+    options.key_size = d.key_size;
+    options.value_size = d.value_size;
+    const std::string dbdir = bench::BenchDir("fig13");
+
+    ReportTable table("Figure 13 (write-heavy): sync'd Put throughput");
+    table.SetHeader({"workload", "writers", "total ops", "kops/s",
+                     "mean us/op"});
+    if (!RunWriteHeavy(options, dbdir, &sim_env, d, writers, &table)) {
+      return 1;
+    }
+    table.Emit();
+    return 0;
+  }
   bench::PrintHeader("Figure 13", "concurrent YCSB aggregate throughput", d);
   if (multiget_batch > 1) {
     std::printf("# reads served through MultiGet, batch=%zu\n\n",

@@ -2,14 +2,27 @@
 // level, training the configured learned index for every output table and
 // recording the paper's Figure 9 breakdown (KV I/O vs. model training vs.
 // model writing).
+//
+// With ctx.max_subcompactions > 1 the job range-partitions one compaction
+// at the next-level input file boundaries into up to that many shards and
+// merges them in parallel on ctx.subcompaction_pool (see DESIGN.md "Write
+// path & concurrency architecture"). Shard ownership is exact — every key
+// belongs to exactly one shard's [lo, hi) range, every next-level input
+// file to exactly one shard, and level-L inputs are clipped to the range —
+// so the union of shard outputs holds exactly the entries a single-threaded
+// merge would produce (file cut points may differ: each shard starts a
+// fresh output file). All shard outputs land in ONE VersionEdit, installed
+// atomically by the caller like any other compaction.
 #ifndef LILSM_LSM_COMPACTION_H_
 #define LILSM_LSM_COMPACTION_H_
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "lsm/table_cache.h"
 #include "lsm/version.h"
+#include "util/thread_pool.h"
 
 namespace lilsm {
 
@@ -26,6 +39,13 @@ struct CompactionContext {
   /// the abort are recorded in the edit; the caller removes them when it
   /// discards the edit.
   const std::atomic<bool>* shutdown = nullptr;
+  /// Range-partitioned subcompactions: with max_subcompactions > 1 the
+  /// job splits at next-level file boundaries and runs the shards on
+  /// `subcompaction_pool` (the parent thread merges one shard itself, so
+  /// N shards occupy N-1 pool threads; a null pool degrades to running
+  /// the shards sequentially — same outputs, no parallelism).
+  ThreadPool* subcompaction_pool = nullptr;
+  int max_subcompactions = 1;
 };
 
 class CompactionJob {
@@ -50,9 +70,32 @@ class CompactionJob {
   }
 
  private:
+  /// One range shard of the compaction keyspace: [lo, hi) with either
+  /// bound optionally open. Outputs and status are the shard's own; the
+  /// parent aggregates them after the barrier.
+  struct Shard {
+    bool has_lo = false;
+    bool has_hi = false;
+    Key lo = 0;
+    Key hi = 0;
+    std::vector<FileMeta> outputs;
+    Status status;
+  };
+
+  /// Partitions `pick` at next-input file smallest-key boundaries into at
+  /// most ctx.max_subcompactions shards (one shard when the compaction is
+  /// too small to split).
+  std::vector<Shard> PlanShards(const VersionSet::CompactionPick& pick) const;
+
+  /// Runs the merge loop for one shard: inputs clipped to [lo, hi),
+  /// finished outputs appended to shard->outputs. Thread-safe against
+  /// other shards (distinct builders, atomic file numbers, sharded Stats).
+  void MergeShard(const VersionSet::CompactionPick& pick, const Version& base,
+                  Shard* shard);
+
   Status FinishOutput(TableBuilder* builder, uint64_t file_number,
-                      Key smallest, Key largest, int output_level,
-                      VersionEdit* edit);
+                      Key smallest, Key largest,
+                      std::vector<FileMeta>* outputs);
 
   CompactionContext ctx_;
 };

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "lsm/table_cache.h"
 #include "lsm/version.h"
 #include "lsm/wal.h"
+#include "util/thread_pool.h"
 
 namespace lilsm {
 
@@ -47,9 +49,18 @@ class ErrorIterator final : public Iterator {
 //    sequence order.
 //  * Readers take mutex_ only long enough to pin (ref) the memtables and
 //    current version, then search without it — pinned state is immutable.
-//  * One background closure runs at a time (bg_scheduled_). It drops
+//  * Up to max_background_jobs background closures run at once (bg_jobs_
+//    counts them; 1 reproduces the single-worker engine). Each drops
 //    mutex_ for the heavy lifting (table builds, merges) and retakes it
-//    to install results, waking waiters through bg_cv_.
+//    to install results, waking waiters through bg_cv_. Concurrent jobs
+//    claim disjoint work under the mutex: at most one flush
+//    (bg_flush_active_) plus compactions at disjoint level pairs
+//    (level_busy_ marks [L, L+1] occupied).
+//  * Under DBOptions::group_commit, being at the FRONT of writers_ is the
+//    exclusive-writer token: the queue leader appends to the WAL and
+//    inserts into mem_ with mutex_ released. Non-Write paths that switch
+//    the memtable or roll the WAL first park a batchless barrier Writer
+//    at the queue front. See DESIGN.md "Write path & concurrency".
 //
 // ConcurrencyMode::kInline never schedules anything: maintenance runs on
 // the calling thread under mutex_, byte-for-byte the old inline engine.
@@ -66,6 +77,19 @@ class DBImpl final : public DB {
         std::max(options_.l0_slowdown_trigger, options_.l0_compaction_trigger);
     options_.l0_stop_trigger =
         std::max(options_.l0_stop_trigger, options_.l0_slowdown_trigger);
+    options_.max_background_jobs = std::max(1, options_.max_background_jobs);
+    options_.max_subcompactions = std::max(1, options_.max_subcompactions);
+    if ((background_mode() && options_.max_background_jobs > 1) ||
+        options_.max_subcompactions > 1) {
+      // Deadlock-free sizing: max_background_jobs parents can occupy pool
+      // threads while each waits on max_subcompactions - 1 shard slots,
+      // and one more parent (a foreground CompactAll merge, which runs on
+      // the caller's thread) may want shard slots too —
+      // (jobs + 1) * subs - 1 covers exactly that worst case.
+      bg_pool_ = std::make_unique<ThreadPool>(
+          (options_.max_background_jobs + 1) * options_.max_subcompactions -
+          1);
+    }
     versions_ = std::make_unique<VersionSet>(env_, dbname_);
     if (options_.block_cache_bytes > 0) {
       block_cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes);
@@ -82,9 +106,10 @@ class DBImpl final : public DB {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       shutting_down_.store(true, std::memory_order_release);
-      while (bg_scheduled_) {
+      while (bg_jobs_ > 0) {
         bg_cv_.wait(lock);
       }
+      assert(writers_.empty() && "writer leaked past DB destruction");
       assert(snapshot_count_ == 0 && "snapshot leaked past DB destruction");
     }
     if (wal_ != nullptr) {
@@ -154,6 +179,7 @@ class DBImpl final : public DB {
   Status Write(const WriteOptions& wopts, WriteBatch* batch) override {
     if (batch->Count() == 0) return Status::OK();
     std::unique_lock<std::mutex> lock(mutex_);
+    if (options_.group_commit) return WriteGrouped(wopts, batch, lock);
     if (background_mode()) {
       Status rs = MakeRoomForWrite(lock);
       if (!rs.ok()) return rs;
@@ -281,12 +307,15 @@ class DBImpl final : public DB {
 
   Status FlushMemTable() override {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!background_mode()) {
-      Status s = WriteLevel0TableLocked();
-      if (!s.ok()) return s;
-      return CompactUntilStableLocked(lock);
-    }
-    Status s = SwitchMemTable(lock);
+    // The memtable switch below must not race an off-mutex group leader:
+    // park a barrier at the writer-queue front for its duration. The
+    // settle phase after touches only the version tree, so writers resume
+    // as soon as the switch lands.
+    Writer barrier;
+    AcquireWriteQueue(&barrier, lock);
+    Status s = background_mode() ? SwitchMemTable(lock)
+                                 : WriteLevel0TableLocked();
+    ReleaseWriteQueue(&barrier);
     if (!s.ok()) return s;
     return CompactUntilStableLocked(lock);
   }
@@ -299,15 +328,18 @@ class DBImpl final : public DB {
   Status CompactAll() override {
     std::unique_lock<std::mutex> lock(mutex_);
     Status s;
+    {
+      Writer barrier;
+      AcquireWriteQueue(&barrier, lock);
+      s = background_mode() ? SwitchMemTable(lock)
+                            : WriteLevel0TableLocked();
+      ReleaseWriteQueue(&barrier);
+    }
+    if (!s.ok()) return s;
     if (background_mode()) {
       // Drain all queued maintenance first so the full merge below starts
       // from a settled tree (callers are quiescent, per the API contract).
-      s = SwitchMemTable(lock);
-      if (!s.ok()) return s;
       s = WaitForBackgroundIdle(lock);
-      if (!s.ok()) return s;
-    } else {
-      s = WriteLevel0TableLocked();
       if (!s.ok()) return s;
     }
     for (int level = 0; level < kNumLevels - 1; level++) {
@@ -865,6 +897,162 @@ class DBImpl final : public DB {
 
   // ---- write path (REQUIRES mutex_) ----
 
+  /// One queued Write call (or a batchless barrier). Lives on its owning
+  /// thread's stack; linked into writers_ under mutex_ and woken through
+  /// its own condition variable so a group wake-up costs one notify per
+  /// member instead of a thundering herd on bg_cv_.
+  struct Writer {
+    WriteBatch* batch = nullptr;  // null marks a barrier (no payload)
+    bool sync = false;
+    bool disable_wal = false;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
+  /// Group commit (DBOptions::group_commit): LevelDB's writer queue.
+  /// Every writer parks in writers_; the front writer leads, coalescing
+  /// the queue prefix into one batch, committing it with mutex_ RELEASED
+  /// (queue front = exclusive-writer token; the memtable is single-writer
+  /// multi-reader safe), then distributing the shared status. One WAL
+  /// append and at most one fsync serve the whole group.
+  Status WriteGrouped(const WriteOptions& wopts, WriteBatch* my_batch,
+                      std::unique_lock<std::mutex>& lock) {
+    Writer w;
+    w.batch = my_batch;
+    w.sync = wopts.sync.value_or(options_.sync_wal);
+    w.disable_wal = wopts.disable_wal;
+    writers_.push_back(&w);
+    while (!w.done && &w != writers_.front()) {
+      w.cv.wait(lock);
+    }
+    if (w.done) return w.status;  // a leader served this write
+
+    // This writer leads. Apply backpressure first: MakeRoomForWrite may
+    // drop the mutex, but the queue front keeps new writers parked.
+    Status s;
+    if (background_mode()) {
+      s = MakeRoomForWrite(lock);
+    }
+
+    Writer* last_writer = &w;
+    if (s.ok()) {
+      bool group_sync = false;
+      size_t group_writers = 0;
+      WriteBatch* updates =
+          BuildBatchGroup(&last_writer, &group_sync, &group_writers);
+      const SequenceNumber seq = versions_->last_sequence() + 1;
+      WriteBatch::SetSequence(updates, seq);
+      const uint32_t count = updates->Count();
+
+      lock.unlock();
+      if (!w.disable_wal) {
+        s = wal_->AddRecord(updates->Contents());
+        if (s.ok()) {
+          // The group's sync bit is the OR of its members: a sync=true
+          // follower joining a sync=false leader still gets its fsync
+          // before any member's status is returned.
+          s = group_sync ? wal_->Sync() : wal_->Flush();
+        }
+      }
+      if (s.ok()) s = updates->InsertInto(mem_, seq);
+      lock.lock();
+
+      if (s.ok()) {
+        versions_->SetLastSequence(seq + count - 1);
+        stats_.Add(Counter::kWrites, count);
+        stats_.Add(Counter::kGroupCommits);
+        stats_.Add(Counter::kGroupCommitBatchSize, group_writers);
+      }
+      if (updates == &tmp_batch_) tmp_batch_.Clear();
+    }
+
+    if (s.ok() && !background_mode() &&
+        mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
+      // Inline maintenance runs while this writer still holds the queue
+      // front, so the memtable swap below cannot race a later leader.
+      s = WriteLevel0TableLocked();
+      if (s.ok()) s = CompactUntilStableLocked(lock);
+    }
+
+    // Pop the served prefix, handing every member the group's status,
+    // then wake the next queue front (a new leader or a barrier).
+    while (true) {
+      Writer* ready = writers_.front();
+      writers_.pop_front();
+      if (ready != &w) {
+        ready->status = s;
+        ready->done = true;
+        ready->cv.notify_one();
+      }
+      if (ready == last_writer) break;
+    }
+    if (!writers_.empty()) writers_.front()->cv.notify_one();
+    return s;
+  }
+
+  /// REQUIRES mutex_ and writers_.front() owned by the caller. Coalesces
+  /// the longest serveable queue prefix into one batch: stops at a
+  /// barrier, at a writer whose disable_wal differs from the leader's
+  /// (its record must (not) reach the WAL), and at LevelDB's size caps
+  /// (1 MiB, or leader size + 128 KiB for small leaders, keeping a tiny
+  /// write's latency from inheriting a bulk group). Returns the leader's
+  /// own batch for a group of one, tmp_batch_ otherwise.
+  WriteBatch* BuildBatchGroup(Writer** last_writer, bool* group_sync,
+                              size_t* group_writers) {
+    Writer* leader = writers_.front();
+    *group_sync = leader->sync;
+    *group_writers = 1;
+    size_t size = leader->batch->ApproximateSize();
+    size_t max_size = 1 << 20;
+    if (size <= (128 << 10)) max_size = size + (128 << 10);
+
+    WriteBatch* result = leader->batch;
+    *last_writer = leader;
+    auto it = writers_.begin();
+    for (++it; it != writers_.end(); ++it) {
+      Writer* follower = *it;
+      if (follower->batch == nullptr) break;  // barrier: flush/compact
+      if (follower->disable_wal != leader->disable_wal) break;
+      const size_t follower_size = follower->batch->ApproximateSize();
+      if (size + follower_size > max_size) break;
+      *group_sync = *group_sync || follower->sync;
+      if (result == leader->batch) {
+        tmp_batch_.Clear();
+        WriteBatch::Append(&tmp_batch_, *leader->batch);
+        result = &tmp_batch_;
+      }
+      WriteBatch::Append(result, *follower->batch);
+      size += follower_size;
+      *last_writer = follower;
+      (*group_writers)++;
+    }
+    return result;
+  }
+
+  /// Parks `w` as a barrier at the writer-queue front: once acquired, no
+  /// group leader is off-mutex and none can start, so the caller may
+  /// switch the memtable or roll the WAL. No-op when group commit is off
+  /// (holding mutex_ alone is the exclusive-writer token then).
+  void AcquireWriteQueue(Writer* w, std::unique_lock<std::mutex>& lock) {
+    if (!options_.group_commit) return;
+    w->batch = nullptr;
+    writers_.push_back(w);
+    while (w != writers_.front()) {
+      w->cv.wait(lock);
+    }
+  }
+
+  /// Releases a barrier taken by AcquireWriteQueue and wakes the next
+  /// queued writer. REQUIRES mutex_.
+  void ReleaseWriteQueue(Writer* w) {
+    if (!options_.group_commit) return;
+    assert(!writers_.empty() && writers_.front() == w);
+    (void)w;
+    writers_.pop_front();
+    if (!writers_.empty()) writers_.front()->cv.notify_one();
+  }
+
   /// Blocks or delays the writer per the LevelDB triggers until the active
   /// memtable has room, switching it out to imm_ when full.
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
@@ -920,14 +1108,54 @@ class DBImpl final : public DB {
 
   // ---- background scheduling (REQUIRES mutex_) ----
 
+  /// Schedules one background closure when a job slot is free and some
+  /// work unit is unclaimed. Work is CLAIMED at run time, not here: the
+  /// closure re-examines the tree under mutex_ and may find nothing left
+  /// (another job took it) — it then just retires. A running job calls
+  /// this again right after claiming, so siblings spin up while work
+  /// remains, one speculative closure at a time.
   void MaybeScheduleBackgroundWork() {
-    if (!background_mode() || bg_scheduled_ || !bg_error_.ok() ||
+    if (!background_mode() || !bg_error_.ok() ||
         shutting_down_.load(std::memory_order_acquire)) {
       return;
     }
-    if (imm_ == nullptr && !NeedsCompactionLocked()) return;
-    bg_scheduled_ = true;
-    env_->Schedule([this] { BackgroundCall(); });
+    if (bg_jobs_ >= options_.max_background_jobs) return;
+    if (!HasClaimableWork()) return;
+    bg_jobs_++;
+    ScheduleJob([this] { BackgroundCall(); });
+  }
+
+  /// Runs `job` on the DB pool when one exists (max_background_jobs > 1),
+  /// else on Env::Schedule's worker — the single-job path keeps using the
+  /// Env so decorated/test Envs observe scheduling as before.
+  void ScheduleJob(std::function<void()> job) {
+    if (bg_pool_ != nullptr && options_.max_background_jobs > 1) {
+      bg_pool_->Submit(std::move(job));
+    } else {
+      env_->Schedule(std::move(job));
+    }
+  }
+
+  /// True when a flush or compaction could be claimed right now, given
+  /// the claims running jobs already hold.
+  bool HasClaimableWork() const {
+    if (imm_ != nullptr && !bg_flush_active_) return true;
+    bool allowed[kNumLevels];
+    ComputeAllowedLevels(allowed);
+    return versions_->NeedsCompaction(options_.l0_compaction_trigger,
+                                      options_.write_buffer_size,
+                                      options_.size_ratio, allowed);
+  }
+
+  /// Level L may start a compaction only when no running job occupies L
+  /// or L+1 (a job at L writes into L+1; two jobs sharing a level would
+  /// race over the same input files).
+  void ComputeAllowedLevels(bool allowed[kNumLevels]) const {
+    for (int level = 0; level < kNumLevels; level++) {
+      allowed[level] =
+          !level_busy_[level] &&
+          (level + 1 >= kNumLevels || !level_busy_[level + 1]);
+    }
   }
 
   bool NeedsCompactionLocked() const {
@@ -941,15 +1169,27 @@ class DBImpl final : public DB {
     Status s;
     if (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
       ScopedTimer timer(&stats_, Timer::kBackgroundWork, env_);
-      if (imm_ != nullptr) {
+      if (imm_ != nullptr && !bg_flush_active_) {
+        bg_flush_active_ = true;
+        MaybeScheduleBackgroundWork();  // siblings for remaining work
         s = CompactImmMemTable(lock);
+        bg_flush_active_ = false;
       } else {
+        bool allowed[kNumLevels];
+        ComputeAllowedLevels(allowed);
         VersionSet::CompactionPick pick;
         if (versions_->PickCompaction(options_.l0_compaction_trigger,
                                       options_.write_buffer_size,
-                                      options_.size_ratio, &pick)) {
+                                      options_.size_ratio, &pick, allowed)) {
+          level_busy_[pick.level] = true;
+          level_busy_[pick.level + 1] = true;
+          MaybeScheduleBackgroundWork();
           s = RunCompaction(lock, pick);
+          level_busy_[pick.level] = false;
+          level_busy_[pick.level + 1] = false;
         }
+        // else: another job claimed the work this closure was scheduled
+        // for — retire idle.
       }
     }
     if (!s.ok() && !shutting_down_.load(std::memory_order_acquire)) {
@@ -957,7 +1197,7 @@ class DBImpl final : public DB {
       // other failure parks the engine (writes surface it).
       bg_error_ = s;
     }
-    bg_scheduled_ = false;
+    bg_jobs_--;
     MaybeScheduleBackgroundWork();
     bg_cv_.notify_all();
   }
@@ -969,10 +1209,12 @@ class DBImpl final : public DB {
     // Writes since the switch land in wal_number_; earlier logs die with
     // this flush. Stable while imm_ is set: no switch can intervene.
     const uint64_t log_number = wal_number_;
+    const uint64_t fence = RegisterGcFence();
     lock.unlock();
     FileMeta meta;
     Status s = BuildLevel0Table(*imm, &meta);
     lock.lock();
+    ReleaseGcFence(fence);
     if (!s.ok()) return s;
 
     VersionEdit edit;
@@ -988,7 +1230,7 @@ class DBImpl final : public DB {
 
   /// Waits until no flush or compaction is queued or running.
   Status WaitForBackgroundIdle(std::unique_lock<std::mutex>& lock) {
-    while ((imm_ != nullptr || bg_scheduled_) && bg_error_.ok()) {
+    while ((imm_ != nullptr || bg_jobs_ > 0) && bg_error_.ok()) {
       bg_cv_.wait(lock);
     }
     return bg_error_;
@@ -1007,16 +1249,16 @@ class DBImpl final : public DB {
         if (!s.ok()) return s;
       }
     }
-    // Background mode: keep the worker busy until the tree settles.
+    // Background mode: keep the workers busy until the tree settles.
     while (true) {
       if (!bg_error_.ok()) return bg_error_;
-      if (imm_ != nullptr || bg_scheduled_) {
+      if (imm_ != nullptr || bg_jobs_ > 0) {
         bg_cv_.wait(lock);
         continue;
       }
       if (!NeedsCompactionLocked()) return Status::OK();
       MaybeScheduleBackgroundWork();
-      if (!bg_scheduled_) return bg_error_;  // refused: shutting down
+      if (bg_jobs_ == 0) return bg_error_;  // refused: shutting down
       bg_cv_.wait(lock);
     }
   }
@@ -1222,10 +1464,13 @@ class DBImpl final : public DB {
     ctx.dbname = dbname_;
     ctx.sstable_target_size = options_.sstable_target_size;
     ctx.shutdown = &shutting_down_;
+    ctx.subcompaction_pool = bg_pool_.get();
+    ctx.max_subcompactions = options_.max_subcompactions;
 
     const Version* base = versions_->PinCurrent();
     CompactionJob job(ctx);
     VersionEdit edit;
+    const uint64_t fence = RegisterGcFence();
     lock.unlock();
     Status s = job.Run(pick, *base, &edit);
     if (s.ok() && maintained_models() &&
@@ -1241,6 +1486,7 @@ class DBImpl final : public DB {
       }
     }
     lock.lock();
+    ReleaseGcFence(fence);
     base->Unref();
     if (!s.ok()) {
       // The edit was never logged, so its finished outputs are provably
@@ -1276,12 +1522,36 @@ class DBImpl final : public DB {
     return RemoveObsoleteFiles();
   }
 
+  /// REQUIRES mutex_. A job about to write table files off-mutex (flush
+  /// build, compaction merge) registers a fence first: file numbers are
+  /// allocated monotonically, so every output the job will create is
+  /// numbered at or above it, and RemoveObsoleteFiles skips those — a
+  /// concurrent job's GC pass must not sweep half-written outputs that no
+  /// version references yet. The number burned for the fence is never
+  /// used for a file.
+  uint64_t RegisterGcFence() {
+    const uint64_t fence = versions_->NewFileNumber();
+    gc_fences_.insert(fence);
+    return fence;
+  }
+
+  /// REQUIRES mutex_. Drops a fence once the job's outputs are either
+  /// installed (reachable from a version) or deleted by its owner.
+  void ReleaseGcFence(uint64_t fence) {
+    auto it = gc_fences_.find(fence);
+    assert(it != gc_fences_.end());
+    gc_fences_.erase(it);
+  }
+
   /// REQUIRES mutex_. Deletes files no live (current or pinned) version,
-  /// WAL, or manifest can still reach — a pinned version's tables survive
-  /// until its last reference (snapshot, iterator) goes away.
+  /// WAL, manifest, or in-flight job (gc_fences_) can still reach — a
+  /// pinned version's tables survive until its last reference (snapshot,
+  /// iterator) goes away.
   Status RemoveObsoleteFiles() {
     std::set<uint64_t> live;
     versions_->AddLiveFiles(&live);
+    const uint64_t fence =
+        gc_fences_.empty() ? UINT64_MAX : *gc_fences_.begin();
     std::vector<std::string> children;
     Status s = env_->GetChildren(dbname_, &children);
     if (!s.ok()) return s;
@@ -1294,7 +1564,7 @@ class DBImpl final : public DB {
       bool keep = true;
       switch (ParseFileName(name, &number)) {
         case FileKind::kTableFile:
-          keep = live.count(number) > 0;
+          keep = live.count(number) > 0 || number >= fence;
           if (!keep) dead_tables.push_back(number);
           break;
         case FileKind::kWalFile:
@@ -1389,7 +1659,22 @@ class DBImpl final : public DB {
   std::shared_ptr<BlockCache> block_cache_;
   std::unique_ptr<TableCache> table_cache_;
   std::unique_ptr<ModelCatalog> model_catalog_;
-  bool bg_scheduled_ = false;  // one background closure at a time
+  // Worker pool for parallel background jobs and subcompaction shards;
+  // null in the default single-job, single-shard configuration (which
+  // schedules through the Env, as always). Destroyed after the destructor
+  // drains bg_jobs_, so it is idle by then.
+  std::unique_ptr<ThreadPool> bg_pool_;
+  // Group-commit writer queue (guarded by mutex_): front = leader or
+  // barrier holder, i.e. the one thread allowed to touch wal_ and mem_
+  // with the mutex released. Empty whenever group_commit is off.
+  std::deque<Writer*> writers_;
+  WriteBatch tmp_batch_;  // leader's coalescing scratch; queue-front owned
+  int bg_jobs_ = 0;  // background closures scheduled or running
+  bool bg_flush_active_ = false;      // a job owns the imm_ flush
+  bool level_busy_[kNumLevels] = {};  // a compaction occupies this level
+  // File numbers >= min(gc_fences_) may be in-flight job outputs not yet
+  // in any version; RemoveObsoleteFiles must not sweep them.
+  std::multiset<uint64_t> gc_fences_;
   std::atomic<bool> shutting_down_{false};
   Status bg_error_;        // first background failure; guarded by mutex_
   int snapshot_count_ = 0;  // outstanding handles; guarded by mutex_
@@ -1434,6 +1719,14 @@ Status DBOptions::Validate() const {
     return Status::InvalidArgument(
         "DBOptions::key_size",
         "must be at most 64 bytes (the table formats' key buffers)");
+  }
+  if (max_background_jobs <= 0) {
+    return Status::InvalidArgument("DBOptions::max_background_jobs",
+                                   "must be positive");
+  }
+  if (max_subcompactions <= 0) {
+    return Status::InvalidArgument("DBOptions::max_subcompactions",
+                                   "must be positive");
   }
   return Status::OK();
 }

@@ -9,11 +9,18 @@
 //  * kInline (default): single-threaded with inline (synchronous) flushes
 //    and compactions, which makes every measurement the benches take
 //    deterministic — the paper's setup.
-//  * kBackground: writes hand full memtables to a background worker that
-//    flushes and compacts off the foreground path, with LevelDB-style
+//  * kBackground: writes hand full memtables to background workers that
+//    flush and compact off the foreground path, with LevelDB-style
 //    write slowdown/stall triggers; readers pin refcounted memtables and
 //    versions, so Get and iterators run concurrently with mutation, and
 //    Snapshot handles give repeatable point-in-time reads.
+//
+// The parallel write path is opt-in on top of either mode (all default
+// off; see DESIGN.md "Write path & concurrency architecture"):
+// group_commit batches concurrent writers through a leader,
+// max_background_jobs > 1 runs flush ∥ compaction and disjoint-level
+// compactions concurrently, and max_subcompactions > 1 range-partitions
+// one large compaction across threads.
 #ifndef LILSM_LSM_DB_H_
 #define LILSM_LSM_DB_H_
 
@@ -153,6 +160,29 @@ struct DBOptions {
   /// l0_slowdown_trigger.
   int l0_stop_trigger = 12;
 
+  /// Group commit (LevelDB's writer queue): concurrent Write calls link
+  /// into a queue; the front writer becomes leader, coalesces the queued
+  /// batches into one WAL record and one memtable apply, and amortizes a
+  /// single fsync across the group. Off (default) keeps the serial write
+  /// path byte-identical to earlier releases; kInline measurements are
+  /// unaffected either way (one writer never forms a group > 1).
+  bool group_commit = false;
+
+  /// kBackground only: how many flushes/compactions may run at once. 1
+  /// (default) reproduces the single-worker engine. Above 1 the DB owns a
+  /// thread pool and runs a flush in parallel with compactions, and
+  /// compactions at disjoint level pairs in parallel (a job at level L
+  /// occupies L and L+1; see DESIGN.md "Write path & concurrency").
+  int max_background_jobs = 1;
+
+  /// Maximum range-partitioned shards per compaction. 1 (default) keeps
+  /// every compaction a single merge loop. Above 1, a compaction whose
+  /// next-level inputs span several files is split at those file
+  /// boundaries into up to this many shards, merged in parallel, with all
+  /// shard outputs installed as one VersionEdit (and stitched into the
+  /// level model exactly as a single-threaded compaction would be).
+  int max_subcompactions = 1;
+
   int bloom_bits_per_key = 10;
 
   /// Entry geometry (paper: 24-byte keys, 1000-byte values). The segmented
@@ -193,9 +223,10 @@ struct DBOptions {
   /// DB::Open calls this first and refuses to open on failure. Rejects a
   /// zero value_size under the fixed-geometry segmented format,
   /// non-positive size_ratio and L0 triggers, a zero max_open_tables
-  /// (every lookup would thrash a full table open/close), and a key_size
+  /// (every lookup would thrash a full table open/close), a key_size
   /// the 8-byte uint64_t Key cannot round-trip through (< 8, or past the
-  /// 64-byte encode buffers).
+  /// 64-byte encode buffers), and non-positive max_background_jobs or
+  /// max_subcompactions.
   Status Validate() const;
 };
 

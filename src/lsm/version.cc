@@ -417,13 +417,17 @@ Status VersionSet::LogAndApply(VersionEdit* edit, const ModelDelta* models) {
 }
 
 int VersionSet::PickCompactionLevel(int l0_trigger, uint64_t base_bytes,
-                                    int size_ratio) const {
+                                    int size_ratio,
+                                    const bool* level_allowed) const {
   // Score each level; level 0 by file count, others by byte size.
+  const auto allowed = [level_allowed](int level) {
+    return level_allowed == nullptr || level_allowed[level];
+  };
   double best_score = 1.0;
   int best_level = -1;
   const double l0_score = static_cast<double>(current_->NumFiles(0)) /
                           static_cast<double>(std::max(1, l0_trigger));
-  if (l0_score >= best_score) {
+  if (allowed(0) && l0_score >= best_score) {
     best_score = l0_score;
     best_level = 0;
   }
@@ -432,7 +436,7 @@ int VersionSet::PickCompactionLevel(int l0_trigger, uint64_t base_bytes,
     max_bytes *= size_ratio;
     const double score =
         static_cast<double>(current_->LevelBytes(level)) / max_bytes;
-    if (score > best_score) {
+    if (allowed(level) && score > best_score) {
       best_score = score;
       best_level = level;
     }
@@ -441,14 +445,17 @@ int VersionSet::PickCompactionLevel(int l0_trigger, uint64_t base_bytes,
 }
 
 bool VersionSet::NeedsCompaction(int l0_trigger, uint64_t base_bytes,
-                                 int size_ratio) const {
-  return PickCompactionLevel(l0_trigger, base_bytes, size_ratio) >= 0;
+                                 int size_ratio,
+                                 const bool* level_allowed) const {
+  return PickCompactionLevel(l0_trigger, base_bytes, size_ratio,
+                             level_allowed) >= 0;
 }
 
 bool VersionSet::PickCompaction(int l0_trigger, uint64_t base_bytes,
-                                int size_ratio, CompactionPick* pick) {
+                                int size_ratio, CompactionPick* pick,
+                                const bool* level_allowed) {
   const int best_level =
-      PickCompactionLevel(l0_trigger, base_bytes, size_ratio);
+      PickCompactionLevel(l0_trigger, base_bytes, size_ratio, level_allowed);
   if (best_level < 0) return false;
 
   pick->level = best_level;

@@ -214,14 +214,19 @@ class VersionSet {
   /// Chooses the compaction the tree needs most, LevelDB-style: level 0 by
   /// file count against `l0_trigger`, deeper levels by size against
   /// base_bytes * size_ratio^level. Returns false when no level is over
-  /// its capacity. Requires the DB mutex.
+  /// its capacity. With `level_allowed` (an array of kNumLevels flags),
+  /// only levels whose flag is set are considered — the multi-job
+  /// scheduler masks out levels whose [L, L+1] range a running compaction
+  /// already occupies. Requires the DB mutex.
   bool PickCompaction(int l0_trigger, uint64_t base_bytes, int size_ratio,
-                      CompactionPick* pick);
+                      CompactionPick* pick,
+                      const bool* level_allowed = nullptr);
 
   /// True when PickCompaction would return a pick — the cheap check the
-  /// background scheduler polls. Requires the DB mutex.
-  bool NeedsCompaction(int l0_trigger, uint64_t base_bytes,
-                       int size_ratio) const;
+  /// background scheduler polls. `level_allowed` masks levels out, as in
+  /// PickCompaction. Requires the DB mutex.
+  bool NeedsCompaction(int l0_trigger, uint64_t base_bytes, int size_ratio,
+                       const bool* level_allowed = nullptr) const;
 
   /// The full-merge pick used by manual/level-granularity compactions:
   /// all files of `level` plus everything overlapping below.
@@ -235,9 +240,10 @@ class VersionSet {
   Status InstallManifest(uint64_t manifest_number);
   void ForgetVersion(const Version* v);
   /// The level whose score (fill fraction) is highest, or -1 when no level
-  /// is over capacity.
+  /// is over capacity. `level_allowed` (nullable) masks levels out.
   int PickCompactionLevel(int l0_trigger, uint64_t base_bytes,
-                          int size_ratio) const;
+                          int size_ratio,
+                          const bool* level_allowed = nullptr) const;
 
   Env* const env_;
   const std::string dbname_;

@@ -3,13 +3,19 @@
 // Replay stops cleanly at a torn or corrupt tail record, which is the crash
 // durability contract the recovery tests exercise.
 //
-// Concurrency contract: LogWriter/LogReader are single-threaded objects.
-// The engine serializes every WAL append under the DB-wide mutex (the
-// writer path holds it across AddRecord + memtable insert, so log order
-// always matches sequence order), and the MANIFEST writer is only touched
-// by LogAndApply, likewise under the mutex. Rolling the WAL at a memtable
-// switch replaces the LogWriter wholesale; the retired log is only read
-// again during single-threaded recovery.
+// Concurrency contract: LogWriter/LogReader are single-threaded objects;
+// the engine guarantees one appender at a time. On the serial write path
+// that appender holds the DB-wide mutex across AddRecord + memtable
+// insert. Under group commit (DBOptions::group_commit) the appender is
+// the writer-queue LEADER, which appends with the mutex RELEASED — being
+// at the front of the queue is the exclusive-writer token, so there is
+// still exactly one thread touching the LogWriter, and log order still
+// matches sequence order (the leader assigns the group's sequences before
+// appending). The MANIFEST writer is only touched by LogAndApply, always
+// under the mutex. Rolling the WAL at a memtable switch replaces the
+// LogWriter wholesale (serial path: under the mutex; group-commit path:
+// while holding the queue front as a barrier); the retired log is only
+// read again during single-threaded recovery.
 #ifndef LILSM_LSM_WAL_H_
 #define LILSM_LSM_WAL_H_
 

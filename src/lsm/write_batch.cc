@@ -41,6 +41,11 @@ void WriteBatch::Delete(Key key) {
   PutFixed64(&rep_, key);
 }
 
+void WriteBatch::Append(WriteBatch* dst, const WriteBatch& src) {
+  dst->SetCount(dst->Count() + src.Count());
+  dst->rep_.append(src.rep_.data() + kHeader, src.rep_.size() - kHeader);
+}
+
 Status WriteBatch::InsertInto(MemTable* mem, SequenceNumber sequence) const {
   Slice input(rep_);
   if (input.size() < kHeader) {

@@ -27,6 +27,11 @@ class WriteBatch {
   /// Applies every record to `mem` with sequences starting at `sequence`.
   Status InsertInto(MemTable* mem, SequenceNumber sequence) const;
 
+  /// Appends every record of `src` to `dst` (group-commit coalescing:
+  /// the queue leader folds follower batches into one WAL record).
+  /// `dst` keeps its sequence; counts add.
+  static void Append(WriteBatch* dst, const WriteBatch& src);
+
   /// WAL payload accessors.
   Slice Contents() const { return Slice(rep_); }
   static Status SetContents(WriteBatch* batch, const Slice& contents);

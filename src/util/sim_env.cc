@@ -28,7 +28,11 @@ class SimWritableFile final : public WritableFile {
 
   Status Append(const Slice& data) override;
   Status Flush() override { return base_->Flush(); }
-  Status Sync() override { return base_->Sync(); }
+  Status Sync() override {
+    Status s = base_->Sync();
+    if (s.ok()) env_->SpinFor(env_->options().sync_latency_ns);
+    return s;
+  }
   Status Close() override { return base_->Close(); }
 
  private:
@@ -48,6 +52,9 @@ SimEnvOptions SimEnv::OptionsFromEnvironment() {
   }
   if (const char* v = std::getenv("LILSM_READ_PER_BYTE_NS")) {
     opts.read_per_byte_ns = std::strtod(v, nullptr);
+  }
+  if (const char* v = std::getenv("LILSM_SYNC_LAT_NS")) {
+    opts.sync_latency_ns = std::strtoull(v, nullptr, 10);
   }
   if (const char* v = std::getenv("LILSM_SIM_SLEEP")) {
     opts.sleep_instead_of_spin = v[0] != '\0' && v[0] != '0';

@@ -46,6 +46,12 @@ struct SimEnvOptions {
   /// write cost is already dominated by real syscalls + fdatasync).
   uint64_t write_base_latency_ns = 0;
   double write_per_byte_ns = 0.0;
+  /// Fixed cost per WritableFile::Sync call (0 disables). Models the
+  /// device flush an fdatasync pays (~100 us on SATA, ~20 us NVMe) even
+  /// when the backing file sits in the page cache — the serial cost that
+  /// group commit amortizes, so the write-heavy bench (fig13) sets this
+  /// to make sync'd-writer scaling visible on a dev machine.
+  uint64_t sync_latency_ns = 0;
   /// Block size used only for the blocks_read counter.
   uint64_t io_block_size = 4096;
   /// How the wait is served. false (default): busy-spin — precise at
@@ -66,7 +72,8 @@ class SimEnv final : public Env {
   explicit SimEnv(Env* base, SimEnvOptions options = SimEnvOptions());
 
   /// Reads SimEnvOptions overrides from LILSM_READ_LAT_NS /
-  /// LILSM_READ_PER_BYTE_NS environment variables, if present.
+  /// LILSM_READ_PER_BYTE_NS / LILSM_SYNC_LAT_NS / LILSM_SIM_SLEEP
+  /// environment variables, if present.
   static SimEnvOptions OptionsFromEnvironment();
 
   IoStats* io_stats() { return &stats_; }

@@ -87,6 +87,12 @@ const char* CounterName(Counter c) {
       return "block_cache_misses";
     case Counter::kBlockCacheEvictions:
       return "block_cache_evictions";
+    case Counter::kGroupCommits:
+      return "group_commits";
+    case Counter::kGroupCommitBatchSize:
+      return "group_commit_batch_size";
+    case Counter::kSubcompactions:
+      return "subcompactions";
     default:
       return "unknown";
   }

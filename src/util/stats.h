@@ -55,6 +55,9 @@ enum class Counter : int {
   kBlockCacheHits,     // table blocks served from the shared block cache
   kBlockCacheMisses,   // table blocks fetched from the Env
   kBlockCacheEvictions,  // cache entries dropped under capacity pressure
+  kGroupCommits,       // write groups committed by a queue leader
+  kGroupCommitBatchSize,  // writers served across all groups (sum of sizes)
+  kSubcompactions,     // compaction shards run by sharded compactions
   kNumCounters
 };
 

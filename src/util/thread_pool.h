@@ -25,7 +25,8 @@ class ThreadPool {
 
   /// Enqueues `work` for execution on some pool thread. Closures run in
   /// FIFO order but concurrently across threads; callers needing mutual
-  /// exclusion provide their own (the DB serializes via bg_scheduled_).
+  /// exclusion provide their own (the DB claims disjoint work units
+  /// under its mutex before each closure runs).
   void Submit(std::function<void()> work);
 
   /// Blocks until the queue is empty and no closure is running.
