@@ -270,9 +270,12 @@ int main(int argc, char** argv) {
     }
   }
   int pass_argc = static_cast<int>(passthrough.size());
+  size_t io_depth = 0;
+  size_t readahead = 0;
   ExperimentDefaults d =
       bench::BenchDefaults(pass_argc, passthrough.data(), nullptr, &threads,
-                           nullptr, &multiget_batch, &block_cache_mb);
+                           nullptr, &multiget_batch, &block_cache_mb,
+                           &io_depth, &readahead);
   const bool writeheavy = workload_mode == "writeheavy";
 
   if (writeheavy) {
@@ -324,6 +327,10 @@ int main(int argc, char** argv) {
     std::printf("# shared block cache: %zu MiB\n\n",
                 d.block_cache_bytes >> 20);
   }
+  if (d.io_depth > 1 || d.readahead_blocks > 0) {
+    std::printf("# async I/O: io_depth=%d readahead=%zu blocks\n\n",
+                d.io_depth, d.readahead_blocks);
+  }
 
   // Blocking (sleeping) device model: waits overlap across threads. The
   // effective floor is the OS timer slack (~60 us), i.e. a loaded
@@ -349,6 +356,7 @@ int main(int argc, char** argv) {
   options.key_size = d.key_size;
   options.value_size = d.value_size;
   options.block_cache_bytes = d.block_cache_bytes;
+  options.io_depth = d.io_depth;
   const std::string dbdir = bench::BenchDir("fig13");
 
   ReportTable table("Figure 13: aggregate throughput by workload");

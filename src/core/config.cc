@@ -38,6 +38,13 @@ ExperimentDefaults ExperimentDefaults::FromEnvironment() {
   if (const char* v = std::getenv("LILSM_BLOCK_CACHE_MB")) {
     d.block_cache_bytes = std::strtoull(v, nullptr, 10) << 20;
   }
+  if (const char* v = std::getenv("LILSM_IO_DEPTH")) {
+    const long depth = std::strtol(v, nullptr, 10);
+    if (depth > 0) d.io_depth = static_cast<int>(depth);
+  }
+  if (const char* v = std::getenv("LILSM_READAHEAD")) {
+    d.readahead_blocks = std::strtoull(v, nullptr, 10);
+  }
   return d;
 }
 

@@ -29,7 +29,8 @@ struct IndexSetup {
 /// environment overrides below so the full-size runs remain one command
 /// away:
 ///   LILSM_N, LILSM_VALUE_SIZE, LILSM_OPS, LILSM_SST_MB, LILSM_SEED,
-///   LILSM_DATASET, LILSM_READ_LAT_NS, LILSM_BLOCK_CACHE_MB.
+///   LILSM_DATASET, LILSM_READ_LAT_NS, LILSM_BLOCK_CACHE_MB,
+///   LILSM_IO_DEPTH, LILSM_READAHEAD.
 struct ExperimentDefaults {
   size_t num_keys = 200'000;
   uint32_t key_size = 24;
@@ -45,6 +46,12 @@ struct ExperimentDefaults {
   /// every segment fetch is a device I/O). The benches expose it as
   /// --block-cache-mb.
   size_t block_cache_bytes = 0;
+  /// DBOptions::io_depth (1 = fully synchronous reads, the paper's
+  /// configuration). The benches expose it as --io-depth.
+  int io_depth = 1;
+  /// ReadOptions::readahead_blocks for scan-shaped workload phases (0 =
+  /// no prefetch). The benches expose it as --readahead.
+  size_t readahead_blocks = 0;
 
   /// Reads the LILSM_* environment overrides.
   static ExperimentDefaults FromEnvironment();

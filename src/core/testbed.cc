@@ -32,6 +32,7 @@ Status Testbed::Create(const Options& options,
   db_options.index_config = options.setup.ToIndexConfig();
   db_options.index_granularity = options.setup.granularity;
   db_options.block_cache_bytes = d.block_cache_bytes;
+  db_options.io_depth = d.io_depth;
 
   DB::Destroy(db_options, options.dir);
   std::unique_ptr<DB> db;
@@ -185,10 +186,12 @@ Status Testbed::RunRangeLookups(size_t count, size_t range_len,
   }
 
   BeginRun();
+  ReadOptions ropts;
+  ropts.readahead_blocks = options_.defaults.readahead_blocks;
   std::vector<std::pair<Key, std::string>> out;
   for (Key start : starts) {
     const uint64_t t0 = env->NowNanos();
-    Status s = db_->RangeLookup(start, range_len, &out);
+    Status s = db_->RangeLookup(ropts, start, range_len, &out);
     metrics->latency_ns.Add(static_cast<double>(env->NowNanos() - t0));
     if (!s.ok()) return s;
   }
@@ -263,9 +266,12 @@ Status Testbed::RunYcsb(YcsbWorkload workload, size_t count,
       case YcsbOp::Type::kInsert:
         s = db_->Put(key, DeriveValue(key, d.value_size));
         break;
-      case YcsbOp::Type::kScan:
-        s = db_->RangeLookup(key, op.scan_length, &scan_out);
+      case YcsbOp::Type::kScan: {
+        ReadOptions scan_opts;
+        scan_opts.readahead_blocks = d.readahead_blocks;
+        s = db_->RangeLookup(scan_opts, key, op.scan_length, &scan_out);
         break;
+      }
       case YcsbOp::Type::kReadModifyWrite:
         s = db_->Get(key, &value);
         if (s.IsNotFound()) s = Status::OK();

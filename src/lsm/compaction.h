@@ -46,6 +46,11 @@ struct CompactionContext {
   /// the shards sequentially — same outputs, no parallelism).
   ThreadPool* subcompaction_pool = nullptr;
   int max_subcompactions = 1;
+  /// Blocks of readahead for each input iterator (0 = synchronous reads).
+  /// Set from DBOptions::io_depth > 1: the merge consumes inputs strictly
+  /// forward, so prefetching the next blocks through an async read batch
+  /// overlaps input I/O with merging without changing any output byte.
+  size_t input_readahead = 0;
 };
 
 class CompactionJob {

@@ -263,7 +263,8 @@ class DBImpl final : public DB {
   }
 
   std::unique_ptr<Iterator> NewIterator(const ReadOptions& ropts) override {
-    return NewIteratorOverView(PinView(ropts.snapshot), ropts.fill_cache);
+    return NewIteratorOverView(PinView(ropts.snapshot), ropts.fill_cache,
+                               ropts.readahead_blocks);
   }
 
   const Snapshot* GetSnapshot() override {
@@ -582,9 +583,12 @@ class DBImpl final : public DB {
   /// Builds a user iterator over `view`, taking ownership of the view's
   /// references: the iterator's cleanup unpins them (on failure they are
   /// unpinned before the error iterator is returned). `fill_cache` gates
-  /// whether the table iterators' block fetches populate the block cache.
-  std::unique_ptr<Iterator> NewIteratorOverView(ReadView view,
-                                                bool fill_cache) {
+  /// whether the table iterators' block fetches populate the block cache;
+  /// `readahead_blocks` > 0 makes each table iterator prefetch upcoming
+  /// I/O blocks through an async read batch (results are identical, only
+  /// the fetch timing differs).
+  std::unique_ptr<Iterator> NewIteratorOverView(ReadView view, bool fill_cache,
+                                                size_t readahead_blocks = 0) {
     std::vector<std::unique_ptr<TableIterator>> children;
     // shared_ptr: the cleanup closure and this scope both reference it.
     auto readers =
@@ -600,7 +604,7 @@ class DBImpl final : public DB {
         s = table_cache_->GetReader(meta.number, &reader);
         if (!s.ok()) break;
         readers->push_back(reader);
-        children.push_back(reader->NewIterator(fill_cache));
+        children.push_back(reader->NewIterator(fill_cache, readahead_blocks));
       }
     }
     if (!s.ok()) {
@@ -783,6 +787,98 @@ class DBImpl final : public DB {
           if (key < files[fi].smallest) continue;
           targets.emplace_back(idx, fi);
         }
+      }
+
+      if (options_.io_depth > 1 && !targets.empty()) {
+        // Async path (DBOptions::io_depth > 1): plan every run of the
+        // level first, let each reader decompose its run into cache-aware
+        // spans registered with ONE read batch, fetch all cold spans of
+        // the level concurrently, then finish each run against the fetched
+        // bytes. Results are bit-identical to the serial run loop below.
+        struct RunPlan {
+          size_t file_idx = 0;
+          std::vector<uint32_t> idx;
+          std::vector<Key> run_keys;
+          std::vector<size_t> lo, hi;
+          bool bounds = false;
+          std::shared_ptr<TableReader> reader;
+          std::unique_ptr<PendingMultiGet> pending;
+          std::vector<std::string> vals;
+          std::vector<uint64_t> tags;
+          std::unique_ptr<bool[]> found;
+        };
+        std::vector<RunPlan> plans;
+        for (size_t t = 0; t < targets.size();) {
+          const size_t run_file = targets[t].second;
+          RunPlan plan;
+          plan.file_idx = run_file;
+          for (; t < targets.size() && targets[t].second == run_file; t++) {
+            plan.idx.push_back(targets[t].first);
+            plan.run_keys.push_back(keys[targets[t].first]);
+          }
+          plan.bounds = model != nullptr;
+          if (plan.bounds) {
+            plan.lo.resize(plan.run_keys.size());
+            plan.hi.resize(plan.run_keys.size());
+            for (size_t r = 0; r < plan.run_keys.size() && plan.bounds;
+                 r++) {
+              plan.bounds = ModelCatalog::PredictInFile(
+                  *model, plan.run_keys[r], run_file, &plan.lo[r],
+                  &plan.hi[r]);
+            }
+          }
+          plans.push_back(std::move(plan));
+        }
+        consulted = true;
+        auto batch = env_->NewReadBatch(options_.io_depth);
+        for (auto& plan : plans) {
+          sink->Add(Counter::kTablesConsulted);
+          Status s = table_cache_->GetReader(files[plan.file_idx].number,
+                                             &plan.reader);
+          if (!s.ok()) return abort_with(s);
+          plan.vals.assign(plan.run_keys.size(), std::string());
+          plan.tags.assign(plan.run_keys.size(), 0);
+          plan.found.reset(new bool[plan.run_keys.size()]());
+          Status ps = plan.reader->PrepareMultiGet(
+              std::span<const Key>(plan.run_keys),
+              plan.bounds ? plan.lo.data() : nullptr,
+              plan.bounds ? plan.hi.data() : nullptr, batch.get(),
+              &plan.pending, sink, fill_cache);
+          // NotSupported (a reader without an async path) falls back to
+          // its synchronous MultiGet after the batch completes.
+          if (!ps.ok() && !ps.IsNotSupported()) return abort_with(ps);
+        }
+        Status ws;
+        {
+          ScopedTimer reap_timer(sink, Timer::kAsyncReap, env_);
+          ws = batch->Wait();
+        }
+        sink->Add(Counter::kAsyncBatches);
+        if (!ws.ok()) return abort_with(ws);
+        for (auto& plan : plans) {
+          Status s;
+          if (plan.pending != nullptr) {
+            s = plan.reader->FinishMultiGet(plan.pending.get(),
+                                            plan.vals.data(),
+                                            plan.tags.data(),
+                                            plan.found.get(), sink);
+          } else {
+            s = plan.reader->MultiGet(std::span<const Key>(plan.run_keys),
+                                      plan.bounds ? plan.lo.data() : nullptr,
+                                      plan.bounds ? plan.hi.data() : nullptr,
+                                      plan.vals.data(), plan.tags.data(),
+                                      plan.found.get(), sink, fill_cache);
+          }
+          if (!s.ok()) return abort_with(s);
+          for (size_t r = 0; r < plan.run_keys.size(); r++) {
+            if (!plan.found[r]) continue;
+            const uint32_t idx = plan.idx[r];
+            (*values)[idx] = std::move(plan.vals[r]);
+            resolve(idx, TagType(plan.tags[r]) != kTypeValue);
+          }
+        }
+        sink->AddLevelRead(level, env_->NowNanos() - level_start);
+        continue;
       }
 
       for (size_t t = 0; t < targets.size();) {
@@ -1466,6 +1562,9 @@ class DBImpl final : public DB {
     ctx.shutdown = &shutting_down_;
     ctx.subcompaction_pool = bg_pool_.get();
     ctx.max_subcompactions = options_.max_subcompactions;
+    if (options_.io_depth > 1) {
+      ctx.input_readahead = static_cast<size_t>(options_.io_depth);
+    }
 
     const Version* base = versions_->PinCurrent();
     CompactionJob job(ctx);
@@ -1727,6 +1826,10 @@ Status DBOptions::Validate() const {
   if (max_subcompactions <= 0) {
     return Status::InvalidArgument("DBOptions::max_subcompactions",
                                    "must be positive");
+  }
+  if (io_depth <= 0) {
+    return Status::InvalidArgument("DBOptions::io_depth",
+                                   "must be positive (1 = synchronous)");
   }
   return Status::OK();
 }

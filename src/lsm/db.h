@@ -122,6 +122,14 @@ struct ReadOptions {
   /// evict the point-lookup hot set (the RocksDB idiom); compaction
   /// input reads behave as if it were false.
   bool fill_cache = true;
+
+  /// Model-guided readahead for iterators created by this call (and the
+  /// scans under RangeLookup): each table iterator prefetches up to this
+  /// many upcoming I/O blocks through an async read batch while the
+  /// caller consumes the current one. 0 (default) keeps the scan path
+  /// fully synchronous and byte-identical to earlier releases. Prefetch
+  /// success/waste is visible as kReadaheadHits / kReadaheadWasted.
+  size_t readahead_blocks = 0;
 };
 
 /// Per-call write options.
@@ -219,14 +227,24 @@ struct DBOptions {
   /// segment fetch is a device I/O with exactly the seed's SimEnv counts.
   size_t block_cache_bytes = 0;
 
+  /// Target I/O queue depth for batched reads. 1 (default) keeps every
+  /// read path synchronous and byte-identical to earlier releases
+  /// (including SimEnv latency/counter accounting). Above 1, MultiGet
+  /// fetches the io-blocks of all runs of a level concurrently through
+  /// Env::NewReadBatch (io_uring when available, a thread-pool backend
+  /// otherwise), and compaction input iterators read ahead up to this
+  /// many blocks. Results are always bit-identical to the synchronous
+  /// path; only timing and batching counters differ.
+  int io_depth = 1;
+
   /// Sanity-checks the option values against the engine's invariants;
   /// DB::Open calls this first and refuses to open on failure. Rejects a
   /// zero value_size under the fixed-geometry segmented format,
   /// non-positive size_ratio and L0 triggers, a zero max_open_tables
   /// (every lookup would thrash a full table open/close), a key_size
   /// the 8-byte uint64_t Key cannot round-trip through (< 8, or past the
-  /// 64-byte encode buffers), and non-positive max_background_jobs or
-  /// max_subcompactions.
+  /// 64-byte encode buffers), and non-positive max_background_jobs,
+  /// max_subcompactions, or io_depth.
   Status Validate() const;
 };
 

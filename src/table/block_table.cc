@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <map>
 
 namespace lilsm {
 
@@ -48,6 +49,30 @@ size_t SharedPrefix(const std::string& a, const char* b, size_t b_len) {
   while (shared < limit && a[shared] == b[shared]) shared++;
   return shared;
 }
+
+/// In-flight state of a two-phase MultiGet against a block table: one
+/// BlockFetch per unique data block touched by the batch (sorted keys make
+/// duplicates consecutive), each either served from the block cache at
+/// Prepare time or backed by a pending ReadRequest for the raw handle
+/// bytes (crc verified at Finish).
+class BlockPendingMultiGet final : public PendingMultiGet {
+ public:
+  struct BlockFetch {
+    size_t block_idx = 0;
+    bool needs_read = false;
+    std::string buffer;   // raw handle bytes (payload + crc) for cold blocks
+    std::string payload;  // verified payload; filled at Prepare on cache hits
+    ReadRequest req;
+  };
+  struct KeyPlan {
+    int fetch = -1;  // index into fetches; -1 = screened out (absent)
+  };
+
+  std::vector<Key> keys;
+  std::vector<KeyPlan> plans;
+  std::vector<BlockFetch> fetches;
+  bool fill_cache = true;
+};
 
 }  // namespace
 
@@ -433,6 +458,125 @@ Status BlockTableReader::Get(Key key, std::string* value, uint64_t* tag,
   return Status::OK();
 }
 
+Status BlockTableReader::PrepareMultiGet(
+    std::span<const Key> keys, const size_t* bounds_lo, const size_t* bounds_hi,
+    ReadBatch* batch, std::unique_ptr<PendingMultiGet>* pending, Stats* stats,
+    bool fill_cache) {
+  if (bounds_lo != nullptr || bounds_hi != nullptr) {
+    return Status::NotSupported("block tables have no positional bounds");
+  }
+  if (stats == nullptr) stats = options_.stats;
+  auto p = std::make_unique<BlockPendingMultiGet>();
+  p->keys.assign(keys.begin(), keys.end());
+  p->plans.resize(keys.size());
+  p->fill_cache = fill_cache;
+  BloomFilterReader bloom{Slice(bloom_data_)};
+
+  // Pass 1: screen each key and route it to its fence-pointer block.
+  // Inputs are sorted, so keys landing in the same block are consecutive
+  // and share one fetch.
+  for (size_t i = 0; i < keys.size(); i++) {
+    const Key key = keys[i];
+    if (count_ == 0 || key < min_key_ || key > max_key_) continue;
+    {
+      ScopedTimer timer(stats, Timer::kBloomCheck, options_.env);
+      char bloom_buf[8];
+      if (!bloom.KeyMayMatch(BloomKey(key, bloom_buf))) {
+        if (stats != nullptr) stats->Add(Counter::kBloomNegatives);
+        continue;
+      }
+    }
+    size_t block_idx;
+    {
+      ScopedTimer timer(stats, Timer::kIndexPredict, options_.env);
+      block_idx = FindBlock(key);
+    }
+    if (block_idx >= blocks_.size()) continue;
+    if (p->fetches.empty() || p->fetches.back().block_idx != block_idx) {
+      BlockPendingMultiGet::BlockFetch fetch;
+      fetch.block_idx = block_idx;
+      p->fetches.push_back(std::move(fetch));
+    }
+    p->plans[i].fetch = static_cast<int>(p->fetches.size()) - 1;
+  }
+
+  // Pass 2: probe the block cache once per unique block; each miss becomes
+  // one ReadRequest for the raw handle bytes (crc verified at Finish).
+  // The fetch list is complete, so the ReadRequest addresses registered
+  // with the batch stay stable.
+  BlockCache* cache = options_.block_cache.get();
+  for (auto& fetch : p->fetches) {
+    const BlockHandle& handle = blocks_[fetch.block_idx].handle;
+    if (cache != nullptr) {
+      BlockCache::BlockRef cached =
+          cache->Lookup(options_.cache_file_number, handle.offset);
+      if (cached != nullptr) {
+        if (stats != nullptr) stats->Add(Counter::kBlockCacheHits);
+        fetch.payload = *cached;
+        continue;
+      }
+      if (stats != nullptr) stats->Add(Counter::kBlockCacheMisses);
+    }
+    fetch.needs_read = true;
+    fetch.buffer.resize(handle.size);
+    fetch.req.file = file_.get();
+    fetch.req.offset = handle.offset;
+    fetch.req.n = handle.size;
+    fetch.req.scratch = fetch.buffer.data();
+    batch->Add(&fetch.req);
+    if (stats != nullptr) stats->Add(Counter::kAsyncReads);
+  }
+  *pending = std::move(p);
+  return Status::OK();
+}
+
+Status BlockTableReader::FinishMultiGet(PendingMultiGet* pending,
+                                        std::string* values, uint64_t* tags,
+                                        bool* founds, Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
+  auto* p = static_cast<BlockPendingMultiGet*>(pending);
+  BlockCache* cache = options_.block_cache.get();
+  for (auto& fetch : p->fetches) {
+    if (!fetch.needs_read) continue;
+    if (!fetch.req.status.ok()) return fetch.req.status;
+    if (fetch.req.result.size() < fetch.req.n) {
+      return Status::Corruption("block table: short block read");
+    }
+    if (fetch.req.result.data() != fetch.buffer.data()) {
+      std::memmove(fetch.buffer.data(), fetch.req.result.data(), fetch.req.n);
+    }
+    Status s = VerifyChecksummedBlock(fetch.buffer.data(), fetch.req.n,
+                                      &fetch.payload);
+    if (!s.ok()) return s;
+    if (cache != nullptr && p->fill_cache) {
+      const size_t evicted =
+          cache->Insert(options_.cache_file_number,
+                        blocks_[fetch.block_idx].handle.offset, fetch.payload);
+      if (stats != nullptr && evicted > 0) {
+        stats->Add(Counter::kBlockCacheEvictions, evicted);
+      }
+    }
+  }
+  for (size_t i = 0; i < p->keys.size(); i++) {
+    founds[i] = false;
+    if (p->plans[i].fetch < 0) continue;
+    const auto& fetch = p->fetches[static_cast<size_t>(p->plans[i].fetch)];
+    ScopedTimer timer(stats, Timer::kBinarySearch, options_.env);
+    BlockParser parser(&fetch.payload, key_size_);
+    parser.Seek(p->keys[i]);
+    if (!parser.status().ok()) return parser.status();
+    if (parser.Valid() && parser.key() == p->keys[i]) {
+      tags[i] = parser.tag();
+      values[i].assign(parser.value().data(), parser.value().size());
+      founds[i] = true;
+      if (stats != nullptr) stats->Add(Counter::kBloomTruePositive);
+    } else if (stats != nullptr) {
+      stats->Add(Counter::kBloomFalsePositive);
+    }
+  }
+  return Status::OK();
+}
+
 size_t BlockTableReader::IndexMemoryUsage() const {
   return blocks_.capacity() * sizeof(BlockEntry);
 }
@@ -441,7 +585,7 @@ Status BlockTableReader::ReadAllKeys(std::vector<Key>* keys) {
   keys->clear();
   keys->reserve(count_);
   // A full training scan must not evict the point-lookup hot set.
-  auto it = NewIterator(/*fill_cache=*/false);
+  auto it = NewIterator(/*fill_cache=*/false, /*readahead_blocks=*/0);
   for (it->SeekToFirst(); it->Valid(); it->Next()) {
     keys->push_back(it->key());
   }
@@ -454,8 +598,28 @@ Status BlockTableReader::ReadAllKeys(std::vector<Key>* keys) {
 
 class BlockTableIterator final : public TableIterator {
  public:
-  BlockTableIterator(BlockTableReader* reader, bool fill_cache)
-      : reader_(reader), fill_cache_(fill_cache) {}
+  BlockTableIterator(BlockTableReader* reader, bool fill_cache,
+                     size_t readahead_blocks)
+      : reader_(reader),
+        fill_cache_(fill_cache),
+        readahead_blocks_(readahead_blocks) {
+    if (readahead_blocks_ > 0) {
+      batch_ = reader_->options_.env->NewReadBatch(
+          static_cast<int>(readahead_blocks_));
+    }
+  }
+
+  ~BlockTableIterator() override {
+    if (batch_ != nullptr && !inflight_.empty()) {
+      // Outstanding requests reference our buffers; drain before freeing.
+      batch_->Wait();
+    }
+    Stats* stats = reader_->options_.stats;
+    const size_t wasted = inflight_.size() + ready_.size();
+    if (stats != nullptr && wasted > 0) {
+      stats->Add(Counter::kReadaheadWasted, wasted);
+    }
+  }
 
   bool Valid() const override {
     return status_.ok() && parser_ != nullptr && parser_->Valid();
@@ -493,10 +657,97 @@ class BlockTableIterator final : public TableIterator {
   void LoadBlock() {
     parser_.reset();
     if (block_idx_ >= reader_->blocks_.size()) return;
+    if (batch_ != nullptr) {
+      Reap();
+      Stats* stats = reader_->options_.stats;
+      // Prefetches behind the cursor (after a backward Seek) can never be
+      // served; blocks ahead of it stay available.
+      auto it = ready_.begin();
+      while (it != ready_.end() && it->first < block_idx_) {
+        it = ready_.erase(it);
+        if (stats != nullptr) stats->Add(Counter::kReadaheadWasted);
+      }
+      if (it != ready_.end() && it->first == block_idx_) {
+        contents_ = std::move(it->second);
+        ready_.erase(it);
+        if (stats != nullptr) stats->Add(Counter::kReadaheadHits);
+        parser_ =
+            std::make_unique<BlockParser>(&contents_, reader_->key_size_);
+        MaybeIssueReadahead();
+        return;
+      }
+    }
     status_ = reader_->ReadBlock(block_idx_, &contents_, nullptr,
                                  fill_cache_);
     if (!status_.ok()) return;
     parser_ = std::make_unique<BlockParser>(&contents_, reader_->key_size_);
+    MaybeIssueReadahead();
+  }
+
+  /// Waits for the outstanding prefetch batch (if any) and moves the
+  /// verified payloads into `ready_`. Failed, short, or corrupt prefetches
+  /// are dropped — the synchronous path re-reads them on demand, so
+  /// readahead never affects results.
+  void Reap() {
+    if (inflight_.empty()) return;
+    Stats* stats = reader_->options_.stats;
+    {
+      ScopedTimer timer(stats, Timer::kAsyncReap, reader_->options_.env);
+      batch_->Wait();
+    }
+    if (stats != nullptr) stats->Add(Counter::kAsyncBatches);
+    BlockCache* cache = reader_->options_.block_cache.get();
+    for (auto& pf : inflight_) {
+      if (!pf->req.status.ok() || pf->req.result.size() < pf->req.n) {
+        if (stats != nullptr) stats->Add(Counter::kReadaheadWasted);
+        continue;
+      }
+      if (pf->req.result.data() != pf->buffer.data()) {
+        std::memmove(pf->buffer.data(), pf->req.result.data(), pf->req.n);
+      }
+      std::string payload;
+      if (!VerifyChecksummedBlock(pf->buffer.data(), pf->req.n, &payload)
+               .ok()) {
+        if (stats != nullptr) stats->Add(Counter::kReadaheadWasted);
+        continue;
+      }
+      if (cache != nullptr && fill_cache_) {
+        const size_t evicted = cache->Insert(
+            reader_->options_.cache_file_number,
+            reader_->blocks_[pf->block_idx].handle.offset, payload);
+        if (stats != nullptr && evicted > 0) {
+          stats->Add(Counter::kBlockCacheEvictions, evicted);
+        }
+      }
+      ready_[pf->block_idx] = std::move(payload);
+    }
+    inflight_.clear();
+  }
+
+  /// Submits prefetches for up to readahead_blocks_ fence-pointer blocks
+  /// past the current one (skipping blocks already reaped). Only called
+  /// with the batch drained, so request addresses stay owned by inflight_.
+  void MaybeIssueReadahead() {
+    if (batch_ == nullptr || !inflight_.empty()) return;
+    Stats* stats = reader_->options_.stats;
+    const size_t num_blocks = reader_->blocks_.size();
+    size_t issued = 0;
+    for (size_t next = block_idx_ + 1;
+         issued < readahead_blocks_ && next < num_blocks; next++) {
+      if (ready_.count(next) != 0) continue;
+      auto pf = std::make_unique<PrefetchBlock>();
+      pf->block_idx = next;
+      const BlockHandle& handle = reader_->blocks_[next].handle;
+      pf->buffer.resize(handle.size);
+      pf->req.file = reader_->file_.get();
+      pf->req.offset = handle.offset;
+      pf->req.n = handle.size;
+      pf->req.scratch = pf->buffer.data();
+      batch_->Add(&pf->req);
+      inflight_.push_back(std::move(pf));
+      if (stats != nullptr) stats->Add(Counter::kAsyncReads);
+      issued++;
+    }
   }
 
   void SkipExhaustedBlocks() {
@@ -509,17 +760,28 @@ class BlockTableIterator final : public TableIterator {
     }
   }
 
+  struct PrefetchBlock {
+    size_t block_idx = 0;
+    std::string buffer;  // raw handle bytes (payload + crc)
+    ReadRequest req;
+  };
+
   BlockTableReader* const reader_;
   const bool fill_cache_;
+  const size_t readahead_blocks_;
   Status status_;
   size_t block_idx_ = 0;
   std::string contents_;
   std::unique_ptr<BlockParser> parser_;
+  std::unique_ptr<ReadBatch> batch_;
+  std::vector<std::unique_ptr<PrefetchBlock>> inflight_;
+  std::map<size_t, std::string> ready_;  // block_idx -> verified payload
 };
 
 std::unique_ptr<TableIterator> BlockTableReader::NewIterator(
-    bool fill_cache) {
-  return std::make_unique<BlockTableIterator>(this, fill_cache);
+    bool fill_cache, size_t readahead_blocks) {
+  return std::make_unique<BlockTableIterator>(this, fill_cache,
+                                              readahead_blocks);
 }
 
 }  // namespace lilsm

@@ -62,7 +62,20 @@ class BlockTableReader final : public TableReader {
 
   Status Get(Key key, std::string* value, uint64_t* tag, bool* found,
              Stats* stats, bool fill_cache) override;
-  std::unique_ptr<TableIterator> NewIterator(bool fill_cache) override;
+  /// Async two-phase MultiGet: screens each key (range, bloom), routes it
+  /// to its fence-pointer block, dedupes consecutive keys sharing a block,
+  /// serves cached blocks immediately, and registers one ReadRequest for
+  /// each cold block's raw bytes. FinishMultiGet crc-verifies the fetched
+  /// blocks and parses each key's entry. Positional bounds are not
+  /// supported (same as GetWithBounds).
+  Status PrepareMultiGet(std::span<const Key> keys, const size_t* bounds_lo,
+                         const size_t* bounds_hi, ReadBatch* batch,
+                         std::unique_ptr<PendingMultiGet>* pending,
+                         Stats* stats, bool fill_cache) override;
+  Status FinishMultiGet(PendingMultiGet* pending, std::string* values,
+                        uint64_t* tags, bool* founds, Stats* stats) override;
+  std::unique_ptr<TableIterator> NewIterator(bool fill_cache,
+                                             size_t readahead_blocks) override;
 
   uint64_t NumEntries() const override { return count_; }
   Key MinKey() const override { return min_key_; }

@@ -59,6 +59,13 @@ Status WriteChecksummedBlock(WritableFile* file, uint64_t offset,
 Status ReadChecksummedBlock(RandomAccessFile* file, const BlockHandle& handle,
                             std::string* result);
 
+/// The verify half of ReadChecksummedBlock, for callers that fetched the
+/// raw handle bytes themselves (async batch reads): checks the crc32c
+/// trailer over `data[0, size)` and assigns the payload (without the crc)
+/// to `*result`.
+Status VerifyChecksummedBlock(const char* data, size_t size,
+                              std::string* result);
+
 /// Reads and decodes the footer of a table file of the given size.
 Status ReadFooter(RandomAccessFile* file, uint64_t file_size, Footer* footer);
 

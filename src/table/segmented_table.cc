@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <map>
 
 namespace lilsm {
 
@@ -569,6 +570,209 @@ Status SegmentedTableReader::MultiGet(std::span<const Key> keys,
   return Status::OK();
 }
 
+namespace {
+
+/// Plan state between PrepareMultiGet and FinishMultiGet: the keys that
+/// survived range/bloom screening, their search bounds, and the merged
+/// aligned byte spans backing them (each span either assembled from cache
+/// hits at Prepare time or registered as one ReadRequest).
+class SegmentedPendingMultiGet final : public PendingMultiGet {
+ public:
+  struct Span {
+    uint64_t byte_lo = 0;
+    uint64_t byte_hi = 0;
+    std::string buffer;            // byte_hi - byte_lo bytes
+    bool needs_read = false;       // a ReadRequest was registered
+    std::vector<bool> block_hit;   // cache probe result per io block
+    ReadRequest req;
+  };
+  struct KeyPlan {
+    int span = -1;  // -1: resolved at Prepare (out of range / bloom miss)
+    size_t lo = 0;
+    size_t hi = 0;  // inclusive entry bounds for the buffer search
+  };
+
+  std::vector<Key> keys;
+  std::vector<KeyPlan> plans;
+  std::vector<Span> spans;
+  bool fill_cache = true;
+};
+
+}  // namespace
+
+Status SegmentedTableReader::PrepareMultiGet(
+    std::span<const Key> keys, const size_t* bounds_lo,
+    const size_t* bounds_hi, ReadBatch* batch,
+    std::unique_ptr<PendingMultiGet>* pending, Stats* stats, bool fill_cache) {
+  if (stats == nullptr) stats = options_.stats;
+  Env* env = options_.env;
+  auto p = std::make_unique<SegmentedPendingMultiGet>();
+  p->keys.assign(keys.begin(), keys.end());
+  p->plans.resize(keys.size());
+  p->fill_cache = fill_cache;
+  const uint64_t block = options_.io_block_size;
+
+  // Pass 1: screen and bound every key, merging the per-key aligned byte
+  // ranges into spans. Keys arrive ascending, so model predictions are
+  // (nearly) monotone and consecutive ranges coalesce into the same single
+  // I/Os the synchronous path's buffered-block reuse achieves.
+  for (size_t i = 0; i < keys.size(); i++) {
+    const Key key = keys[i];
+    if (count_ == 0 || key < min_key_ || key > max_key_) continue;
+    if (!MayContain(key, stats)) continue;
+    size_t lo, hi;
+    if (bounds_lo != nullptr) {
+      lo = bounds_lo[i];
+      hi = bounds_hi[i];
+      if (hi >= count_) hi = count_ - 1;
+      if (lo > hi) lo = hi;
+    } else {
+      ScopedTimer timer(stats, Timer::kIndexPredict, env);
+      const PredictResult prediction = index_->Predict(key);
+      lo = prediction.lo;
+      hi = prediction.hi;
+      if (hi >= count_) hi = count_ - 1;
+      if (lo > hi) lo = hi;
+    }
+    uint64_t byte_lo = (static_cast<uint64_t>(lo) * entry_size_ / block) * block;
+    uint64_t byte_hi = std::min<uint64_t>(
+        data_size_,
+        ((static_cast<uint64_t>(hi + 1) * entry_size_ + block - 1) / block) *
+            block);
+    if (!p->spans.empty() && byte_lo <= p->spans.back().byte_hi &&
+        byte_lo >= p->spans.back().byte_lo) {
+      // Overlaps or abuts the previous span: extend it forward.
+      SegmentedPendingMultiGet::Span& prev = p->spans.back();
+      if (byte_hi > prev.byte_hi) prev.byte_hi = byte_hi;
+    } else {
+      SegmentedPendingMultiGet::Span span;
+      span.byte_lo = byte_lo;
+      span.byte_hi = byte_hi;
+      p->spans.push_back(std::move(span));
+    }
+    p->plans[i].span = static_cast<int>(p->spans.size()) - 1;
+    p->plans[i].lo = lo;
+    p->plans[i].hi = hi;
+  }
+
+  // Pass 2: for each span, serve what the block cache holds; anything
+  // colder becomes one ReadRequest on the caller's batch. The span list
+  // is final here, so the registered request pointers stay stable.
+  BlockCache* cache = options_.block_cache.get();
+  for (SegmentedPendingMultiGet::Span& span : p->spans) {
+    const size_t len = static_cast<size_t>(span.byte_hi - span.byte_lo);
+    span.buffer.resize(len);
+    const size_t num_blocks =
+        static_cast<size_t>((span.byte_hi - span.byte_lo + block - 1) / block);
+    if (cache != nullptr) {
+      span.block_hit.assign(num_blocks, false);
+      size_t hit_count = 0;
+      std::vector<BlockCache::BlockRef> refs(num_blocks);
+      for (size_t b = 0; b < num_blocks; b++) {
+        refs[b] = cache->Lookup(options_.cache_file_number,
+                                span.byte_lo + b * block);
+        if (refs[b] != nullptr) {
+          span.block_hit[b] = true;
+          hit_count++;
+        }
+      }
+      if (hit_count == num_blocks) {
+        // Fully warm: assemble from memory now — this span never touches
+        // the Env (same zero-I/O guarantee as FetchAlignedCached).
+        if (stats != nullptr) {
+          stats->Add(Counter::kBlockCacheHits, num_blocks);
+        }
+        for (size_t b = 0; b < num_blocks; b++) {
+          std::memcpy(span.buffer.data() + b * block, refs[b]->data(),
+                      refs[b]->size());
+        }
+        continue;
+      }
+      // Partially warm spans refetch whole, exactly like the synchronous
+      // cached path: every block counts as a miss so hit% stays in
+      // agreement with the Env-read savings.
+      if (stats != nullptr) {
+        stats->Add(Counter::kBlockCacheMisses, num_blocks);
+      }
+    }
+    span.needs_read = true;
+    span.req.file = file_.get();
+    span.req.offset = span.byte_lo;
+    span.req.n = len;
+    span.req.scratch = span.buffer.data();
+    batch->Add(&span.req);
+    if (stats != nullptr) stats->Add(Counter::kAsyncReads);
+  }
+
+  *pending = std::move(p);
+  return Status::OK();
+}
+
+Status SegmentedTableReader::FinishMultiGet(PendingMultiGet* pending,
+                                            std::string* values,
+                                            uint64_t* tags, bool* founds,
+                                            Stats* stats) {
+  if (stats == nullptr) stats = options_.stats;
+  Env* env = options_.env;
+  auto* p = static_cast<SegmentedPendingMultiGet*>(pending);
+  const uint64_t block = options_.io_block_size;
+  BlockCache* cache = options_.block_cache.get();
+
+  // Check the reaped reads and insert the cold blocks under the Prepare
+  // call's fill_cache, mirroring FetchAlignedCached's charging rules.
+  for (SegmentedPendingMultiGet::Span& span : p->spans) {
+    if (stats != nullptr) stats->Add(Counter::kSegmentsFetched);
+    if (!span.needs_read) continue;
+    if (!span.req.status.ok()) return span.req.status;
+    const size_t len = static_cast<size_t>(span.byte_hi - span.byte_lo);
+    if (span.req.result.size() < len) {
+      return Status::Corruption("segmented table: short data read");
+    }
+    if (span.req.result.data() != span.buffer.data()) {
+      std::memmove(span.buffer.data(), span.req.result.data(), len);
+    }
+    if (cache != nullptr && p->fill_cache) {
+      uint64_t evicted = 0;
+      const size_t num_blocks =
+          static_cast<size_t>((span.byte_hi - span.byte_lo + block - 1) /
+                              block);
+      for (size_t b = 0; b < num_blocks; b++) {
+        if (span.block_hit[b]) continue;
+        const uint64_t offset = span.byte_lo + b * block;
+        const size_t block_len = static_cast<size_t>(
+            std::min<uint64_t>(block, span.byte_hi - offset));
+        evicted += cache->Insert(
+            options_.cache_file_number, offset,
+            std::string(span.buffer.data() + b * block, block_len));
+      }
+      if (stats != nullptr && evicted > 0) {
+        stats->Add(Counter::kBlockCacheEvictions, evicted);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < p->keys.size(); i++) {
+    founds[i] = false;
+    const SegmentedPendingMultiGet::KeyPlan& plan = p->plans[i];
+    if (plan.span < 0) continue;
+    const SegmentedPendingMultiGet::Span& span = p->spans[plan.span];
+    const size_t first_entry =
+        static_cast<size_t>((span.byte_lo + entry_size_ - 1) / entry_size_);
+    const char* base =
+        span.buffer.data() + (first_entry * entry_size_ - span.byte_lo);
+    {
+      ScopedTimer timer(stats, Timer::kBinarySearch, env);
+      founds[i] = SearchBuffer(base, first_entry, plan.lo, plan.hi,
+                               p->keys[i], &values[i], &tags[i]);
+    }
+    if (stats != nullptr) {
+      stats->Add(founds[i] ? Counter::kBloomTruePositive
+                           : Counter::kBloomFalsePositive);
+    }
+  }
+  return Status::OK();
+}
+
 Status SegmentedTableReader::RetrainIndex(IndexType type,
                                           const IndexConfig& config) {
   std::vector<Key> keys;
@@ -626,11 +830,38 @@ Status SegmentedTableReader::ReadAllKeys(std::vector<Key>* keys) {
 /// Streams entries block by block: Seek uses the learned index like a point
 /// lookup, then Next() advances inside the fetched block and fetches the
 /// following I/O block when exhausted (the paper's range-lookup phase 2).
+/// With readahead_blocks > 0, every window load also submits the next K io
+/// blocks past the cursor through Env::NewReadBatch; subsequent windows
+/// assemble from those completed prefetches instead of blocking reads.
 class SegmentedTableIterator final : public TableIterator {
  public:
-  explicit SegmentedTableIterator(SegmentedTableReader* reader,
-                                  bool fill_cache)
-      : reader_(reader), fill_cache_(fill_cache) {}
+  SegmentedTableIterator(SegmentedTableReader* reader, bool fill_cache,
+                         size_t readahead_blocks)
+      : reader_(reader),
+        fill_cache_(fill_cache),
+        readahead_blocks_(readahead_blocks) {
+    if (readahead_blocks_ > 0) {
+      batch_ = reader_->options_.env->NewReadBatch(
+          static_cast<int>(readahead_blocks_));
+    }
+  }
+
+  ~SegmentedTableIterator() override {
+    // Outstanding requests reference the inflight buffers: reap before
+    // dropping them. Anything fetched but never served was wasted
+    // readahead.
+    if (batch_ != nullptr && !inflight_.empty()) {
+      batch_->Wait();
+    }
+    uint64_t wasted = inflight_.size();
+    for (const auto& [offset, rb] : ready_) {
+      if (!rb.used) wasted++;
+    }
+    Stats* stats = reader_->options_.stats;
+    if (stats != nullptr && wasted > 0) {
+      stats->Add(Counter::kReadaheadWasted, wasted);
+    }
+  }
 
   bool Valid() const override {
     return status_.ok() && pos_ < reader_->count_;
@@ -709,6 +940,7 @@ class SegmentedTableIterator final : public TableIterator {
     }
     pos_ = lo;
     EnsureBuffered();
+    MaybeIssueReadahead();
   }
 
   void Next() override {
@@ -740,12 +972,22 @@ class SegmentedTableIterator final : public TableIterator {
            (pos_ - buf_first_) * reader_->entry_size_;
   }
 
-  /// Fetches the I/O block containing pos_ if it is not already buffered.
+  /// Fetches the I/O block containing pos_ if it is not already buffered:
+  /// from completed prefetches when the whole window is ready, else with
+  /// the usual synchronous ReadEntryRange. Either way the next readahead
+  /// round is submitted afterwards.
   void EnsureBuffered() {
     if (!status_.ok() || pos_ >= reader_->count_) return;
     if (buf_last_ >= buf_first_ && pos_ >= buf_first_ && pos_ <= buf_last_ &&
         buf_last_ != kInvalid) {
       return;
+    }
+    if (readahead_blocks_ > 0) {
+      Reap();
+      if (ServeFromPrefetch()) {
+        MaybeIssueReadahead();
+        return;
+      }
     }
     const char* base = nullptr;
     size_t first = 0, last = 0;
@@ -755,12 +997,156 @@ class SegmentedTableIterator final : public TableIterator {
     buf_base_offset_ = static_cast<size_t>(base - buffer_.data());
     buf_first_ = first;
     buf_last_ = last;
+    MaybeIssueReadahead();
+  }
+
+  /// Blocks on the outstanding prefetch batch and moves completed blocks
+  /// into the ready map (and the block cache, under fill_cache). Failed
+  /// prefetches are dropped: readahead is advisory, the demand read will
+  /// retry synchronously and surface the error.
+  void Reap() {
+    if (inflight_.empty()) return;
+    Stats* stats = reader_->options_.stats;
+    {
+      ScopedTimer timer(stats, Timer::kAsyncReap, reader_->options_.env);
+      batch_->Wait();
+    }
+    if (stats != nullptr) stats->Add(Counter::kAsyncBatches);
+    BlockCache* cache = reader_->options_.block_cache.get();
+    uint64_t evicted = 0;
+    for (std::unique_ptr<PrefetchBlock>& pb : inflight_) {
+      if (!pb->req.status.ok() || pb->req.result.size() < pb->buf.size()) {
+        continue;
+      }
+      if (pb->req.result.data() != pb->buf.data()) {
+        std::memmove(pb->buf.data(), pb->req.result.data(), pb->buf.size());
+      }
+      if (cache != nullptr && fill_cache_) {
+        evicted += cache->Insert(reader_->options_.cache_file_number,
+                                 pb->offset, std::string(pb->buf));
+      }
+      ready_[pb->offset] = ReadyBlock{std::move(pb->buf), false};
+    }
+    if (stats != nullptr && evicted > 0) {
+      stats->Add(Counter::kBlockCacheEvictions, evicted);
+    }
+    inflight_.clear();
+  }
+
+  /// Assembles the window covering pos_ from ready prefetched blocks.
+  /// False when any constituent block is missing (the caller falls back
+  /// to a synchronous read). Blocks fully behind the new window are
+  /// pruned, counting never-served ones as wasted readahead.
+  bool ServeFromPrefetch() {
+    const uint64_t block = reader_->options_.io_block_size;
+    const uint32_t entry = reader_->entry_size_;
+    const uint64_t byte_lo =
+        (static_cast<uint64_t>(pos_) * entry / block) * block;
+    const uint64_t byte_hi = std::min<uint64_t>(
+        reader_->data_size_,
+        ((static_cast<uint64_t>(pos_ + 1) * entry + block - 1) / block) *
+            block);
+    const size_t num_blocks =
+        static_cast<size_t>((byte_hi - byte_lo + block - 1) / block);
+    for (size_t b = 0; b < num_blocks; b++) {
+      if (ready_.find(byte_lo + b * block) == ready_.end()) return false;
+    }
+    const size_t len = static_cast<size_t>(byte_hi - byte_lo);
+    if (buffer_.size() < len) buffer_.resize(len);
+    Stats* stats = reader_->options_.stats;
+    uint64_t hits = 0;
+    for (size_t b = 0; b < num_blocks; b++) {
+      ReadyBlock& rb = ready_[byte_lo + b * block];
+      std::memcpy(buffer_.data() + b * block, rb.buf.data(), rb.buf.size());
+      if (!rb.used) {
+        rb.used = true;
+        hits++;
+      }
+    }
+    if (stats != nullptr && hits > 0) {
+      stats->Add(Counter::kReadaheadHits, hits);
+    }
+    const size_t first_entry =
+        static_cast<size_t>((byte_lo + entry - 1) / entry);
+    const size_t last_entry = static_cast<size_t>(byte_hi / entry) - 1;
+    buf_base_offset_ = static_cast<size_t>(first_entry * entry - byte_lo);
+    buf_first_ = first_entry;
+    buf_last_ = std::min<size_t>(last_entry, reader_->count_ - 1);
+    // Prune blocks the forward scan can no longer use.
+    uint64_t wasted = 0;
+    for (auto it = ready_.begin(); it != ready_.end();) {
+      if (it->first + block <= byte_lo) {
+        if (!it->second.used) wasted++;
+        it = ready_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (stats != nullptr && wasted > 0) {
+      stats->Add(Counter::kReadaheadWasted, wasted);
+    }
+    return true;
+  }
+
+  /// Submits up to readahead_blocks_ io blocks past the buffered window.
+  /// The first candidate is the block holding entry buf_last_+1 — on a
+  /// straddling entry that is the tail block of the current window, which
+  /// the next window needs again.
+  void MaybeIssueReadahead() {
+    if (readahead_blocks_ == 0 || !status_.ok()) return;
+    if (buf_last_ == kInvalid || buf_last_ + 1 >= reader_->count_) return;
+    const uint64_t block = reader_->options_.io_block_size;
+    const uint32_t entry = reader_->entry_size_;
+    uint64_t next =
+        (static_cast<uint64_t>(buf_last_ + 1) * entry / block) * block;
+    Stats* stats = reader_->options_.stats;
+    uint64_t submitted = 0;
+    for (size_t k = 0; k < readahead_blocks_ && next < reader_->data_size_;
+         k++, next += block) {
+      if (ready_.find(next) != ready_.end()) continue;
+      bool in_flight = false;
+      for (const std::unique_ptr<PrefetchBlock>& pb : inflight_) {
+        if (pb->offset == next) {
+          in_flight = true;
+          break;
+        }
+      }
+      if (in_flight) continue;
+      auto pb = std::make_unique<PrefetchBlock>();
+      pb->offset = next;
+      pb->buf.resize(static_cast<size_t>(
+          std::min<uint64_t>(block, reader_->data_size_ - next)));
+      pb->req.file = reader_->file_.get();
+      pb->req.offset = next;
+      pb->req.n = pb->buf.size();
+      pb->req.scratch = pb->buf.data();
+      batch_->Add(&pb->req);
+      inflight_.push_back(std::move(pb));
+      submitted++;
+    }
+    if (stats != nullptr && submitted > 0) {
+      stats->Add(Counter::kAsyncReads, submitted);
+    }
   }
 
   static constexpr size_t kInvalid = static_cast<size_t>(-1);
 
+  struct PrefetchBlock {
+    uint64_t offset = 0;
+    std::string buf;
+    ReadRequest req;
+  };
+  struct ReadyBlock {
+    std::string buf;
+    bool used = false;  // served into at least one window
+  };
+
   SegmentedTableReader* const reader_;
   const bool fill_cache_;
+  const size_t readahead_blocks_;
+  std::unique_ptr<ReadBatch> batch_;
+  std::vector<std::unique_ptr<PrefetchBlock>> inflight_;
+  std::map<uint64_t, ReadyBlock> ready_;
   Status status_;
   std::string buffer_;
   size_t buf_base_offset_ = 0;
@@ -770,8 +1156,9 @@ class SegmentedTableIterator final : public TableIterator {
 };
 
 std::unique_ptr<TableIterator> SegmentedTableReader::NewIterator(
-    bool fill_cache) {
-  return std::make_unique<SegmentedTableIterator>(this, fill_cache);
+    bool fill_cache, size_t readahead_blocks) {
+  return std::make_unique<SegmentedTableIterator>(this, fill_cache,
+                                                  readahead_blocks);
 }
 
 }  // namespace lilsm

@@ -67,7 +67,20 @@ class SegmentedTableReader final : public TableReader {
                   const size_t* bounds_hi, std::string* values,
                   uint64_t* tags, bool* founds, Stats* stats,
                   bool fill_cache) override;
-  std::unique_ptr<TableIterator> NewIterator(bool fill_cache) override;
+  /// Async two-phase MultiGet: plans every key (range check, bloom,
+  /// model bounds), decomposes the lookups into merged cache-aware byte
+  /// spans, serves all-hit spans from the block cache immediately, and
+  /// registers one ReadRequest per cold span with `batch`. FinishMultiGet
+  /// searches the fetched spans after the batch's Wait; results are
+  /// bit-identical to the synchronous MultiGet.
+  Status PrepareMultiGet(std::span<const Key> keys, const size_t* bounds_lo,
+                         const size_t* bounds_hi, ReadBatch* batch,
+                         std::unique_ptr<PendingMultiGet>* pending,
+                         Stats* stats, bool fill_cache) override;
+  Status FinishMultiGet(PendingMultiGet* pending, std::string* values,
+                        uint64_t* tags, bool* founds, Stats* stats) override;
+  std::unique_ptr<TableIterator> NewIterator(bool fill_cache,
+                                             size_t readahead_blocks) override;
 
   uint64_t NumEntries() const override { return count_; }
   Key MinKey() const override { return min_key_; }

@@ -81,6 +81,16 @@ class TableIterator {
   virtual Status status() const = 0;
 };
 
+/// Opaque per-run state carried from PrepareMultiGet to FinishMultiGet:
+/// each reader derives its own holding the key plan, span buffers, and the
+/// ReadRequests it registered with the batch. Destroying a pending object
+/// whose batch has not been waited is illegal (requests reference its
+/// buffers).
+class PendingMultiGet {
+ public:
+  virtual ~PendingMultiGet() = default;
+};
+
 class TableReader {
  public:
   virtual ~TableReader() = default;
@@ -120,11 +130,41 @@ class TableReader {
                           uint64_t* tags, bool* founds, Stats* stats,
                           bool fill_cache = true);
 
+  /// Async MultiGet, phase 1: plans the same lookup MultiGet would run,
+  /// serves what the block cache can answer immediately, and registers one
+  /// ReadRequest per missing span with `batch` instead of reading. The
+  /// caller Wait()s the batch (typically after preparing several runs so
+  /// their device reads overlap), then calls FinishMultiGet. Semantics
+  /// (keys ascending, optional level-model bounds, fill_cache) match
+  /// MultiGet; results are bit-identical to the synchronous path. The
+  /// base returns NotSupported — callers fall back to MultiGet per run.
+  virtual Status PrepareMultiGet(std::span<const Key> /*keys*/,
+                                 const size_t* /*bounds_lo*/,
+                                 const size_t* /*bounds_hi*/,
+                                 ReadBatch* /*batch*/,
+                                 std::unique_ptr<PendingMultiGet>* /*pending*/,
+                                 Stats* /*stats*/, bool /*fill_cache*/ = true) {
+    return Status::NotSupported("PrepareMultiGet");
+  }
+
+  /// Async MultiGet, phase 2 (after the batch's Wait): searches the
+  /// fetched spans, fills values/tags/founds exactly like MultiGet, and
+  /// inserts cold blocks into the block cache under the fill_cache given
+  /// to PrepareMultiGet.
+  virtual Status FinishMultiGet(PendingMultiGet* /*pending*/,
+                                std::string* /*values*/, uint64_t* /*tags*/,
+                                bool* /*founds*/, Stats* /*stats*/) {
+    return Status::NotSupported("FinishMultiGet");
+  }
+
   /// `fill_cache` = false keeps the iterator's block fetches from
   /// populating the block cache (scans and compaction inputs must not
   /// evict the point-lookup hot set); cache hits are still served.
+  /// `readahead_blocks` > 0 makes the iterator prefetch that many io
+  /// blocks past its cursor through Env::NewReadBatch, so sequential
+  /// scans overlap their device reads (0 = today's synchronous behavior).
   virtual std::unique_ptr<TableIterator> NewIterator(
-      bool fill_cache = true) = 0;
+      bool fill_cache = true, size_t readahead_blocks = 0) = 0;
 
   virtual uint64_t NumEntries() const = 0;
   virtual Key MinKey() const = 0;

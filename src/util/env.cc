@@ -6,10 +6,16 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
+#include "util/env_uring.h"
 #include "util/thread_pool.h"
 
 namespace lilsm {
@@ -31,14 +37,27 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
-    if (r < 0) {
-      *result = Slice();
-      return PosixError(fname_, errno);
+    // pread may return fewer bytes than asked (signals, readahead limits,
+    // network filesystems); loop until the range is full or EOF. r == 0
+    // is genuine end-of-file, and the short slice must be reported as-is:
+    // footer and corruption checks rely on that semantic.
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, scratch + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        *result = Slice();
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;
+      got += static_cast<size_t>(r);
     }
-    *result = Slice(scratch, static_cast<size_t>(r));
+    *result = Slice(scratch, got);
     return Status::OK();
   }
+
+  int FileDescriptor() const override { return fd_; }
 
  private:
   const std::string fname_;
@@ -158,6 +177,68 @@ class PosixSequentialFile final : public SequentialFile {
   const int fd_;
 };
 
+/// Process-wide I/O pool backing the portable ReadBatch. Sized for disk
+/// parallelism, not CPU work: threads block in pread almost all the time.
+ThreadPool* IoPool() {
+  static ThreadPool pool(static_cast<int>(
+      std::clamp(std::thread::hardware_concurrency(), 2u, 16u)));
+  return &pool;
+}
+
+/// Portable batch backend: the waiting thread and up to io_depth-1 pool
+/// helpers pull requests from a shared index and serve each one with a
+/// blocking FullyRead. Per-wave concurrency thus never exceeds io_depth,
+/// matching what an SQ-depth-limited ring would admit.
+class ThreadPoolReadBatch final : public ReadBatch {
+ public:
+  explicit ThreadPoolReadBatch(int io_depth)
+      : io_depth_(std::max(1, io_depth)) {}
+
+  void Add(ReadRequest* req) override { requests_.push_back(req); }
+
+  Status Wait() override {
+    const size_t n = requests_.size();
+    if (n == 0) return Status::OK();
+    std::atomic<size_t> next{0};
+    auto drain = [&] {
+      size_t i;
+      while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        ReadRequest* r = requests_[i];
+        r->status = FullyRead(r->file, r->offset, r->n, &r->result,
+                              r->scratch);
+      }
+    };
+    const int helpers =
+        static_cast<int>(std::min<size_t>(static_cast<size_t>(io_depth_), n)) -
+        1;
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = helpers;
+    for (int h = 0; h < helpers; h++) {
+      IoPool()->Submit([&] {
+        drain();
+        std::lock_guard<std::mutex> l(mu);
+        if (--outstanding == 0) cv.notify_one();
+      });
+    }
+    drain();
+    if (helpers > 0) {
+      std::unique_lock<std::mutex> l(mu);
+      cv.wait(l, [&] { return outstanding == 0; });
+    }
+    Status s;
+    for (ReadRequest* r : requests_) {
+      if (s.ok() && !r->status.ok()) s = r->status;
+    }
+    requests_.clear();
+    return s;
+  }
+
+ private:
+  const int io_depth_;
+  std::vector<ReadRequest*> requests_;
+};
+
 class PosixEnv final : public Env {
  public:
   Status NewRandomAccessFile(const std::string& fname,
@@ -257,6 +338,14 @@ class PosixEnv final : public Env {
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
   }
+
+  std::unique_ptr<ReadBatch> NewReadBatch(int io_depth) override {
+    // Prefer the io_uring backend when the build found liburing and the
+    // kernel accepts ring setup; otherwise the portable pool backend.
+    std::unique_ptr<ReadBatch> ring = TryNewUringReadBatch(io_depth);
+    if (ring != nullptr) return ring;
+    return Env::NewReadBatch(io_depth);
+  }
 };
 
 }  // namespace
@@ -271,6 +360,30 @@ void Env::Schedule(std::function<void()> work) {
   // lazily constructed on first use, drained and joined at process exit.
   static ThreadPool pool(1);
   pool.Submit(std::move(work));
+}
+
+std::unique_ptr<ReadBatch> Env::NewReadBatch(int io_depth) {
+  return std::make_unique<ThreadPoolReadBatch>(io_depth);
+}
+
+Status FullyRead(const RandomAccessFile* file, uint64_t offset, size_t n,
+                 Slice* result, char* scratch) {
+  size_t got = 0;
+  while (got < n) {
+    Slice chunk;
+    Status s = file->Read(offset + got, n - got, &chunk, scratch + got);
+    if (!s.ok()) {
+      *result = Slice();
+      return s;
+    }
+    if (chunk.empty()) break;  // EOF inside the range: report a short slice.
+    if (chunk.data() != scratch + got) {
+      std::memmove(scratch + got, chunk.data(), chunk.size());
+    }
+    got += chunk.size();
+  }
+  *result = Slice(scratch, got);
+  return Status::OK();
 }
 
 Status ReadFileToString(Env* env, const std::string& fname,

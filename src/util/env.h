@@ -23,8 +23,57 @@ class RandomAccessFile {
 
   /// Reads up to `n` bytes starting at `offset`. Sets `*result` to the data
   /// read (which may point into `scratch`, whose lifetime the caller owns).
+  /// A result shorter than `n` means the file ended inside the range.
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
+
+  /// Like Read, but a latency-modeling Env (SimEnv) reports the modeled
+  /// device cost in `*latency_ns` instead of stalling inline, so a batch
+  /// backend can overlap the waits of many requests (cost = max per wave,
+  /// not sum). The default performs a plain Read and reports zero.
+  virtual Status ReadDeferred(uint64_t offset, size_t n, Slice* result,
+                              char* scratch, uint64_t* latency_ns) const {
+    *latency_ns = 0;
+    return Read(offset, n, result, scratch);
+  }
+
+  /// OS file descriptor for backends that submit raw syscalls (io_uring),
+  /// or -1 when the file is not backed by one (wrappers, in-memory files).
+  virtual int FileDescriptor() const { return -1; }
+};
+
+/// One read in a batch. The caller owns `scratch` (at least `n` bytes) and
+/// keeps it alive until the owning ReadBatch::Wait returns; `result` and
+/// `status` are filled by the batch. A short `result` means EOF inside the
+/// range, mirroring RandomAccessFile::Read.
+struct ReadRequest {
+  const RandomAccessFile* file = nullptr;
+  uint64_t offset = 0;
+  size_t n = 0;
+  char* scratch = nullptr;
+  Slice result;
+  Status status;
+};
+
+/// An io_uring-shaped submission queue: Add() enqueues requests, Wait()
+/// executes them all (up to `io_depth` in flight at once) and returns the
+/// first failure, if any — per-request outcomes land in each request's
+/// `result`/`status`. Wait() clears the queue, so one batch object can be
+/// reused across successive submission rounds (iterator readahead does
+/// this). Batches are not thread-safe; each belongs to one caller.
+class ReadBatch {
+ public:
+  virtual ~ReadBatch() = default;
+
+  /// Enqueues `req` for the next Wait(). The pointed-to request (and its
+  /// scratch buffer) must stay alive until Wait() returns.
+  virtual void Add(ReadRequest* req) = 0;
+
+  /// Executes every queued request and blocks until all complete. Returns
+  /// OK if every request succeeded, else the first failing status (all
+  /// requests still run to completion). A Wait() with nothing queued is a
+  /// no-op returning OK.
+  virtual Status Wait() = 0;
 };
 
 /// A file abstraction for sequential appends.
@@ -84,7 +133,23 @@ class Env {
   /// calls this in ConcurrencyMode::kBackground, so kInline runs stay
   /// deterministic and thread-free.
   virtual void Schedule(std::function<void()> work);
+
+  /// Creates a batch that keeps up to `io_depth` reads in flight at once
+  /// (clamped to at least 1). The default backend fans submissions out
+  /// over a process-wide I/O ThreadPool, with the waiting thread also
+  /// pulling requests; PosixEnv upgrades to io_uring when the build found
+  /// liburing (LILSM_WITH_URING); SimEnv returns a deterministic
+  /// queue-depth model instead of real concurrency.
+  virtual std::unique_ptr<ReadBatch> NewReadBatch(int io_depth);
 };
+
+/// Reads exactly `n` bytes at `offset` unless the file ends first: loops on
+/// short reads, accumulating into `scratch`, and stops at EOF (an empty
+/// chunk), so `*result` is only shorter than `n` at end of file. Batch
+/// backends use this so wrapped files that return partial reads still
+/// produce full spans.
+Status FullyRead(const RandomAccessFile* file, uint64_t offset, size_t n,
+                 Slice* result, char* scratch);
 
 /// Reads the entire named file into *data.
 Status ReadFileToString(Env* env, const std::string& fname, std::string* data);

@@ -1,0 +1,23 @@
+// io_uring ReadBatch backend, compiled unconditionally but only active
+// when CMake found liburing (LILSM_HAVE_URING). PosixEnv::NewReadBatch
+// calls the factory below and falls back to the portable ThreadPool
+// backend when it returns nullptr.
+#ifndef LILSM_UTIL_ENV_URING_H_
+#define LILSM_UTIL_ENV_URING_H_
+
+#include <memory>
+
+#include "util/env.h"
+
+namespace lilsm {
+
+/// Returns an io_uring-backed ReadBatch with an SQ depth of `io_depth`,
+/// or nullptr when the build has no liburing or the kernel refuses ring
+/// setup (old kernels, seccomp). Requests whose file exposes no
+/// descriptor (FileDescriptor() < 0) are served with FullyRead on the
+/// reaping thread instead of being submitted to the ring.
+std::unique_ptr<ReadBatch> TryNewUringReadBatch(int io_depth);
+
+}  // namespace lilsm
+
+#endif  // LILSM_UTIL_ENV_URING_H_

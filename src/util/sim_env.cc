@@ -15,6 +15,9 @@ class SimRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override;
+  Status ReadDeferred(uint64_t offset, size_t n, Slice* result, char* scratch,
+                      uint64_t* latency_ns) const override;
+  int FileDescriptor() const override { return base_->FileDescriptor(); }
 
  private:
   std::unique_ptr<RandomAccessFile> base_;
@@ -58,6 +61,10 @@ SimEnvOptions SimEnv::OptionsFromEnvironment() {
   }
   if (const char* v = std::getenv("LILSM_SIM_SLEEP")) {
     opts.sleep_instead_of_spin = v[0] != '\0' && v[0] != '0';
+  }
+  if (const char* v = std::getenv("LILSM_IO_DEPTH")) {
+    opts.io_depth = static_cast<int>(std::strtol(v, nullptr, 10));
+    if (opts.io_depth < 0) opts.io_depth = 0;
   }
   return opts;
 }
@@ -103,8 +110,12 @@ Status SimEnv::NewSequentialFile(const std::string& fname,
 
 namespace {
 
+/// Shared body of Read/ReadDeferred: performs the base read, accounts the
+/// counters, and either serves the modeled wait inline (`deferred_wait ==
+/// nullptr`) or reports it to the caller so a batch can overlap waits.
 Status SimReadImpl(const RandomAccessFile* base, SimEnv* env, uint64_t offset,
-                   size_t n, Slice* result, char* scratch) {
+                   size_t n, Slice* result, char* scratch,
+                   uint64_t* deferred_wait) {
   Status s = base->Read(offset, n, result, scratch);
   if (!s.ok()) return s;
   IoStats* stats = env->io_stats();
@@ -122,15 +133,76 @@ Status SimReadImpl(const RandomAccessFile* base, SimEnv* env, uint64_t offset,
   const uint64_t wait =
       opts.read_base_latency_ns +
       static_cast<uint64_t>(opts.read_per_byte_ns * static_cast<double>(n));
-  env->SpinFor(wait);
+  if (deferred_wait != nullptr) {
+    *deferred_wait = wait;
+  } else {
+    env->SpinFor(wait);
+  }
   return s;
 }
 
+/// Deterministic queue-depth model: requests run serially (so IoStats are
+/// identical to the sequential path), their modeled waits are folded into
+/// waves of at most `wave` requests — a wave costs the max of its members,
+/// as a device serving `wave` overlapped I/Os would — and the total is
+/// served in one SpinFor after the last request.
+class SimReadBatch final : public ReadBatch {
+ public:
+  SimReadBatch(SimEnv* env, int io_depth)
+      : env_(env), io_depth_(io_depth < 1 ? 1 : io_depth) {}
+
+  void Add(ReadRequest* req) override { requests_.push_back(req); }
+
+  Status Wait() override {
+    if (requests_.empty()) return Status::OK();
+    int wave = io_depth_;
+    const int device_cap = env_->options().io_depth;
+    if (device_cap > 0 && device_cap < wave) wave = device_cap;
+    Status s;
+    uint64_t total = 0;
+    uint64_t wave_max = 0;
+    int in_wave = 0;
+    for (ReadRequest* r : requests_) {
+      uint64_t lat = 0;
+      r->status =
+          r->file->ReadDeferred(r->offset, r->n, &r->result, r->scratch, &lat);
+      if (s.ok() && !r->status.ok()) s = r->status;
+      if (lat > wave_max) wave_max = lat;
+      if (++in_wave == wave) {
+        total += wave_max;
+        wave_max = 0;
+        in_wave = 0;
+      }
+    }
+    total += wave_max;  // The final partial wave.
+    env_->SpinFor(total);
+    requests_.clear();
+    return s;
+  }
+
+ private:
+  SimEnv* const env_;
+  const int io_depth_;
+  std::vector<ReadRequest*> requests_;
+};
+
 }  // namespace
+
+std::unique_ptr<ReadBatch> SimEnv::NewReadBatch(int io_depth) {
+  return std::make_unique<SimReadBatch>(this, io_depth);
+}
 
 Status SimRandomAccessFile::Read(uint64_t offset, size_t n, Slice* result,
                                  char* scratch) const {
-  return SimReadImpl(base_.get(), env_, offset, n, result, scratch);
+  return SimReadImpl(base_.get(), env_, offset, n, result, scratch, nullptr);
+}
+
+Status SimRandomAccessFile::ReadDeferred(uint64_t offset, size_t n,
+                                         Slice* result, char* scratch,
+                                         uint64_t* latency_ns) const {
+  *latency_ns = 0;
+  return SimReadImpl(base_.get(), env_, offset, n, result, scratch,
+                     latency_ns);
 }
 
 Status SimWritableFile::Append(const Slice& data) {

@@ -62,6 +62,12 @@ struct SimEnvOptions {
   /// pair it with disk-class latencies. The concurrent-throughput bench
   /// (fig13) uses this to demonstrate read overlap even on one core.
   bool sleep_instead_of_spin = false;
+  /// Device queue depth for batched reads (NewReadBatch). Overlapped
+  /// requests in one batch are charged in waves of up to
+  /// min(batch io_depth, this) requests, each wave costing the max of its
+  /// members' latencies instead of their sum. 0 means the device imposes
+  /// no cap beyond the caller's io_depth. LILSM_IO_DEPTH overrides.
+  int io_depth = 0;
 };
 
 class SimEnv final : public Env {
@@ -72,8 +78,8 @@ class SimEnv final : public Env {
   explicit SimEnv(Env* base, SimEnvOptions options = SimEnvOptions());
 
   /// Reads SimEnvOptions overrides from LILSM_READ_LAT_NS /
-  /// LILSM_READ_PER_BYTE_NS / LILSM_SYNC_LAT_NS / LILSM_SIM_SLEEP
-  /// environment variables, if present.
+  /// LILSM_READ_PER_BYTE_NS / LILSM_SYNC_LAT_NS / LILSM_SIM_SLEEP /
+  /// LILSM_IO_DEPTH environment variables, if present.
   static SimEnvOptions OptionsFromEnvironment();
 
   IoStats* io_stats() { return &stats_; }
@@ -113,6 +119,13 @@ class SimEnv final : public Env {
   void Schedule(std::function<void()> work) override {
     base_->Schedule(std::move(work));
   }
+
+  /// Deterministic queue-depth model: requests execute serially (counters
+  /// identical to sequential Reads) but their modeled waits are charged in
+  /// waves of min(io_depth, options().io_depth) requests, each wave
+  /// costing the max of its members — overlapped I/O costs max, not sum.
+  /// io_depth=1 degenerates to the exact sequential sum.
+  std::unique_ptr<ReadBatch> NewReadBatch(int io_depth) override;
 
   /// Waits `ns` nanoseconds (spinning or sleeping per the options) and
   /// accounts the wait. Exposed for the file wrappers; not intended for

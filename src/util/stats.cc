@@ -36,6 +36,8 @@ const char* TimerName(Timer t) {
       return "background_work";
     case Timer::kMultiGet:
       return "multiget";
+    case Timer::kAsyncReap:
+      return "async_reap";
     default:
       return "unknown";
   }
@@ -93,6 +95,14 @@ const char* CounterName(Counter c) {
       return "group_commit_batch_size";
     case Counter::kSubcompactions:
       return "subcompactions";
+    case Counter::kAsyncBatches:
+      return "async_batches";
+    case Counter::kAsyncReads:
+      return "async_reads";
+    case Counter::kReadaheadHits:
+      return "readahead_hits";
+    case Counter::kReadaheadWasted:
+      return "readahead_wasted";
     default:
       return "unknown";
   }

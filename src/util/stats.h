@@ -29,6 +29,7 @@ enum class Timer : int {
   kModelRetrain,      // maintained-policy full-retrain fallback
   kBackgroundWork,    // one background flush-or-compaction pass
   kMultiGet,          // one whole MultiGet batch
+  kAsyncReap,         // blocking in ReadBatch::Wait for batched reads
   kNumTimers
 };
 
@@ -58,6 +59,10 @@ enum class Counter : int {
   kGroupCommits,       // write groups committed by a queue leader
   kGroupCommitBatchSize,  // writers served across all groups (sum of sizes)
   kSubcompactions,     // compaction shards run by sharded compactions
+  kAsyncBatches,       // ReadBatch::Wait calls that reached the Env
+  kAsyncReads,         // read requests submitted through batches
+  kReadaheadHits,      // iterator blocks served from the readahead window
+  kReadaheadWasted,    // prefetched blocks dropped before any use
   kNumCounters
 };
 

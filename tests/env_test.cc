@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "tests/test_util.h"
 
 namespace lilsm {
@@ -92,6 +94,194 @@ TEST(EnvTest, GetFileSize) {
   uint64_t size = 0;
   ASSERT_LILSM_OK(Env::Default()->GetFileSize(dir.file("f"), &size));
   EXPECT_EQ(size, 1234u);
+}
+
+/// Wraps a RandomAccessFile and serves at most `cap` bytes per Read call,
+/// mimicking a pread that returns short (signal, page boundary, NFS).
+class ShortReadFile : public RandomAccessFile {
+ public:
+  ShortReadFile(RandomAccessFile* base, size_t cap)
+      : base_(base), cap_(cap) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    calls_++;
+    return base_->Read(offset, std::min(n, cap_), result, scratch);
+  }
+
+  mutable int calls_ = 0;
+
+ private:
+  RandomAccessFile* const base_;
+  const size_t cap_;
+};
+
+/// A file whose reads always fail, for batch error propagation.
+class FailingFile : public RandomAccessFile {
+ public:
+  Status Read(uint64_t, size_t, Slice*, char*) const override {
+    return Status::IOError("failing file", "injected");
+  }
+};
+
+TEST(EnvTest, FullyReadLoopsOverShortReads) {
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  std::string payload;
+  for (int i = 0; i < 1000; i++) payload += static_cast<char>('a' + i % 26);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+
+  std::unique_ptr<RandomAccessFile> base;
+  ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(fname, &base));
+  ShortReadFile file(base.get(), 7);
+
+  // A 100-byte span takes ceil(100/7) = 15 partial reads to assemble.
+  char scratch[128];
+  Slice result;
+  ASSERT_LILSM_OK(FullyRead(&file, 50, 100, &result, scratch));
+  EXPECT_EQ(result.ToString(), payload.substr(50, 100));
+  EXPECT_EQ(file.calls_, 15);
+
+  // EOF inside the range still reports the available bytes, not an error.
+  ASSERT_LILSM_OK(FullyRead(&file, payload.size() - 3, 100, &result, scratch));
+  EXPECT_EQ(result.ToString(), payload.substr(payload.size() - 3));
+}
+
+TEST(EnvTest, PosixReadAssemblesFullSpans) {
+  // The pread loop in PosixEnv must return the whole requested range in
+  // one Read call (short preads are retried internally), because every
+  // table reader sizes its parse off result.size().
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  const std::string payload(256 << 10, 'p');
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(fname, &file));
+  std::string scratch(payload.size(), '\0');
+  Slice result;
+  ASSERT_LILSM_OK(file->Read(0, payload.size(), &result, scratch.data()));
+  EXPECT_EQ(result.size(), payload.size());
+}
+
+TEST(EnvTest, ReadBatchMatchesDirectReads) {
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  std::string payload;
+  for (int i = 0; i < 5000; i++) payload += static_cast<char>('A' + i % 23);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(fname, &file));
+
+  const size_t kSpans[][2] = {
+      {0, 100}, {4000, 900}, {1234, 1}, {999, 2048}, {4995, 50}};
+  const size_t kNumSpans = sizeof(kSpans) / sizeof(kSpans[0]);
+  std::vector<ReadRequest> reqs(kNumSpans);
+  std::vector<std::string> scratch(kNumSpans);
+  auto batch = Env::Default()->NewReadBatch(/*io_depth=*/4);
+  for (size_t i = 0; i < kNumSpans; i++) {
+    scratch[i].resize(kSpans[i][1]);
+    reqs[i].file = file.get();
+    reqs[i].offset = kSpans[i][0];
+    reqs[i].n = kSpans[i][1];
+    reqs[i].scratch = scratch[i].data();
+    batch->Add(&reqs[i]);
+  }
+  ASSERT_LILSM_OK(batch->Wait());
+  for (size_t i = 0; i < kNumSpans; i++) {
+    ASSERT_LILSM_OK(reqs[i].status);
+    const size_t want =
+        std::min(kSpans[i][1], payload.size() - kSpans[i][0]);
+    EXPECT_EQ(reqs[i].result.ToString(),
+              payload.substr(kSpans[i][0], want))
+        << "span " << i;
+  }
+}
+
+TEST(EnvTest, ReadBatchAssemblesShortReadingFiles) {
+  // Batch requests against a file that returns partial reads must still
+  // produce full spans (the backend reads through FullyRead).
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  std::string payload;
+  for (int i = 0; i < 2000; i++) payload += static_cast<char>('0' + i % 10);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+
+  std::unique_ptr<RandomAccessFile> base;
+  ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(fname, &base));
+  ShortReadFile file(base.get(), 13);
+
+  std::vector<ReadRequest> reqs(3);
+  std::vector<std::string> scratch(3);
+  auto batch = Env::Default()->NewReadBatch(/*io_depth=*/1);
+  const size_t offsets[] = {0, 500, 1900};
+  const size_t lens[] = {400, 1000, 300};  // The last spans EOF.
+  for (size_t i = 0; i < 3; i++) {
+    scratch[i].resize(lens[i]);
+    reqs[i].file = &file;
+    reqs[i].offset = offsets[i];
+    reqs[i].n = lens[i];
+    reqs[i].scratch = scratch[i].data();
+    batch->Add(&reqs[i]);
+  }
+  ASSERT_LILSM_OK(batch->Wait());
+  EXPECT_EQ(reqs[0].result.ToString(), payload.substr(0, 400));
+  EXPECT_EQ(reqs[1].result.ToString(), payload.substr(500, 1000));
+  EXPECT_EQ(reqs[2].result.ToString(), payload.substr(1900));  // 100 bytes
+}
+
+TEST(EnvTest, ReadBatchIsReusableAndEmptyWaitIsNoOp) {
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  const std::string payload = "0123456789abcdef";
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(fname, &file));
+
+  auto batch = Env::Default()->NewReadBatch(/*io_depth=*/2);
+  ASSERT_LILSM_OK(batch->Wait());  // Nothing queued.
+
+  char scratch[16];
+  for (int round = 0; round < 3; round++) {
+    ReadRequest req;
+    req.file = file.get();
+    req.offset = static_cast<uint64_t>(round) * 4;
+    req.n = 4;
+    req.scratch = scratch;
+    batch->Add(&req);
+    ASSERT_LILSM_OK(batch->Wait());
+    EXPECT_EQ(req.result.ToString(),
+              payload.substr(static_cast<size_t>(round) * 4, 4));
+  }
+}
+
+TEST(EnvTest, ReadBatchPropagatesFirstFailure) {
+  ScratchDir dir("env");
+  const std::string fname = dir.file("data");
+  const std::string payload(100, 'z');
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), payload, fname));
+  std::unique_ptr<RandomAccessFile> good;
+  ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(fname, &good));
+  FailingFile bad;
+
+  char scratch_a[32], scratch_b[32];
+  ReadRequest ok_req;
+  ok_req.file = good.get();
+  ok_req.n = 32;
+  ok_req.scratch = scratch_a;
+  ReadRequest bad_req;
+  bad_req.file = &bad;
+  bad_req.n = 32;
+  bad_req.scratch = scratch_b;
+
+  auto batch = Env::Default()->NewReadBatch(/*io_depth=*/2);
+  batch->Add(&ok_req);
+  batch->Add(&bad_req);
+  Status s = batch->Wait();
+  EXPECT_FALSE(s.ok());           // Batch-level: the first failure.
+  EXPECT_TRUE(ok_req.status.ok());  // Per-request outcomes stay distinct.
+  EXPECT_FALSE(bad_req.status.ok());
+  EXPECT_EQ(ok_req.result.ToString(), payload.substr(0, 32));
 }
 
 TEST(EnvTest, NowNanosIsMonotone) {

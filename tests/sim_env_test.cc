@@ -82,6 +82,91 @@ TEST(SimEnvTest, PassesThroughFileOps) {
   ASSERT_LILSM_OK(sim.RemoveFile(dir.file("g")));
 }
 
+/// Queues `sizes` as one batch at the given depth and returns the modeled
+/// wait charged by Wait() (simulated_wait_ns delta). All reads start at
+/// offset 0, so with per_byte=1.0 each request's latency is base + size.
+uint64_t BatchWaitNs(SimEnv* sim, RandomAccessFile* file, int io_depth,
+                     const std::vector<size_t>& sizes) {
+  std::vector<ReadRequest> reqs(sizes.size());
+  std::vector<std::string> scratch(sizes.size());
+  auto batch = sim->NewReadBatch(io_depth);
+  for (size_t i = 0; i < sizes.size(); i++) {
+    scratch[i].resize(sizes[i]);
+    reqs[i].file = file;
+    reqs[i].n = sizes[i];
+    reqs[i].scratch = scratch[i].data();
+    batch->Add(&reqs[i]);
+  }
+  const uint64_t before = sim->io_stats()->simulated_wait_ns.load();
+  EXPECT_TRUE(batch->Wait().ok());
+  for (const ReadRequest& r : reqs) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(r.result.size(), r.n);
+  }
+  return sim->io_stats()->simulated_wait_ns.load() - before;
+}
+
+TEST(SimEnvTest, BatchChargesWaveMaxNotSum) {
+  ScratchDir dir("simenv");
+  SimEnvOptions options;
+  options.read_base_latency_ns = 1000;
+  options.read_per_byte_ns = 1.0;  // Latency = 1000 + n, exactly.
+  SimEnv sim(Env::Default(), options);
+  const std::string fname = dir.file("f");
+  ASSERT_LILSM_OK(WriteStringToFile(&sim, std::string(4096, 'd'), fname));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(sim.NewRandomAccessFile(fname, &file));
+
+  // Five reads at depth 2: waves (100,200) (300,400) (500) cost their
+  // maxima 1200 + 1400 + 1500 = 4100 — overlap pays max, not sum.
+  EXPECT_EQ(BatchWaitNs(&sim, file.get(), 2, {100, 200, 300, 400, 500}),
+            4100u);
+
+  // Depth >= batch size: one wave, the single slowest read.
+  EXPECT_EQ(BatchWaitNs(&sim, file.get(), 8, {100, 200, 300, 400, 500}),
+            1500u);
+
+  // Counters are charged per request exactly as in the serial path.
+  sim.io_stats()->Reset();
+  BatchWaitNs(&sim, file.get(), 4, {100, 200, 300});
+  EXPECT_EQ(sim.io_stats()->random_reads.load(), 3u);
+  EXPECT_EQ(sim.io_stats()->random_read_bytes.load(), 600u);
+}
+
+TEST(SimEnvTest, BatchDepthOneIsExactSequentialSum) {
+  ScratchDir dir("simenv");
+  SimEnvOptions options;
+  options.read_base_latency_ns = 1000;
+  options.read_per_byte_ns = 1.0;
+  SimEnv sim(Env::Default(), options);
+  const std::string fname = dir.file("f");
+  ASSERT_LILSM_OK(WriteStringToFile(&sim, std::string(4096, 'd'), fname));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(sim.NewRandomAccessFile(fname, &file));
+
+  // io_depth=1 must reproduce synchronous accounting to the nanosecond:
+  // (1000+100) + (1000+200) + (1000+300) = 3600.
+  EXPECT_EQ(BatchWaitNs(&sim, file.get(), 1, {100, 200, 300}), 3600u);
+}
+
+TEST(SimEnvTest, DeviceQueueDepthCapsBatchWaves) {
+  ScratchDir dir("simenv");
+  SimEnvOptions options;
+  options.read_base_latency_ns = 1000;
+  options.read_per_byte_ns = 1.0;
+  options.io_depth = 2;  // The modeled device admits two in flight.
+  SimEnv sim(Env::Default(), options);
+  const std::string fname = dir.file("f");
+  ASSERT_LILSM_OK(WriteStringToFile(&sim, std::string(4096, 'd'), fname));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_LILSM_OK(sim.NewRandomAccessFile(fname, &file));
+
+  // The caller asks for depth 16 but the device caps waves at 2, so the
+  // charge matches the depth-2 schedule from BatchChargesWaveMaxNotSum.
+  EXPECT_EQ(BatchWaitNs(&sim, file.get(), 16, {100, 200, 300, 400, 500}),
+            4100u);
+}
+
 TEST(SimEnvTest, DefaultCalibrationMatchesPaperTable1) {
   // ~2.1 us per 4 KiB read (paper Table 1's Disk I/O row).
   SimEnvOptions options;
