@@ -24,13 +24,28 @@
 //   fig13_concurrent_ycsb --workload=writeheavy --writers=4
 // Knobs: --group-commit=0|1 (default on here), --bg-jobs=N and
 // --subcompactions=N (default 2 each here, 1 in YCSB mode).
+//
+// Server mode (PR 8): --server --clients=N runs the same zipfian read
+// workload through the service layer instead of in-process calls — a
+// lilsm_server embedded in the bench process, N client threads each with
+// its own unix-socket connection, every request one MultiGet batch
+// (default 256 keys) in one frame each way. Client batches land on the
+// worker pool and overlap their device waits, so aggregate throughput
+// scales with --clients the way in-process threads scale in YCSB mode.
+// The run reports the kServerRequests / kServerBatchKeys / kServerBytes*
+// counters and the parse-to-worker queue delay. Compare e.g.:
+//   fig13_concurrent_ycsb --server --clients=1
+//   fig13_concurrent_ycsb --server --clients=4
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "client/client.h"
 #include "lsm/db.h"
+#include "server/server.h"
 #include "util/sim_env.h"
 #include "workload/dataset.h"
 #include "workload/ycsb.h"
@@ -213,6 +228,119 @@ bool RunWriteHeavy(const DBOptions& options, const std::string& dbdir,
   return true;
 }
 
+/// One service-layer client: a dedicated socket connection issuing the
+/// zipfian YCSB-C read stream as MultiGet batches, one frame per batch.
+void RunServerClient(const std::string& socket_path,
+                     const std::vector<Key>& keys, size_t ops, uint64_t seed,
+                     size_t batch, ThreadResult* result) {
+  std::unique_ptr<Client> client;
+  Status s = Client::Connect(socket_path, &client);
+  if (!s.ok()) {
+    result->status = s;
+    return;
+  }
+  YcsbGenerator gen(YcsbWorkload::kC, keys.size(), seed);
+  std::vector<Key> pending;
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  pending.reserve(batch);
+  for (size_t i = 0; i < ops; i += pending.size()) {
+    pending.clear();
+    const size_t want = std::min(batch, ops - i);
+    while (pending.size() < want) {
+      pending.push_back(keys[gen.Next().key_index]);
+    }
+    s = client->MultiGet(pending, &values, &statuses);
+    if (!s.ok()) {
+      result->status = s;
+      return;
+    }
+    for (const Status& st : statuses) {
+      if (st.IsNotFound()) result->not_found++;
+    }
+    result->ops += pending.size();
+  }
+}
+
+/// The client-scaling experiment: aggregate MultiGet throughput through
+/// lilsm_server for one client count. Fresh DB per call.
+bool RunServerMode(const DBOptions& options, const std::string& dbdir,
+                   Env* env, const ExperimentDefaults& d, size_t clients,
+                   size_t batch, ReportTable* table) {
+  DB::Destroy(options, dbdir);
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, dbdir, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig13: open: %s\n", s.ToString().c_str());
+    return false;
+  }
+  std::vector<Key> keys = GenerateKeys(d.dataset, d.num_keys, d.seed);
+  for (Key key : keys) {
+    s = db->Put(key, DeriveValue(key, d.value_size));
+    if (!s.ok()) break;
+  }
+  if (s.ok()) s = db->FlushMemTable();
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig13: load: %s\n", s.ToString().c_str());
+    return false;
+  }
+  db->stats()->Reset();  // report steady-state service counters only
+
+  ServerOptions server_options;
+  // Next to (not inside) the DB dir: Destroy wipes the directory.
+  server_options.socket_path = dbdir + ".sock";
+  server_options.num_workers =
+      static_cast<int>(std::max<size_t>(4, clients));
+  std::unique_ptr<Server> server;
+  s = Server::Start(db.get(), server_options, &server);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fig13: server: %s\n", s.ToString().c_str());
+    return false;
+  }
+
+  const size_t ops_per_client = d.num_ops / clients;
+  std::vector<ThreadResult> results(clients);
+  const uint64_t start = env->NowNanos();
+  {
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < clients; c++) {
+      workers.emplace_back(RunServerClient, server_options.socket_path,
+                           std::cref(keys), ops_per_client,
+                           d.seed + 2000 + c, batch, &results[c]);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const double seconds = (env->NowNanos() - start) / 1e9;
+  server->Stop();
+  server.reset();
+
+  uint64_t total_ops = 0;
+  for (const ThreadResult& r : results) {
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "fig13: client: %s\n", r.status.ToString().c_str());
+      return false;
+    }
+    total_ops += r.ops;
+  }
+  const Stats* stats = db->stats();
+  const double kops_per_sec = total_ops / seconds / 1000.0;
+  table->AddRow({"server/C", std::to_string(clients),
+                 std::to_string(total_ops), FormatMicros(kops_per_sec),
+                 FormatMicros(seconds * 1e6 * clients / total_ops)});
+  std::printf(
+      "# clients=%zu: server_requests=%llu batch_keys=%llu "
+      "bytes_in=%llu bytes_out=%llu queue_us=%.1f\n",
+      clients,
+      static_cast<unsigned long long>(stats->Count(Counter::kServerRequests)),
+      static_cast<unsigned long long>(stats->Count(Counter::kServerBatchKeys)),
+      static_cast<unsigned long long>(stats->Count(Counter::kServerBytesIn)),
+      static_cast<unsigned long long>(stats->Count(Counter::kServerBytesOut)),
+      stats->MeanMicros(Timer::kServerQueue));
+  db.reset();
+  DB::Destroy(options, dbdir);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,11 +354,22 @@ int main(int argc, char** argv) {
   size_t group_commit = 1;
   size_t bg_jobs = 2;
   size_t subcompactions = 2;
+  bool server_mode = false;
+  size_t clients = 4;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; i++) {
     size_t value = 0;
-    if (bench::ParseStringFlag(argc, argv, &i, "--workload",
-                               &workload_mode)) {
+    if (std::strcmp(argv[i], "--server") == 0) {
+      server_mode = true;
+    } else if (bench::ParseSizeFlag(argc, argv, &i, "--clients", &value)) {
+      if (value == 0) {
+        std::fprintf(stderr, "--clients must be positive\n");
+        return 2;
+      }
+      server_mode = true;
+      clients = value;
+    } else if (bench::ParseStringFlag(argc, argv, &i, "--workload",
+                                      &workload_mode)) {
       if (workload_mode != "writeheavy" && workload_mode != "ycsb") {
         std::fprintf(stderr,
                      "--workload must be 'ycsb' or 'writeheavy' (got '%s')\n",
@@ -264,7 +403,8 @@ int main(int argc, char** argv) {
           std::strcmp(argv[i], "-h") == 0) {
         std::printf(
             "fig13 extras: [--workload ycsb|writeheavy] [--writers N] "
-            "[--group-commit 0|1] [--bg-jobs N] [--subcompactions N]\n");
+            "[--group-commit 0|1] [--bg-jobs N] [--subcompactions N] "
+            "[--server] [--clients N]\n");
       }
       passthrough.push_back(argv[i]);
     }
@@ -277,6 +417,48 @@ int main(int argc, char** argv) {
                            nullptr, &multiget_batch, &block_cache_mb,
                            &io_depth, &readahead);
   const bool writeheavy = workload_mode == "writeheavy";
+
+  if (server_mode) {
+    bench::PrintHeader("Figure 13", "service-layer client scaling", d);
+    // Batch-first default: one frame carries a whole MultiGet batch.
+    const size_t batch = multiget_batch > 1 ? multiget_batch : 256;
+    // Same blocking device model as YCSB mode, so client batches overlap
+    // their read waits on the worker pool.
+    SimEnvOptions sim_options = SimEnv::OptionsFromEnvironment();
+    sim_options.sleep_instead_of_spin = true;
+    if (std::getenv("LILSM_READ_LAT_NS") == nullptr) {
+      sim_options.read_base_latency_ns = 20'000;
+    }
+    SimEnv sim_env(Env::Default(), sim_options);
+    std::printf(
+        "# clients=%zu, multiget batch=%zu, one frame per batch, "
+        "blocking-read device model (%.0f us + OS timer slack)\n\n",
+        clients, batch, sim_options.read_base_latency_ns / 1000.0);
+
+    DBOptions options;
+    options.env = &sim_env;
+    options.concurrency = ConcurrencyMode::kBackground;
+    options.group_commit = true;
+    options.write_buffer_size = d.write_buffer_size;
+    options.sstable_target_size = d.sstable_target_size;
+    options.size_ratio = d.size_ratio;
+    options.bloom_bits_per_key = d.bloom_bits_per_key;
+    options.key_size = d.key_size;
+    options.value_size = d.value_size;
+    options.block_cache_bytes = d.block_cache_bytes;
+    options.io_depth = d.io_depth;
+    const std::string dbdir = bench::BenchDir("fig13");
+
+    ReportTable table("Figure 13 (server): MultiGet throughput by clients");
+    table.SetHeader({"workload", "clients", "total ops", "kops/s",
+                     "mean us/op"});
+    if (!RunServerMode(options, dbdir, &sim_env, d, clients, batch,
+                       &table)) {
+      return 1;
+    }
+    table.Emit();
+    return 0;
+  }
 
   if (writeheavy) {
     bench::PrintHeader("Figure 13", "parallel write path throughput", d);

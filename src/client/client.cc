@@ -1,0 +1,259 @@
+#include "client/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/env.h"
+
+namespace lilsm {
+
+namespace {
+
+Status SocketError(const char* context, int err) {
+  return Status::IOError(context, std::strerror(err));
+}
+
+// write(2) raises SIGPIPE if the server vanished; MSG_NOSIGNAL turns
+// that into a plain EPIPE so the library never requires global signal
+// configuration from its host process.
+ssize_t SendNoSigpipe(int fd, const void* buf, size_t n) {
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& socket_path,
+                       std::unique_ptr<Client>* client) {
+  client->reset();
+  struct ::sockaddr_un addr;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long", socket_path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return SocketError("socket", errno);
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct ::sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int err = errno;
+    ::close(fd);
+    return SocketError(("connect " + socket_path).c_str(), err);
+  }
+  client->reset(new Client(fd));
+  return Status::OK();
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::RoundTrip(wire::MessageType request_type, const Slice& body,
+                         wire::MessageType expected_response,
+                         std::string* response) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  const uint32_t request_id = next_request_id_++;
+  send_buf_.clear();
+  wire::EncodeFrame(&send_buf_, request_type, request_id, body);
+  Status s = FullyWrite(fd_, send_buf_.data(), send_buf_.size(),
+                        &SendNoSigpipe);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+
+  char header[wire::kFrameHeaderBytes];
+  size_t got = 0;
+  s = FullyReadFd(fd_, header, sizeof(header), &got);
+  if (s.ok() && got < sizeof(header)) {
+    s = Status::IOError("server closed the connection");
+  }
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  const uint32_t payload_len = DecodeFixed32(header);
+  if (payload_len < 5 || payload_len > wire::kMaxPayloadBytes) {
+    Close();
+    return Status::Corruption("response frame length out of range");
+  }
+  std::string payload(payload_len, '\0');
+  s = FullyReadFd(fd_, payload.data(), payload_len, &got);
+  if (s.ok() && got < payload_len) {
+    s = Status::IOError("server closed mid-frame");
+  }
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header + 4));
+  if (crc32c::Value(payload.data(), payload_len) != expected_crc) {
+    Close();
+    return Status::Corruption("response frame checksum mismatch");
+  }
+  const auto type = static_cast<wire::MessageType>(payload[0]);
+  const uint32_t echoed_id = DecodeFixed32(payload.data() + 1);
+  if (echoed_id != request_id) {
+    Close();
+    return Status::Corruption("response for a different request");
+  }
+  response->assign(payload.data() + 5, payload_len - 5);
+  if (type == wire::MessageType::kErrorResponse) {
+    // The server refused the request outright (malformed frame body,
+    // unknown type). It will close the connection; mirror that.
+    wire::StatusResponse err;
+    Close();
+    if (!err.DecodeFrom(Slice(*response))) {
+      return Status::Corruption("malformed error response");
+    }
+    return err.status.ok() ? Status::IOError("server rejected the request")
+                           : err.status;
+  }
+  if (type != expected_response) {
+    Close();
+    return Status::Corruption("unexpected response type");
+  }
+  return Status::OK();
+}
+
+Status Client::Get(const ClientReadOptions& options, Key key,
+                   std::string* value) {
+  wire::GetRequest req;
+  req.snapshot_id = options.snapshot_id;
+  req.key = key;
+  std::string body;
+  req.EncodeTo(&body);
+  std::string response;
+  Status s = RoundTrip(wire::MessageType::kGetRequest, body,
+                       wire::MessageType::kGetResponse, &response);
+  if (!s.ok()) return s;
+  wire::GetResponse resp;
+  if (!resp.DecodeFrom(Slice(response))) {
+    Close();
+    return Status::Corruption("malformed get response");
+  }
+  if (resp.status.ok()) *value = std::move(resp.value);
+  return resp.status;
+}
+
+Status Client::MultiGet(const ClientReadOptions& options,
+                        std::span<const Key> keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) {
+  wire::MultiGetRequest req;
+  req.snapshot_id = options.snapshot_id;
+  req.keys.assign(keys.begin(), keys.end());
+  std::string body;
+  req.EncodeTo(&body);
+  std::string response;
+  Status s = RoundTrip(wire::MessageType::kMultiGetRequest, body,
+                       wire::MessageType::kMultiGetResponse, &response);
+  if (!s.ok()) return s;
+  wire::MultiGetResponse resp;
+  if (!resp.DecodeFrom(Slice(response)) ||
+      (resp.status.ok() && resp.statuses.size() != keys.size())) {
+    Close();
+    return Status::Corruption("malformed multiget response");
+  }
+  *values = std::move(resp.values);
+  *statuses = std::move(resp.statuses);
+  return resp.status;
+}
+
+Status Client::Write(const ClientWriteOptions& options,
+                     const WriteBatch& batch) {
+  wire::WriteRequest req;
+  req.sync = options.sync;
+  req.disable_wal = options.disable_wal;
+  const Slice contents = batch.Contents();
+  req.batch_rep.assign(contents.data(), contents.size());
+  std::string body;
+  req.EncodeTo(&body);
+  std::string response;
+  Status s = RoundTrip(wire::MessageType::kWriteRequest, body,
+                       wire::MessageType::kWriteResponse, &response);
+  if (!s.ok()) return s;
+  wire::StatusResponse resp;
+  if (!resp.DecodeFrom(Slice(response))) {
+    Close();
+    return Status::Corruption("malformed write response");
+  }
+  return resp.status;
+}
+
+Status Client::Put(const ClientWriteOptions& options, Key key,
+                   const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, batch);
+}
+
+Status Client::Delete(const ClientWriteOptions& options, Key key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, batch);
+}
+
+Status Client::NewSnapshot(uint64_t* snapshot_id, SequenceNumber* sequence) {
+  std::string response;
+  Status s = RoundTrip(wire::MessageType::kNewSnapshotRequest, Slice(),
+                       wire::MessageType::kNewSnapshotResponse, &response);
+  if (!s.ok()) return s;
+  wire::NewSnapshotResponse resp;
+  if (!resp.DecodeFrom(Slice(response))) {
+    Close();
+    return Status::Corruption("malformed snapshot response");
+  }
+  if (resp.status.ok()) {
+    *snapshot_id = resp.snapshot_id;
+    if (sequence != nullptr) *sequence = resp.sequence;
+  }
+  return resp.status;
+}
+
+Status Client::ReleaseSnapshot(uint64_t snapshot_id) {
+  wire::ReleaseSnapshotRequest req;
+  req.snapshot_id = snapshot_id;
+  std::string body;
+  req.EncodeTo(&body);
+  std::string response;
+  Status s = RoundTrip(wire::MessageType::kReleaseSnapshotRequest, body,
+                       wire::MessageType::kReleaseSnapshotResponse, &response);
+  if (!s.ok()) return s;
+  wire::StatusResponse resp;
+  if (!resp.DecodeFrom(Slice(response))) {
+    Close();
+    return Status::Corruption("malformed release response");
+  }
+  return resp.status;
+}
+
+Status Client::Ping() {
+  std::string response;
+  Status s = RoundTrip(wire::MessageType::kPingRequest, Slice(),
+                       wire::MessageType::kPingResponse, &response);
+  if (!s.ok()) return s;
+  wire::StatusResponse resp;
+  if (!resp.DecodeFrom(Slice(response))) {
+    Close();
+    return Status::Corruption("malformed ping response");
+  }
+  return resp.status;
+}
+
+}  // namespace lilsm

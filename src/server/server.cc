@@ -1,0 +1,619 @@
+#include "server/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "server/wire_protocol.h"
+#include "util/coding.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+
+namespace lilsm {
+
+namespace {
+
+Status SocketError(const char* context, int err) {
+  return Status::IOError(context, std::strerror(err));
+}
+
+// Re-arms a registered connection fd with exactly the wanted interest set.
+void UpdateEpollInterest(int epoll_fd, int fd, bool want_in, bool want_out) {
+  struct ::epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  if (want_in) ev.events |= EPOLLIN;
+  if (want_out) ev.events |= EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+}
+
+}  // namespace
+
+/// One request frame waiting for a worker, stamped at parse time so
+/// kServerQueue measures the parse-to-pickup queueing delay.
+struct Server::QueuedFrame {
+  wire::Frame frame;
+  uint64_t enqueue_ns = 0;
+};
+
+/// One client connection. The event loop owns the fd and the input
+/// buffer; everything under `mu` is the worker/loop handoff surface.
+/// The snapshot registry is touched only by the connection's single
+/// active worker job while the connection lives (jobs are serialized),
+/// and by the event loop at destroy time — after `job_active` has
+/// drained, which `mu` synchronizes.
+struct Server::Conn {
+  int fd = -1;
+  std::string in;             // event-loop thread only
+  bool input_closed = false;  // event-loop thread only
+  bool epollout_armed = false;  // event-loop thread only
+
+  std::mutex mu;
+  std::string out;                  // encoded response frames awaiting write
+  std::deque<QueuedFrame> pending;  // parsed frames awaiting a worker
+  bool job_active = false;          // a worker is draining `pending`
+  bool want_close = false;          // close once idle and flushed
+
+  std::unordered_map<uint64_t, const Snapshot*> snapshots;
+  uint64_t next_snapshot_id = 1;
+};
+
+struct Server::ConnMap {
+  std::unordered_map<int, std::shared_ptr<Conn>> map;
+};
+
+Status ServerOptions::Validate() const {
+  if (socket_path.empty()) {
+    return Status::InvalidArgument("ServerOptions::socket_path is empty");
+  }
+  struct ::sockaddr_un probe;
+  if (socket_path.size() >= sizeof(probe.sun_path)) {
+    return Status::InvalidArgument("ServerOptions::socket_path too long",
+                                   socket_path);
+  }
+  if (num_workers <= 0) {
+    return Status::InvalidArgument(
+        "ServerOptions::num_workers must be positive");
+  }
+  if (max_frame_bytes < 64) {
+    return Status::InvalidArgument(
+        "ServerOptions::max_frame_bytes too small to hold any request");
+  }
+  if (listen_backlog <= 0) {
+    return Status::InvalidArgument(
+        "ServerOptions::listen_backlog must be positive");
+  }
+  return Status::OK();
+}
+
+Server::Server(DB* db, const ServerOptions& options)
+    : db_(db), options_(options), conns_(new ConnMap) {}
+
+Status Server::Start(DB* db, const ServerOptions& options,
+                     std::unique_ptr<Server>* server) {
+  server->reset();
+  if (db == nullptr) {
+    return Status::InvalidArgument("Server::Start requires an open DB");
+  }
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  std::unique_ptr<Server> srv(new Server(db, options));
+  s = srv->Init();
+  if (!s.ok()) return s;
+  *server = std::move(srv);
+  return Status::OK();
+}
+
+Status Server::Init() {
+  env_ = Env::Default();
+  // A stale socket file from a crashed predecessor would make bind fail.
+  ::unlink(options_.socket_path.c_str());
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return SocketError("socket", errno);
+  struct ::sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size());
+  if (::bind(listen_fd_, reinterpret_cast<struct ::sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return SocketError(("bind " + options_.socket_path).c_str(), errno);
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    return SocketError("listen", errno);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return SocketError("epoll_create1", errno);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return SocketError("eventfd", errno);
+
+  struct ::epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return SocketError("epoll_ctl listen", errno);
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return SocketError("epoll_ctl wake", errno);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  loop_thread_ = std::thread(&Server::EventLoop, this);
+  started_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Server::~Server() {
+  Stop();
+  // Init-failure cleanup (Stop handles the started case).
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::Stop() {
+  static std::mutex stop_mu;
+  std::lock_guard<std::mutex> l(stop_mu);
+  if (!started_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The pool destructor drains any still-queued closures; by the time
+  // the loop exited there are none (the drain barrier waits them out),
+  // but destroying here keeps that invariant local.
+  pool_.reset();
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  ::close(wake_fd_);
+  wake_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  started_.store(false, std::memory_order_release);
+}
+
+void Server::WakeLoop() {
+  const uint64_t one = 1;
+  ssize_t r;
+  do {
+    r = ::write(wake_fd_, &one, sizeof(one));
+  } while (r < 0 && errno == EINTR);
+  // EAGAIN means the counter is already nonzero: the loop will wake.
+}
+
+void Server::EventLoop() {
+  std::vector<struct ::epoll_event> events(64);
+  bool draining = false;
+  uint64_t drain_deadline_ns = 0;
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < std::max(n, 0); i++) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+      } else if (fd == listen_fd_) {
+        if (!draining) AcceptConnections();
+      } else {
+        auto it = conns_->map.find(fd);
+        if (it == conns_->map.end()) continue;
+        std::shared_ptr<Conn> conn = it->second;
+        if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0 &&
+            !conn->input_closed) {
+          HandleReadable(conn);
+        }
+      }
+    }
+
+    // Flush worker-produced output and reap finished connections. The
+    // conn list is copied because MaybeFinishConn erases from the map.
+    std::vector<std::shared_ptr<Conn>> snapshot;
+    snapshot.reserve(conns_->map.size());
+    for (auto& entry : conns_->map) snapshot.push_back(entry.second);
+    for (const std::shared_ptr<Conn>& conn : snapshot) FlushOutput(conn);
+    for (const std::shared_ptr<Conn>& conn : snapshot) MaybeFinishConn(conn);
+
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline_ns = env_->NowNanos() + uint64_t{10} * 1'000'000'000;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      // Stop reading: every frame already parsed still executes and its
+      // response still flushes, but nothing new is accepted.
+      for (auto& entry : conns_->map) {
+        Conn* conn = entry.second.get();
+        if (!conn->input_closed) {
+          conn->input_closed = true;
+          UpdateEpollInterest(epoll_fd_, conn->fd, false,
+                              conn->epollout_armed);
+        }
+      }
+    }
+
+    if (draining) {
+      bool done = jobs_in_flight_.load(std::memory_order_acquire) == 0;
+      if (done) {
+        for (auto& entry : conns_->map) {
+          Conn* conn = entry.second.get();
+          std::lock_guard<std::mutex> cl(conn->mu);
+          if (conn->job_active || !conn->pending.empty() ||
+              !conn->out.empty()) {
+            done = false;
+            break;
+          }
+        }
+      }
+      // The deadline only covers clients too slow to read their flushed
+      // replies; requests themselves always finish (the pool drains).
+      if (done || (env_->NowNanos() > drain_deadline_ns &&
+                   jobs_in_flight_.load(std::memory_order_acquire) == 0)) {
+        DrainAndCloseAll();
+        break;
+      }
+    }
+  }
+}
+
+void Server::AcceptConnections() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accept queue drained (or a transient error)
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    struct ::epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_->map[fd] = conn;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  Stats* stats = db_->stats();
+  char buf[64 * 1024];
+  bool submit_job = false;
+  while (true) {
+    const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn->input_closed = true;  // reset or fatal socket error
+      break;
+    }
+    if (r == 0) {
+      conn->input_closed = true;
+      break;
+    }
+    conn->in.append(buf, static_cast<size_t>(r));
+    stats->Add(Counter::kServerBytesIn, static_cast<uint64_t>(r));
+    // Keep draining the socket; a batch-first client typically delivers
+    // one whole frame per read.
+  }
+
+  while (true) {
+    QueuedFrame qf;
+    const wire::DecodeResult result =
+        wire::DecodeFrame(&conn->in, options_.max_frame_bytes, &qf.frame);
+    if (result == wire::DecodeResult::kNeedMore) break;
+    if (result != wire::DecodeResult::kFrame) {
+      // Framing is lost: answer with one error frame and close. The
+      // request id is unknowable, so 0 is echoed.
+      wire::StatusResponse err;
+      err.status = result == wire::DecodeResult::kTooLarge
+                       ? Status::InvalidArgument("frame exceeds size limit")
+                       : Status::Corruption("malformed request frame");
+      std::string body;
+      err.EncodeTo(&body);
+      std::string frame;
+      wire::EncodeFrame(&frame, wire::MessageType::kErrorResponse, 0,
+                        Slice(body));
+      {
+        std::lock_guard<std::mutex> l(conn->mu);
+        conn->out.append(frame);
+        conn->want_close = true;
+      }
+      conn->in.clear();
+      conn->input_closed = true;
+      break;
+    }
+    qf.enqueue_ns = env_->NowNanos();
+    std::lock_guard<std::mutex> l(conn->mu);
+    conn->pending.push_back(std::move(qf));
+    if (!conn->job_active) {
+      conn->job_active = true;
+      jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      submit_job = true;
+    }
+  }
+  if (conn->input_closed) {
+    // Stop watching for input; output interest (if armed) survives.
+    UpdateEpollInterest(epoll_fd_, conn->fd, false, conn->epollout_armed);
+  }
+  if (submit_job) {
+    std::shared_ptr<Conn> ref = conn;
+    pool_->Submit([this, ref] { RunConnJobs(ref); });
+  }
+}
+
+void Server::FlushOutput(const std::shared_ptr<Conn>& conn) {
+  std::string chunk;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->out.empty()) {
+      if (conn->epollout_armed) {
+        conn->epollout_armed = false;
+        UpdateEpollInterest(epoll_fd_, conn->fd, !conn->input_closed, false);
+      }
+      return;
+    }
+    chunk.swap(conn->out);
+  }
+  Stats* stats = db_->stats();
+  size_t sent = 0;
+  bool broken = false;
+  while (sent < chunk.size()) {
+    // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not kill
+    // the host process with SIGPIPE.
+    const ssize_t r = ::send(conn->fd, chunk.data() + sent,
+                             chunk.size() - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      broken = true;  // peer reset: drop the rest, reap the connection
+      break;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  if (sent > 0) stats->Add(Counter::kServerBytesOut, sent);
+  std::lock_guard<std::mutex> l(conn->mu);
+  if (broken) {
+    conn->out.clear();
+    conn->want_close = true;
+    conn->input_closed = true;
+    return;
+  }
+  if (sent < chunk.size()) {
+    // Workers may have appended while the lock was dropped; the
+    // unwritten tail goes back in front to preserve frame order.
+    conn->out.insert(0, chunk, sent, chunk.size() - sent);
+    if (!conn->epollout_armed) {
+      conn->epollout_armed = true;
+      UpdateEpollInterest(epoll_fd_, conn->fd, !conn->input_closed, true);
+    }
+  }
+}
+
+void Server::MaybeFinishConn(const std::shared_ptr<Conn>& conn) {
+  bool finish;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    const bool idle = !conn->job_active && conn->pending.empty();
+    const bool flushed = conn->out.empty();
+    finish = idle && flushed && (conn->input_closed || conn->want_close);
+  }
+  if (finish) DestroyConn(conn);
+}
+
+void Server::DestroyConn(const std::shared_ptr<Conn>& conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_->map.erase(conn->fd);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  // Jobs have drained (checked under mu before finish), so this thread
+  // is the sole owner of the snapshot registry now. Disconnect releases
+  // whatever the client leaked.
+  for (auto& entry : conn->snapshots) {
+    db_->ReleaseSnapshot(entry.second);
+  }
+  conn->snapshots.clear();
+}
+
+void Server::DrainAndCloseAll() {
+  std::vector<std::shared_ptr<Conn>> all;
+  all.reserve(conns_->map.size());
+  for (auto& entry : conns_->map) all.push_back(entry.second);
+  for (const std::shared_ptr<Conn>& conn : all) {
+    FlushOutput(conn);
+    DestroyConn(conn);
+  }
+}
+
+void Server::RunConnJobs(std::shared_ptr<Conn> conn) {
+  Stats* stats = db_->stats();
+  while (true) {
+    QueuedFrame qf;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      qf = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    stats->AddTime(Timer::kServerQueue, env_->NowNanos() - qf.enqueue_ns);
+    std::string out;
+    const bool keep = HandleFrame(conn.get(), qf, &out);
+    bool done = false;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      conn->out.append(out);
+      if (!keep) {
+        conn->want_close = true;
+        conn->pending.clear();
+      }
+      if (conn->pending.empty()) {
+        conn->job_active = false;
+        done = true;
+      }
+    }
+    if (done) break;
+  }
+  jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  WakeLoop();
+}
+
+bool Server::HandleFrame(Conn* conn, const QueuedFrame& frame,
+                         std::string* out) {
+  Stats* stats = db_->stats();
+  stats->Add(Counter::kServerRequests);
+  const uint32_t id = frame.frame.request_id;
+  const Slice body(frame.frame.body);
+
+  // Resolves a wire snapshot id against this connection's registry.
+  // id 0 = latest state; an unknown id is a per-request error, not a
+  // protocol violation.
+  auto resolve_snapshot = [conn](uint64_t snapshot_id, const Snapshot** snap,
+                                 Status* error) {
+    *snap = nullptr;
+    if (snapshot_id == 0) return true;
+    auto it = conn->snapshots.find(snapshot_id);
+    if (it == conn->snapshots.end()) {
+      *error = Status::InvalidArgument("unknown snapshot id");
+      return false;
+    }
+    *snap = it->second;
+    return true;
+  };
+
+  switch (frame.frame.type) {
+    case wire::MessageType::kGetRequest: {
+      wire::GetRequest req;
+      if (!req.DecodeFrom(body)) break;
+      wire::GetResponse resp;
+      const Snapshot* snap = nullptr;
+      if (resolve_snapshot(req.snapshot_id, &snap, &resp.status)) {
+        ReadOptions ro;
+        ro.snapshot = snap;
+        resp.status = db_->Get(ro, req.key, &resp.value);
+      }
+      stats->Add(Counter::kServerBatchKeys);
+      std::string rbody;
+      resp.EncodeTo(&rbody);
+      wire::EncodeFrame(out, wire::MessageType::kGetResponse, id,
+                        Slice(rbody));
+      return true;
+    }
+    case wire::MessageType::kMultiGetRequest: {
+      wire::MultiGetRequest req;
+      if (!req.DecodeFrom(body)) break;
+      wire::MultiGetResponse resp;
+      const Snapshot* snap = nullptr;
+      if (resolve_snapshot(req.snapshot_id, &snap, &resp.status)) {
+        ReadOptions ro;
+        ro.snapshot = snap;
+        resp.status =
+            db_->MultiGet(ro, req.keys, &resp.values, &resp.statuses);
+        if (!resp.status.ok() && resp.status.IsNotFound()) {
+          // DB::MultiGet returns OK at batch level even when every key
+          // is NotFound; a NotFound return would mean an aborted batch.
+          // Normalize defensively so the wire contract stays simple.
+          resp.status = Status::OK();
+        }
+      }
+      stats->Add(Counter::kServerBatchKeys, req.keys.size());
+      std::string rbody;
+      resp.EncodeTo(&rbody);
+      wire::EncodeFrame(out, wire::MessageType::kMultiGetResponse, id,
+                        Slice(rbody));
+      return true;
+    }
+    case wire::MessageType::kWriteRequest: {
+      wire::WriteRequest req;
+      if (!req.DecodeFrom(body)) break;
+      wire::StatusResponse resp;
+      uint32_t count = 0;
+      if (!wire::ValidateBatchRep(Slice(req.batch_rep), &count)) {
+        resp.status = Status::InvalidArgument("malformed write batch");
+      } else {
+        WriteBatch batch;
+        resp.status = WriteBatch::SetContents(&batch, Slice(req.batch_rep));
+        if (resp.status.ok()) {
+          WriteOptions wo;
+          wo.sync = req.sync;
+          wo.disable_wal = req.disable_wal;
+          resp.status = db_->Write(wo, &batch);
+        }
+      }
+      std::string rbody;
+      resp.EncodeTo(&rbody);
+      wire::EncodeFrame(out, wire::MessageType::kWriteResponse, id,
+                        Slice(rbody));
+      return true;
+    }
+    case wire::MessageType::kNewSnapshotRequest: {
+      if (!body.empty()) break;
+      wire::NewSnapshotResponse resp;
+      const Snapshot* snap = db_->GetSnapshot();
+      resp.snapshot_id = conn->next_snapshot_id++;
+      resp.sequence = snap->sequence();
+      conn->snapshots[resp.snapshot_id] = snap;
+      std::string rbody;
+      resp.EncodeTo(&rbody);
+      wire::EncodeFrame(out, wire::MessageType::kNewSnapshotResponse, id,
+                        Slice(rbody));
+      return true;
+    }
+    case wire::MessageType::kReleaseSnapshotRequest: {
+      wire::ReleaseSnapshotRequest req;
+      if (!req.DecodeFrom(body)) break;
+      wire::StatusResponse resp;
+      auto it = conn->snapshots.find(req.snapshot_id);
+      if (it == conn->snapshots.end()) {
+        resp.status = Status::InvalidArgument("unknown snapshot id");
+      } else {
+        db_->ReleaseSnapshot(it->second);
+        conn->snapshots.erase(it);
+      }
+      std::string rbody;
+      resp.EncodeTo(&rbody);
+      wire::EncodeFrame(out, wire::MessageType::kReleaseSnapshotResponse, id,
+                        Slice(rbody));
+      return true;
+    }
+    case wire::MessageType::kPingRequest: {
+      if (!body.empty()) break;
+      wire::StatusResponse resp;
+      std::string rbody;
+      resp.EncodeTo(&rbody);
+      wire::EncodeFrame(out, wire::MessageType::kPingResponse, id,
+                        Slice(rbody));
+      return true;
+    }
+    default:
+      break;
+  }
+
+  // Unknown type or an undecodable body for a known type: the client's
+  // framing may be fine but its encoder is not to be trusted — answer
+  // with an error and close.
+  wire::StatusResponse err;
+  err.status = Status::InvalidArgument("malformed request body");
+  std::string rbody;
+  err.EncodeTo(&rbody);
+  wire::EncodeFrame(out, wire::MessageType::kErrorResponse, id, Slice(rbody));
+  return false;
+}
+
+}  // namespace lilsm

@@ -1,0 +1,143 @@
+// Server: the lilsm_server host side of the host/handle split. One
+// nonblocking epoll event loop owns every client connection on a
+// unix-domain socket; complete request frames are handed to a ThreadPool
+// whose workers call straight into the DB (MultiGet/Write/snapshots), so
+// concurrent client writes merge in the group-commit queue and batched
+// reads fan into the async I/O path. Workers never touch the sockets:
+// they append encoded response frames to per-connection output buffers
+// and wake the loop through an eventfd, which keeps all socket I/O on
+// one thread (see DESIGN.md "Service layer" for the state machine).
+//
+// Per-connection guarantees:
+//  * requests execute in arrival order (one worker job per connection at
+//    a time drains that connection's queue), so a client observes its
+//    own writes;
+//  * snapshots created over the wire are connection-scoped and released
+//    when the connection closes, however it closes;
+//  * a malformed frame (bad CRC, oversized or runt length) poisons only
+//    that connection: it gets one kErrorResponse and a close, while the
+//    event loop and every other client keep running.
+//
+// Stop() is the graceful-shutdown path used by the SIGINT/SIGTERM
+// handler in lilsm_server: stop accepting, stop reading, drain every
+// in-flight request, flush the replies, release client snapshots, and
+// return — after which the caller closes the DB, so a restart replays
+// the WAL to exactly the acknowledged state.
+#ifndef LILSM_SERVER_SERVER_H_
+#define LILSM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "lsm/db.h"
+#include "util/status.h"
+
+namespace lilsm {
+
+class ThreadPool;
+
+struct ServerOptions {
+  /// Filesystem path of the unix-domain listening socket. A stale socket
+  /// file from a previous run is unlinked at Start.
+  std::string socket_path;
+
+  /// Worker threads executing requests against the DB. More workers let
+  /// more client batches overlap their I/O waits (and merge their writes
+  /// into group commits).
+  int num_workers = 4;
+
+  /// Per-frame payload ceiling; frames declaring more are a protocol
+  /// violation (kErrorResponse + close). Clamped to wire::kMaxPayloadBytes.
+  uint32_t max_frame_bytes = 16u << 20;
+
+  /// listen(2) backlog for the accept queue.
+  int listen_backlog = 128;
+
+  Status Validate() const;
+};
+
+class Server {
+ public:
+  /// Binds the socket, spawns the event loop and worker pool, and
+  /// returns a running server. `db` must outlive the server and stay
+  /// open until after Stop() returns.
+  static Status Start(DB* db, const ServerOptions& options,
+                      std::unique_ptr<Server>* server);
+
+  /// Stops (gracefully, draining in-flight requests) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Graceful shutdown: close the listening socket, stop reading new
+  /// requests, finish every request already received, flush the
+  /// responses, release connection snapshots, close every connection,
+  /// then join the event loop and workers. Idempotent and thread-safe —
+  /// safe to call from a signal-forwarding thread while clients are
+  /// mid-request.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// Diagnostics (racy snapshots; tests poll them).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  int connections_active() const {
+    return connections_active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+  struct QueuedFrame;
+
+  Server(DB* db, const ServerOptions& options);
+
+  Status Init();
+  void EventLoop();
+  void WakeLoop();
+
+  void AcceptConnections();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void FlushOutput(const std::shared_ptr<Conn>& conn);
+  void MaybeFinishConn(const std::shared_ptr<Conn>& conn);
+  void DestroyConn(const std::shared_ptr<Conn>& conn);
+  void DrainAndCloseAll();
+
+  /// Worker-side: drains `conn`'s pending frame queue, executing each
+  /// request against the DB and appending the response frames.
+  void RunConnJobs(std::shared_ptr<Conn> conn);
+  /// Executes one request frame; appends the encoded response frame(s)
+  /// to *out. Returns false when the connection must close (protocol
+  /// violation inside the body).
+  bool HandleFrame(Conn* conn, const QueuedFrame& frame, std::string* out);
+
+  DB* const db_;
+  const ServerOptions options_;
+  Env* env_ = nullptr;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int> jobs_in_flight_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<int> connections_active_{0};
+
+  // Connections are owned by the event loop thread (fd -> conn); workers
+  // hold shared_ptr refs only for the buffers/queues inside.
+  struct ConnMap;
+  std::unique_ptr<ConnMap> conns_;
+};
+
+}  // namespace lilsm
+
+#endif  // LILSM_SERVER_SERVER_H_

@@ -1,0 +1,233 @@
+#include "server/wire_protocol.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace lilsm {
+namespace wire {
+
+void EncodeFrame(std::string* out, MessageType type, uint32_t request_id,
+                 const Slice& body) {
+  const size_t payload_len = 1 + 4 + body.size();
+  const size_t payload_start = out->size() + kFrameHeaderBytes;
+  out->reserve(out->size() + kFrameHeaderBytes + payload_len);
+  PutFixed32(out, static_cast<uint32_t>(payload_len));
+  PutFixed32(out, 0);  // crc placeholder, patched below
+  out->push_back(static_cast<char>(type));
+  PutFixed32(out, request_id);
+  out->append(body.data(), body.size());
+  const uint32_t crc =
+      crc32c::Mask(crc32c::Value(out->data() + payload_start, payload_len));
+  EncodeFixed32(out->data() + payload_start - 4, crc);
+}
+
+DecodeResult DecodeFrame(std::string* buf, uint32_t max_payload,
+                         Frame* frame) {
+  max_payload = std::min(max_payload, kMaxPayloadBytes);
+  if (buf->size() < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  const uint32_t payload_len = DecodeFixed32(buf->data());
+  if (payload_len > max_payload) return DecodeResult::kTooLarge;
+  // A payload must at least hold the type byte and request id.
+  if (payload_len < 5) return DecodeResult::kBadFrame;
+  if (buf->size() < kFrameHeaderBytes + payload_len) {
+    return DecodeResult::kNeedMore;
+  }
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(buf->data() + 4));
+  const char* payload = buf->data() + kFrameHeaderBytes;
+  if (crc32c::Value(payload, payload_len) != expected_crc) {
+    return DecodeResult::kBadCrc;
+  }
+  frame->type = static_cast<MessageType>(payload[0]);
+  frame->request_id = DecodeFixed32(payload + 1);
+  frame->body.assign(payload + 5, payload_len - 5);
+  buf->erase(0, kFrameHeaderBytes + payload_len);
+  return DecodeResult::kFrame;
+}
+
+void EncodeStatus(std::string* out, const Status& status) {
+  out->push_back(static_cast<char>(status.code_byte()));
+  const std::string& msg = status.message();
+  PutVarint32(out, static_cast<uint32_t>(msg.size()));
+  out->append(msg);
+}
+
+bool DecodeStatus(Slice* input, Status* status) {
+  if (input->empty()) return false;
+  const uint8_t code = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  uint32_t len = 0;
+  if (!GetVarint32(input, &len) || input->size() < len) return false;
+  *status = Status::FromWire(code, Slice(input->data(), len));
+  input->remove_prefix(len);
+  return true;
+}
+
+// ---- requests ----
+
+void GetRequest::EncodeTo(std::string* out) const {
+  PutFixed64(out, snapshot_id);
+  PutFixed64(out, key);
+}
+
+bool GetRequest::DecodeFrom(Slice input) {
+  return GetFixed64(&input, &snapshot_id) && GetFixed64(&input, &key) &&
+         input.empty();
+}
+
+void MultiGetRequest::EncodeTo(std::string* out) const {
+  PutFixed64(out, snapshot_id);
+  PutVarint32(out, static_cast<uint32_t>(keys.size()));
+  for (Key key : keys) PutFixed64(out, key);
+}
+
+bool MultiGetRequest::DecodeFrom(Slice input) {
+  uint32_t count = 0;
+  if (!GetFixed64(&input, &snapshot_id) || !GetVarint32(&input, &count)) {
+    return false;
+  }
+  if (input.size() != static_cast<size_t>(count) * 8) return false;
+  keys.resize(count);
+  for (uint32_t i = 0; i < count; i++) {
+    GetFixed64(&input, &keys[i]);
+  }
+  return true;
+}
+
+void WriteRequest::EncodeTo(std::string* out) const {
+  uint8_t flags = 0;
+  if (sync.has_value()) flags |= 1;
+  if (sync.value_or(false)) flags |= 2;
+  if (disable_wal) flags |= 4;
+  out->push_back(static_cast<char>(flags));
+  out->append(batch_rep);
+}
+
+bool WriteRequest::DecodeFrom(Slice input) {
+  if (input.empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>(input[0]);
+  input.remove_prefix(1);
+  if ((flags & ~7u) != 0) return false;
+  sync = (flags & 1) != 0 ? std::optional<bool>((flags & 2) != 0)
+                          : std::nullopt;
+  disable_wal = (flags & 4) != 0;
+  batch_rep.assign(input.data(), input.size());
+  return true;
+}
+
+void ReleaseSnapshotRequest::EncodeTo(std::string* out) const {
+  PutFixed64(out, snapshot_id);
+}
+
+bool ReleaseSnapshotRequest::DecodeFrom(Slice input) {
+  return GetFixed64(&input, &snapshot_id) && input.empty();
+}
+
+// ---- responses ----
+
+void GetResponse::EncodeTo(std::string* out) const {
+  EncodeStatus(out, status);
+  if (status.ok()) PutLengthPrefixedSlice(out, Slice(value));
+}
+
+bool GetResponse::DecodeFrom(Slice input) {
+  if (!DecodeStatus(&input, &status)) return false;
+  if (status.ok()) {
+    Slice v;
+    if (!GetLengthPrefixedSlice(&input, &v)) return false;
+    value.assign(v.data(), v.size());
+  }
+  return input.empty();
+}
+
+void MultiGetResponse::EncodeTo(std::string* out) const {
+  EncodeStatus(out, status);
+  if (!status.ok()) return;
+  PutVarint32(out, static_cast<uint32_t>(statuses.size()));
+  for (size_t i = 0; i < statuses.size(); i++) {
+    EncodeStatus(out, statuses[i]);
+    if (statuses[i].ok()) {
+      PutLengthPrefixedSlice(out, Slice(values[i]));
+    }
+  }
+}
+
+bool MultiGetResponse::DecodeFrom(Slice input) {
+  statuses.clear();
+  values.clear();
+  if (!DecodeStatus(&input, &status)) return false;
+  if (!status.ok()) return input.empty();
+  uint32_t count = 0;
+  if (!GetVarint32(&input, &count)) return false;
+  statuses.reserve(count);
+  values.resize(count);
+  for (uint32_t i = 0; i < count; i++) {
+    Status s;
+    if (!DecodeStatus(&input, &s)) return false;
+    if (s.ok()) {
+      Slice v;
+      if (!GetLengthPrefixedSlice(&input, &v)) return false;
+      values[i].assign(v.data(), v.size());
+    }
+    statuses.push_back(std::move(s));
+  }
+  return input.empty();
+}
+
+void NewSnapshotResponse::EncodeTo(std::string* out) const {
+  EncodeStatus(out, status);
+  if (status.ok()) {
+    PutFixed64(out, snapshot_id);
+    PutFixed64(out, sequence);
+  }
+}
+
+bool NewSnapshotResponse::DecodeFrom(Slice input) {
+  if (!DecodeStatus(&input, &status)) return false;
+  if (status.ok()) {
+    if (!GetFixed64(&input, &snapshot_id) || !GetFixed64(&input, &sequence)) {
+      return false;
+    }
+  }
+  return input.empty();
+}
+
+void StatusResponse::EncodeTo(std::string* out) const {
+  EncodeStatus(out, status);
+}
+
+bool StatusResponse::DecodeFrom(Slice input) {
+  return DecodeStatus(&input, &status) && input.empty();
+}
+
+bool ValidateBatchRep(const Slice& rep, uint32_t* count) {
+  // Mirrors WriteBatch::InsertInto's walk: sequence (8B) | count (4B) |
+  // records, each record a type byte + fixed64 key (+ length-prefixed
+  // value for puts).
+  constexpr size_t kHeader = 12;
+  *count = 0;
+  if (rep.size() < kHeader) return false;
+  Slice input(rep.data() + kHeader, rep.size() - kHeader);
+  const uint32_t declared = DecodeFixed32(rep.data() + 8);
+  uint32_t found = 0;
+  while (!input.empty()) {
+    const char type_byte = input[0];
+    input.remove_prefix(1);
+    uint64_t key = 0;
+    if (!GetFixed64(&input, &key)) return false;
+    if (type_byte == kTypeValue) {
+      Slice value;
+      if (!GetLengthPrefixedSlice(&input, &value)) return false;
+    } else if (type_byte != kTypeDeletion) {
+      return false;
+    }
+    found++;
+  }
+  if (found != declared) return false;
+  *count = found;
+  return true;
+}
+
+}  // namespace wire
+}  // namespace lilsm

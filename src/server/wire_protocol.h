@@ -1,0 +1,195 @@
+// The lilsm service wire protocol: a length-prefixed, CRC-framed,
+// batch-first binary format spoken between lilsm::Client and
+// lilsm_server over a unix-domain stream socket.
+//
+// Every message travels in one frame:
+//
+//   | payload_len : fixed32 | payload_crc : fixed32 | payload |
+//
+// payload_crc is the masked crc32c (LevelDB convention, crc32c.h) of the
+// payload bytes, so a torn or corrupted frame is detected before any
+// field is trusted. The payload itself is:
+//
+//   | type : 1 byte | request_id : fixed32 | body |
+//
+// request_id is chosen by the client and echoed verbatim in the
+// response, which lets a pipelining client match replies; the bundled
+// sync Client just checks it. Bodies are the per-type encodings below.
+//
+// The protocol is batch-first: one kMultiGetRequest frame carries an
+// entire key batch and one kWriteRequest frame carries a whole
+// serialized WriteBatch, so a 1024-key lookup or a coalesced update
+// group costs one syscall in each direction. See DESIGN.md "Service
+// layer".
+#ifndef LILSM_SERVER_WIRE_PROTOCOL_H_
+#define LILSM_SERVER_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lilsm {
+namespace wire {
+
+/// Frame header: payload_len (fixed32) + masked payload crc (fixed32).
+constexpr size_t kFrameHeaderBytes = 8;
+
+/// Hard ceiling on one frame's payload. Anything larger is treated as a
+/// protocol violation (a garbled length field would otherwise make the
+/// receiver wait forever for bytes that never come, or allocate
+/// unboundedly). 64 MiB comfortably fits the largest supported batches.
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class MessageType : uint8_t {
+  kGetRequest = 1,
+  kMultiGetRequest = 2,
+  kWriteRequest = 3,
+  kNewSnapshotRequest = 4,
+  kReleaseSnapshotRequest = 5,
+  kPingRequest = 6,
+
+  kGetResponse = 65,
+  kMultiGetResponse = 66,
+  kWriteResponse = 67,
+  kNewSnapshotResponse = 68,
+  kReleaseSnapshotResponse = 69,
+  kPingResponse = 70,
+  /// Sent when a request could not be executed at all (malformed body,
+  /// unknown type, poisoned connection); body is one wire Status.
+  kErrorResponse = 127,
+};
+
+/// One parsed frame. `body` is the payload minus the type/request_id
+/// prefix, copied out of the connection buffer so it outlives further
+/// socket reads.
+struct Frame {
+  MessageType type = MessageType::kErrorResponse;
+  uint32_t request_id = 0;
+  std::string body;
+};
+
+/// Incremental decode outcomes. Only kFrame consumes a frame; kNeedMore
+/// leaves the buffer untouched; the error outcomes poison the stream
+/// (framing is lost), so the connection must be closed.
+enum class DecodeResult {
+  kFrame,     // *frame filled, frame bytes consumed from *buf
+  kNeedMore,  // buffer holds a frame prefix; read more bytes
+  kBadCrc,    // payload checksum mismatch
+  kTooLarge,  // payload_len exceeds max_payload
+  kBadFrame,  // payload too short to hold type + request_id
+};
+
+/// Appends one encoded frame carrying `body` to *out.
+void EncodeFrame(std::string* out, MessageType type, uint32_t request_id,
+                 const Slice& body);
+
+/// Tries to decode the frame at the front of *buf (a connection's read
+/// accumulation buffer). On kFrame the frame's bytes are erased from
+/// *buf, so callers loop until kNeedMore. `max_payload` is clamped to
+/// kMaxPayloadBytes.
+DecodeResult DecodeFrame(std::string* buf, uint32_t max_payload, Frame* frame);
+
+// ---- wire Status ----
+
+/// code byte | varint32 message length | message bytes.
+void EncodeStatus(std::string* out, const Status& status);
+bool DecodeStatus(Slice* input, Status* status);
+
+// ---- request bodies ----
+
+/// snapshot_id 0 means "read the latest state"; otherwise it names a
+/// server-side snapshot created by kNewSnapshotRequest on this
+/// connection.
+struct GetRequest {
+  uint64_t snapshot_id = 0;
+  Key key = 0;
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+struct MultiGetRequest {
+  uint64_t snapshot_id = 0;
+  std::vector<Key> keys;
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+struct WriteRequest {
+  /// WriteOptions for the batch: sync unset inherits the server DB's
+  /// sync_wal default, exactly like the in-process API.
+  std::optional<bool> sync;
+  bool disable_wal = false;
+  /// WriteBatch::Contents() bytes (the WAL record payload format). The
+  /// sequence field is ignored by the server — the DB assigns one.
+  std::string batch_rep;
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+struct ReleaseSnapshotRequest {
+  uint64_t snapshot_id = 0;
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+// kNewSnapshotRequest and kPingRequest have empty bodies.
+
+// ---- response bodies ----
+
+struct GetResponse {
+  Status status;
+  std::string value;  // filled iff status.ok()
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+struct MultiGetResponse {
+  /// The batch-level status (mirrors DB::MultiGet's return): an
+  /// environmental failure that aborted the whole batch. Per-key
+  /// outcomes are only present when it is OK.
+  Status status;
+  std::vector<Status> statuses;
+  std::vector<std::string> values;  // values[i] filled iff statuses[i].ok()
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+struct NewSnapshotResponse {
+  Status status;
+  uint64_t snapshot_id = 0;       // valid iff status.ok()
+  SequenceNumber sequence = 0;    // the snapshot's visibility horizon
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+/// kWriteResponse, kReleaseSnapshotResponse, kPingResponse, and
+/// kErrorResponse all carry exactly one wire Status.
+struct StatusResponse {
+  Status status;
+
+  void EncodeTo(std::string* out) const;
+  bool DecodeFrom(Slice input);
+};
+
+/// Structurally validates a WriteBatch::Contents() rep (header + record
+/// walk + count agreement) without applying it, so the server rejects a
+/// malformed client batch with InvalidArgument instead of letting a
+/// Corruption surface mid-memtable-apply. Returns the record count.
+bool ValidateBatchRep(const Slice& rep, uint32_t* count);
+
+}  // namespace wire
+}  // namespace lilsm
+
+#endif  // LILSM_SERVER_WIRE_PROTOCOL_H_

@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -383,6 +384,64 @@ Status FullyRead(const RandomAccessFile* file, uint64_t offset, size_t n,
     got += chunk.size();
   }
   *result = Slice(scratch, got);
+  return Status::OK();
+}
+
+namespace {
+
+/// Blocks until `fd` is ready for `events` (POLLIN/POLLOUT), retrying
+/// EINTR. Regular files poll ready immediately, so file-backed callers
+/// never stall here.
+Status PollFd(int fd, short events, const char* what) {
+  struct ::pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  while (::poll(&pfd, 1, -1) < 0) {
+    if (errno != EINTR) return PosixError(what, errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FullyWrite(int fd, const char* data, size_t n, FdWriteFn write_fn) {
+  if (write_fn == nullptr) write_fn = ::write;
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = write_fn(fd, data + sent, n - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status s = PollFd(fd, POLLOUT, "FullyWrite poll");
+        if (!s.ok()) return s;
+        continue;
+      }
+      return PosixError("FullyWrite", errno);
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FullyReadFd(int fd, char* data, size_t n, size_t* got,
+                   FdReadFn read_fn) {
+  if (read_fn == nullptr) read_fn = ::read;
+  *got = 0;
+  while (*got < n) {
+    ssize_t r = read_fn(fd, data + *got, n - *got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status s = PollFd(fd, POLLIN, "FullyReadFd poll");
+        if (!s.ok()) return s;
+        continue;
+      }
+      return PosixError("FullyReadFd", errno);
+    }
+    if (r == 0) break;  // EOF inside the range: report the short count.
+    *got += static_cast<size_t>(r);
+  }
   return Status::OK();
 }
 

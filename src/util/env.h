@@ -151,6 +151,25 @@ class Env {
 Status FullyRead(const RandomAccessFile* file, uint64_t offset, size_t n,
                  Slice* result, char* scratch);
 
+/// Raw-fd write/read hooks, injectable so tests can force the partial
+/// writes, EINTR storms, and EAGAIN stalls real sockets produce. nullptr
+/// selects ::write / ::read.
+using FdWriteFn = ssize_t (*)(int fd, const void* buf, size_t n);
+using FdReadFn = ssize_t (*)(int fd, void* buf, size_t n);
+
+/// Writes exactly `n` bytes to `fd` (the socket mirror of FullyRead):
+/// loops on short writes, retries EINTR, and on EAGAIN/EWOULDBLOCK —
+/// a full socket send buffer — poll()s for writability before retrying,
+/// so callers on blocking or timeout sockets never lose a frame tail.
+Status FullyWrite(int fd, const char* data, size_t n,
+                  FdWriteFn write_fn = nullptr);
+
+/// Reads exactly `n` bytes from `fd` unless it reaches EOF first: loops
+/// on short reads, retries EINTR, and poll()s through EAGAIN. `*got` < n
+/// means EOF inside the range (a peer hangup mid-frame).
+Status FullyReadFd(int fd, char* data, size_t n, size_t* got,
+                   FdReadFn read_fn = nullptr);
+
 /// Reads the entire named file into *data.
 Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
 

@@ -38,6 +38,8 @@ const char* TimerName(Timer t) {
       return "multiget";
     case Timer::kAsyncReap:
       return "async_reap";
+    case Timer::kServerQueue:
+      return "server_queue";
     default:
       return "unknown";
   }
@@ -103,6 +105,14 @@ const char* CounterName(Counter c) {
       return "readahead_hits";
     case Counter::kReadaheadWasted:
       return "readahead_wasted";
+    case Counter::kServerRequests:
+      return "server_requests";
+    case Counter::kServerBatchKeys:
+      return "server_batch_keys";
+    case Counter::kServerBytesIn:
+      return "server_bytes_in";
+    case Counter::kServerBytesOut:
+      return "server_bytes_out";
     default:
       return "unknown";
   }

@@ -30,6 +30,7 @@ enum class Timer : int {
   kBackgroundWork,    // one background flush-or-compaction pass
   kMultiGet,          // one whole MultiGet batch
   kAsyncReap,         // blocking in ReadBatch::Wait for batched reads
+  kServerQueue,       // request frame parsed -> worker picks it up
   kNumTimers
 };
 
@@ -63,6 +64,10 @@ enum class Counter : int {
   kAsyncReads,         // read requests submitted through batches
   kReadaheadHits,      // iterator blocks served from the readahead window
   kReadaheadWasted,    // prefetched blocks dropped before any use
+  kServerRequests,     // request frames executed by the service layer
+  kServerBatchKeys,    // keys carried by served Get/MultiGet frames
+  kServerBytesIn,      // wire bytes read from client connections
+  kServerBytesOut,     // wire bytes written to client connections
   kNumCounters
 };
 

@@ -10,6 +10,17 @@ Status::Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
   }
 }
 
+Status Status::FromWire(uint8_t code, const Slice& msg) {
+  if (code == kOk) return Status();
+  if (code > kIOError) {
+    return Status(kCorruption, "status wire code out of range", Slice());
+  }
+  Status s;
+  s.code_ = static_cast<Code>(code);
+  s.msg_.assign(msg.data(), msg.size());
+  return s;
+}
+
 std::string Status::ToString() const {
   const char* type;
   switch (code_) {

@@ -41,6 +41,19 @@ class Status {
   /// Human-readable representation, e.g. "Corruption: bad footer".
   std::string ToString() const;
 
+  // ---- wire transport (src/server/wire_protocol.h) ----
+  // A Status crosses the process boundary as one code byte plus its raw
+  // message, so the client reconstructs exactly the status the server's
+  // DB call produced (ToString on both sides agrees byte-for-byte).
+
+  /// The numeric code for wire encoding (kOk == 0).
+  uint8_t code_byte() const { return static_cast<uint8_t>(code_); }
+  /// The raw message without the ToString code prefix (empty for OK).
+  const std::string& message() const { return msg_; }
+  /// Rebuilds a Status from code_byte()/message(). An out-of-range code
+  /// decodes as Corruption so a garbled frame cannot fabricate an OK.
+  static Status FromWire(uint8_t code, const Slice& msg);
+
  private:
   enum Code {
     kOk = 0,

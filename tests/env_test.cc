@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
 
 #include "tests/test_util.h"
 
@@ -282,6 +286,86 @@ TEST(EnvTest, ReadBatchPropagatesFirstFailure) {
   EXPECT_TRUE(ok_req.status.ok());  // Per-request outcomes stay distinct.
   EXPECT_FALSE(bad_req.status.ok());
   EXPECT_EQ(ok_req.result.ToString(), payload.substr(0, 32));
+}
+
+// Injected write/read functions for the FullyWrite/FullyReadFd loops.
+// They are plain function pointers (not std::function), so the fault
+// schedule lives in file-static state.
+struct FaultySyscalls {
+  static int write_calls;
+  static int read_calls;
+
+  // At most 3 bytes per call; every 4th call fails with EINTR first.
+  static ssize_t ShortWrite(int fd, const void* buf, size_t n) {
+    if (++write_calls % 4 == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return ::write(fd, buf, std::min<size_t>(n, 3));
+  }
+
+  static ssize_t ShortRead(int fd, void* buf, size_t n) {
+    if (++read_calls % 5 == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return ::read(fd, buf, std::min<size_t>(n, 3));
+  }
+};
+
+int FaultySyscalls::write_calls = 0;
+int FaultySyscalls::read_calls = 0;
+
+TEST(EnvTest, FullyWriteSurvivesShortWritesAndEintr) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string payload;
+  for (int i = 0; i < 500; i++) payload += static_cast<char>('A' + i % 26);
+
+  FaultySyscalls::write_calls = 0;
+  FaultySyscalls::read_calls = 0;
+  // The whole payload fits in the pipe buffer, so 3-bytes-per-call plus
+  // periodic EINTR is the only obstacle; FullyWrite must grind through.
+  ASSERT_LILSM_OK(FullyWrite(fds[1], payload.data(), payload.size(),
+                             &FaultySyscalls::ShortWrite));
+  EXPECT_GT(FaultySyscalls::write_calls,
+            static_cast<int>(payload.size() / 3));
+  ::close(fds[1]);
+
+  // And FullyReadFd must reassemble it through the same kind of faults.
+  std::string got(payload.size(), '\0');
+  size_t n = 0;
+  ASSERT_LILSM_OK(FullyReadFd(fds[0], got.data(), got.size(), &n,
+                              &FaultySyscalls::ShortRead));
+  EXPECT_EQ(n, payload.size());
+  EXPECT_EQ(got, payload);
+  ::close(fds[0]);
+}
+
+TEST(EnvTest, FullyReadFdReportsEofShortCount) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_LILSM_OK(FullyWrite(fds[1], "abc", 3));
+  ::close(fds[1]);  // EOF after 3 bytes
+  char buf[16];
+  size_t got = 0;
+  // Asking for more than is ever coming is not an error: the short count
+  // is how the caller detects a closed peer.
+  ASSERT_LILSM_OK(FullyReadFd(fds[0], buf, sizeof(buf), &got));
+  EXPECT_EQ(got, 3u);
+  EXPECT_EQ(Slice(buf, got).ToString(), "abc");
+  ::close(fds[0]);
+}
+
+TEST(EnvTest, FullyWriteSurfacesRealErrors) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // no reader: writes fail with EPIPE
+  ::signal(SIGPIPE, SIG_IGN);
+  char byte = 'x';
+  Status s = FullyWrite(fds[1], &byte, 1);
+  EXPECT_TRUE(s.IsIOError());
+  ::close(fds[1]);
 }
 
 TEST(EnvTest, NowNanosIsMonotone) {

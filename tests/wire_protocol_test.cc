@@ -1,0 +1,279 @@
+// Wire-protocol robustness: every message round-trips bit-identically,
+// and truncated / corrupt-CRC / oversized / runt frames decode to clean
+// errors — the framing layer must never crash, over-consume, or hand a
+// damaged payload to the dispatcher.
+#include "server/wire_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lsm/write_batch.h"
+#include "tests/test_util.h"
+#include "util/coding.h"
+
+namespace lilsm {
+namespace wire {
+namespace {
+
+Frame DecodeOne(std::string buf) {
+  Frame frame;
+  EXPECT_EQ(DecodeFrame(&buf, kMaxPayloadBytes, &frame), DecodeResult::kFrame);
+  EXPECT_TRUE(buf.empty());
+  return frame;
+}
+
+TEST(WireFrameTest, RoundTripsTypeIdAndBody) {
+  std::string buf;
+  EncodeFrame(&buf, MessageType::kMultiGetRequest, 0xdeadbeef,
+              Slice("payload bytes"));
+  Frame frame = DecodeOne(buf);
+  EXPECT_EQ(frame.type, MessageType::kMultiGetRequest);
+  EXPECT_EQ(frame.request_id, 0xdeadbeefu);
+  EXPECT_EQ(frame.body, "payload bytes");
+}
+
+TEST(WireFrameTest, RoundTripsEmptyBodyAndBinaryBody) {
+  std::string buf;
+  EncodeFrame(&buf, MessageType::kPingRequest, 1, Slice());
+  Frame frame = DecodeOne(buf);
+  EXPECT_EQ(frame.type, MessageType::kPingRequest);
+  EXPECT_TRUE(frame.body.empty());
+
+  std::string binary("\x00\xff\x00\x01", 4);
+  buf.clear();
+  EncodeFrame(&buf, MessageType::kWriteRequest, 2, Slice(binary));
+  frame = DecodeOne(buf);
+  EXPECT_EQ(frame.body, binary);
+}
+
+TEST(WireFrameTest, DecodesBackToBackFramesInOneBuffer) {
+  std::string buf;
+  EncodeFrame(&buf, MessageType::kGetRequest, 1, Slice("a"));
+  EncodeFrame(&buf, MessageType::kGetRequest, 2, Slice("bb"));
+  Frame frame;
+  ASSERT_EQ(DecodeFrame(&buf, kMaxPayloadBytes, &frame), DecodeResult::kFrame);
+  EXPECT_EQ(frame.request_id, 1u);
+  ASSERT_EQ(DecodeFrame(&buf, kMaxPayloadBytes, &frame), DecodeResult::kFrame);
+  EXPECT_EQ(frame.request_id, 2u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(WireFrameTest, TruncatedFramesNeedMoreAtEveryPrefix) {
+  std::string full;
+  EncodeFrame(&full, MessageType::kGetRequest, 7, Slice("body"));
+  // Every strict prefix must report kNeedMore and leave the buffer alone.
+  for (size_t cut = 0; cut < full.size(); cut++) {
+    std::string buf = full.substr(0, cut);
+    const std::string before = buf;
+    Frame frame;
+    EXPECT_EQ(DecodeFrame(&buf, kMaxPayloadBytes, &frame),
+              DecodeResult::kNeedMore)
+        << "prefix length " << cut;
+    EXPECT_EQ(buf, before);
+  }
+}
+
+TEST(WireFrameTest, EveryFlippedBitFailsTheCrc) {
+  std::string full;
+  EncodeFrame(&full, MessageType::kGetRequest, 7, Slice("crc coverage"));
+  // Flip one bit anywhere in the payload (or its stored CRC): decode must
+  // report kBadCrc, never a frame with damaged contents.
+  for (size_t i = 4; i < full.size(); i++) {
+    std::string buf = full;
+    buf[i] = static_cast<char>(buf[i] ^ 0x20);
+    Frame frame;
+    EXPECT_EQ(DecodeFrame(&buf, kMaxPayloadBytes, &frame),
+              DecodeResult::kBadCrc)
+        << "flipped byte " << i;
+  }
+}
+
+TEST(WireFrameTest, OversizedAndRuntLengthsAreRejected) {
+  // A frame declaring more than the limit is kTooLarge even before the
+  // payload arrives (the event loop must not buffer it).
+  std::string buf;
+  PutFixed32(&buf, 1024);
+  PutFixed32(&buf, 0);  // crc, never checked
+  Frame frame;
+  EXPECT_EQ(DecodeFrame(&buf, /*max_payload=*/512, &frame),
+            DecodeResult::kTooLarge);
+
+  // A payload too small to hold type + request id is structurally broken.
+  for (uint32_t len = 0; len < 5; len++) {
+    buf.clear();
+    PutFixed32(&buf, len);
+    PutFixed32(&buf, 0);
+    buf.append(len, 'x');
+    EXPECT_EQ(DecodeFrame(&buf, kMaxPayloadBytes, &frame),
+              DecodeResult::kBadFrame)
+        << "declared length " << len;
+  }
+}
+
+TEST(WireFrameTest, MaxPayloadClampsToProtocolCeiling) {
+  std::string buf;
+  PutFixed32(&buf, kMaxPayloadBytes + 1);
+  PutFixed32(&buf, 0);
+  Frame frame;
+  // Even a caller passing a huge limit cannot exceed the protocol cap.
+  EXPECT_EQ(DecodeFrame(&buf, 0xffffffffu, &frame), DecodeResult::kTooLarge);
+}
+
+TEST(WireStatusTest, RoundTripsEveryCode) {
+  const Status cases[] = {
+      Status::OK(),
+      Status::NotFound("k"),
+      Status::Corruption("bad block", "table 7"),
+      Status::NotSupported("nope"),
+      Status::InvalidArgument("flag"),
+      Status::IOError("disk", "sector 9"),
+  };
+  for (const Status& in : cases) {
+    std::string buf;
+    EncodeStatus(&buf, in);
+    Slice input(buf);
+    Status out;
+    ASSERT_TRUE(DecodeStatus(&input, &out));
+    EXPECT_TRUE(input.empty());
+    EXPECT_EQ(out.ToString(), in.ToString());
+  }
+}
+
+TEST(WireStatusTest, OutOfRangeCodeDecodesToCorruption) {
+  std::string buf;
+  buf.push_back(static_cast<char>(99));
+  PutVarint32(&buf, 0);
+  Slice input(buf);
+  Status out;
+  ASSERT_TRUE(DecodeStatus(&input, &out));
+  EXPECT_TRUE(out.IsCorruption());
+}
+
+TEST(WireMessageTest, GetRequestRoundTrip) {
+  GetRequest in;
+  in.snapshot_id = 42;
+  in.key = 0x0123456789abcdefull;
+  std::string buf;
+  in.EncodeTo(&buf);
+  GetRequest out;
+  ASSERT_TRUE(out.DecodeFrom(Slice(buf)));
+  EXPECT_EQ(out.snapshot_id, in.snapshot_id);
+  EXPECT_EQ(out.key, in.key);
+  // Trailing garbage is a malformed body.
+  buf.push_back('x');
+  EXPECT_FALSE(out.DecodeFrom(Slice(buf)));
+}
+
+TEST(WireMessageTest, MultiGetRequestRoundTripAndCountMismatch) {
+  MultiGetRequest in;
+  in.snapshot_id = 7;
+  for (Key k = 100; k < 140; k++) in.keys.push_back(k);
+  std::string buf;
+  in.EncodeTo(&buf);
+  MultiGetRequest out;
+  ASSERT_TRUE(out.DecodeFrom(Slice(buf)));
+  EXPECT_EQ(out.keys, in.keys);
+  // A count that disagrees with the byte length must be rejected — it is
+  // how a malicious frame would request a huge allocation.
+  buf.resize(buf.size() - 8);
+  EXPECT_FALSE(out.DecodeFrom(Slice(buf)));
+}
+
+TEST(WireMessageTest, WriteRequestRoundTripsSyncTristate) {
+  for (int variant = 0; variant < 3; variant++) {
+    WriteRequest in;
+    in.sync = variant == 0 ? std::nullopt
+                           : std::optional<bool>(variant == 2);
+    in.disable_wal = variant == 1;
+    in.batch_rep = "opaque batch bytes";
+    std::string buf;
+    in.EncodeTo(&buf);
+    WriteRequest out;
+    ASSERT_TRUE(out.DecodeFrom(Slice(buf)));
+    EXPECT_EQ(out.sync, in.sync);
+    EXPECT_EQ(out.disable_wal, in.disable_wal);
+    EXPECT_EQ(out.batch_rep, in.batch_rep);
+  }
+  // Unknown flag bits come from a newer (or broken) client: reject.
+  std::string buf;
+  buf.push_back(static_cast<char>(0x10));
+  WriteRequest out;
+  EXPECT_FALSE(out.DecodeFrom(Slice(buf)));
+}
+
+TEST(WireMessageTest, ResponsesRoundTrip) {
+  GetResponse get_in;
+  get_in.value = "some value";
+  std::string buf;
+  get_in.EncodeTo(&buf);
+  GetResponse get_out;
+  ASSERT_TRUE(get_out.DecodeFrom(Slice(buf)));
+  EXPECT_EQ(get_out.value, get_in.value);
+
+  MultiGetResponse mg_in;
+  mg_in.statuses = {Status::OK(), Status::NotFound("k"), Status::OK()};
+  mg_in.values = {"v0", "", "v2"};
+  buf.clear();
+  mg_in.EncodeTo(&buf);
+  MultiGetResponse mg_out;
+  ASSERT_TRUE(mg_out.DecodeFrom(Slice(buf)));
+  ASSERT_EQ(mg_out.statuses.size(), 3u);
+  EXPECT_TRUE(mg_out.statuses[0].ok());
+  EXPECT_TRUE(mg_out.statuses[1].IsNotFound());
+  EXPECT_EQ(mg_out.values[0], "v0");
+  EXPECT_EQ(mg_out.values[2], "v2");
+
+  // An error batch status carries no per-key section.
+  MultiGetResponse err_in;
+  err_in.status = Status::IOError("backing file");
+  buf.clear();
+  err_in.EncodeTo(&buf);
+  MultiGetResponse err_out;
+  ASSERT_TRUE(err_out.DecodeFrom(Slice(buf)));
+  EXPECT_TRUE(err_out.status.IsIOError());
+  EXPECT_TRUE(err_out.statuses.empty());
+
+  NewSnapshotResponse snap_in;
+  snap_in.snapshot_id = 3;
+  snap_in.sequence = 991;
+  buf.clear();
+  snap_in.EncodeTo(&buf);
+  NewSnapshotResponse snap_out;
+  ASSERT_TRUE(snap_out.DecodeFrom(Slice(buf)));
+  EXPECT_EQ(snap_out.snapshot_id, 3u);
+  EXPECT_EQ(snap_out.sequence, 991u);
+}
+
+TEST(WireBatchRepTest, AcceptsRealBatchesRejectsDamage) {
+  WriteBatch batch;
+  batch.Put(1, "one");
+  batch.Delete(2);
+  batch.Put(3, "three");
+  const Slice rep = batch.Contents();
+  uint32_t count = 0;
+  ASSERT_TRUE(ValidateBatchRep(rep, &count));
+  EXPECT_EQ(count, 3u);
+
+  // Truncated record tail.
+  EXPECT_FALSE(ValidateBatchRep(Slice(rep.data(), rep.size() - 1), &count));
+  // Shorter than the 12-byte header.
+  EXPECT_FALSE(ValidateBatchRep(Slice(rep.data(), 11), &count));
+  // Unknown record type byte.
+  std::string bad(rep.data(), rep.size());
+  bad[12] = static_cast<char>(0x7f);
+  EXPECT_FALSE(ValidateBatchRep(Slice(bad), &count));
+  // Count field disagreeing with the records present.
+  std::string miscount(rep.data(), rep.size());
+  EncodeFixed32(miscount.data() + 8, 2);
+  EXPECT_FALSE(ValidateBatchRep(Slice(miscount), &count));
+  // An empty batch is structurally valid.
+  WriteBatch empty;
+  ASSERT_TRUE(ValidateBatchRep(empty.Contents(), &count));
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace lilsm
