@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the first-party sources using the compilation
+# database that CMake exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+#   scripts/run-clang-tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Exits non-zero on any finding (.clang-tidy sets WarningsAsErrors: '*'),
+# which is what the CI job keys off. Third-party code pulled in via
+# FetchContent lives under the build dir and is excluded by construction:
+# only files under src/ and tests/ are passed to clang-tidy.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+# Prefer an explicit override, then versioned binaries, then the default.
+if [[ -n "${CLANG_TIDY:-}" ]]; then
+  TIDY="${CLANG_TIDY}"
+else
+  TIDY=""
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+  if [[ -z "${TIDY}" ]]; then
+    echo "error: clang-tidy not found on PATH (set CLANG_TIDY=/path/to/it)" >&2
+    exit 2
+  fi
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "  configure first:  cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${ROOT}"
+
+# Every first-party translation unit that appears in the compilation
+# database. Headers are covered transitively via HeaderFilterRegex.
+mapfile -t FILES < <(python3 - "${BUILD_DIR}" <<'PY'
+import json, os, sys
+build_dir = sys.argv[1]
+with open(os.path.join(build_dir, "compile_commands.json")) as f:
+    db = json.load(f)
+root = os.getcwd()
+seen = []
+for entry in db:
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "tests/")) and rel not in seen:
+        seen.append(rel)
+print("\n".join(seen))
+PY
+)
+
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+  echo "error: no src/ or tests/ files in the compilation database" >&2
+  exit 2
+fi
+
+echo "clang-tidy: ${TIDY} ($(${TIDY} --version | head -n1))"
+echo "checking ${#FILES[@]} translation units..."
+
+# Sequential by default (CI runners are small); parallelise with
+# LILSM_TIDY_JOBS=N when running locally on a bigger box.
+JOBS="${LILSM_TIDY_JOBS:-1}"
+STATUS=0
+if [[ "${JOBS}" -gt 1 ]]; then
+  printf '%s\n' "${FILES[@]}" |
+    xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet "$@" ||
+    STATUS=$?
+else
+  for f in "${FILES[@]}"; do
+    "${TIDY}" -p "${BUILD_DIR}" --quiet "$@" "${f}" || STATUS=$?
+  done
+fi
+
+if [[ "${STATUS}" -ne 0 ]]; then
+  echo "clang-tidy: findings above must be fixed (or suppressed with a" >&2
+  echo "reasoned NOLINT) before merging." >&2
+fi
+exit "${STATUS}"

@@ -1,10 +1,9 @@
 #include "lsm/compaction.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 
 #include "lsm/merger.h"
+#include "util/mutex.h"
 
 namespace lilsm {
 
@@ -200,20 +199,20 @@ Status CompactionJob::Run(const VersionSet::CompactionPick& pick,
     }
     // Fan shards 1..N-1 out to the pool and merge shard 0 on this thread;
     // a local latch forms the barrier (the DB mutex is NOT held here).
-    std::mutex mu;
-    std::condition_variable done_cv;
+    Mutex mu;
+    CondVar done_cv(&mu);
     size_t pending = shards.size() - 1;
     for (size_t i = 1; i < shards.size(); i++) {
       ctx_.subcompaction_pool->Submit([this, &pick, &base, &mu, &done_cv,
                                        &pending, shard = &shards[i]] {
         MergeShard(pick, base, shard);
-        std::lock_guard<std::mutex> lock(mu);
-        if (--pending == 0) done_cv.notify_all();
+        MutexLock lock(&mu);
+        if (--pending == 0) done_cv.SignalAll();
       });
     }
     MergeShard(pick, base, &shards[0]);
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&pending] { return pending == 0; });
+    MutexLock lock(&mu);
+    while (pending != 0) done_cv.Wait();
   } else {
     if (shards.size() > 1 && stats != nullptr) {
       stats->Add(Counter::kSubcompactions, shards.size());

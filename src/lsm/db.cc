@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <thread>
 
@@ -18,6 +15,9 @@
 #include "lsm/table_cache.h"
 #include "lsm/version.h"
 #include "lsm/wal.h"
+#include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace lilsm {
@@ -104,13 +104,14 @@ class DBImpl final : public DB {
 
   ~DBImpl() override {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       shutting_down_.store(true, std::memory_order_release);
       while (bg_jobs_ > 0) {
-        bg_cv_.wait(lock);
+        bg_cv_.Wait();
       }
-      assert(writers_.empty() && "writer leaked past DB destruction");
-      assert(snapshot_count_ == 0 && "snapshot leaked past DB destruction");
+      LILSM_ASSERT(writers_.empty() && "writer leaked past DB destruction");
+      LILSM_ASSERT(snapshot_count_ == 0 &&
+                   "snapshot leaked past DB destruction");
     }
     if (wal_ != nullptr) {
       wal_->Sync();
@@ -121,7 +122,7 @@ class DBImpl final : public DB {
   }
 
   Status Init() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Status s = env_->CreateDir(dbname_);
     if (!s.ok()) return s;
     const bool exists = env_->FileExists(CurrentFileName(dbname_));
@@ -178,10 +179,10 @@ class DBImpl final : public DB {
 
   Status Write(const WriteOptions& wopts, WriteBatch* batch) override {
     if (batch->Count() == 0) return Status::OK();
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (options_.group_commit) return WriteGrouped(wopts, batch, lock);
+    MutexLock lock(&mutex_);
+    if (options_.group_commit) return WriteGrouped(wopts, batch);
     if (background_mode()) {
-      Status rs = MakeRoomForWrite(lock);
+      Status rs = MakeRoomForWrite();
       if (!rs.ok()) return rs;
     }
 
@@ -212,7 +213,7 @@ class DBImpl final : public DB {
         mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
       s = WriteLevel0TableLocked();
       if (!s.ok()) return s;
-      s = CompactUntilStableLocked(lock);
+      s = CompactUntilStableLocked();
     }
     return s;
   }
@@ -268,7 +269,7 @@ class DBImpl final : public DB {
   }
 
   const Snapshot* GetSnapshot() override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto* snap = new SnapshotImpl();
     snap->seq_ = versions_->last_sequence();
     snap->mem_ = mem_;
@@ -284,7 +285,7 @@ class DBImpl final : public DB {
     if (snapshot == nullptr) return;
     const auto* snap = static_cast<const SnapshotImpl*>(snapshot);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       snapshot_count_--;
     }
     snap->mem_->Unref();
@@ -307,32 +308,32 @@ class DBImpl final : public DB {
   }
 
   Status FlushMemTable() override {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     // The memtable switch below must not race an off-mutex group leader:
     // park a barrier at the writer-queue front for its duration. The
     // settle phase after touches only the version tree, so writers resume
     // as soon as the switch lands.
-    Writer barrier;
-    AcquireWriteQueue(&barrier, lock);
-    Status s = background_mode() ? SwitchMemTable(lock)
+    Writer barrier(&mutex_);
+    AcquireWriteQueue(&barrier);
+    Status s = background_mode() ? SwitchMemTable()
                                  : WriteLevel0TableLocked();
     ReleaseWriteQueue(&barrier);
     if (!s.ok()) return s;
-    return CompactUntilStableLocked(lock);
+    return CompactUntilStableLocked();
   }
 
   Status CompactUntilStable() override {
-    std::unique_lock<std::mutex> lock(mutex_);
-    return CompactUntilStableLocked(lock);
+    MutexLock lock(&mutex_);
+    return CompactUntilStableLocked();
   }
 
   Status CompactAll() override {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Status s;
     {
-      Writer barrier;
-      AcquireWriteQueue(&barrier, lock);
-      s = background_mode() ? SwitchMemTable(lock)
+      Writer barrier(&mutex_);
+      AcquireWriteQueue(&barrier);
+      s = background_mode() ? SwitchMemTable()
                             : WriteLevel0TableLocked();
       ReleaseWriteQueue(&barrier);
     }
@@ -340,7 +341,7 @@ class DBImpl final : public DB {
     if (background_mode()) {
       // Drain all queued maintenance first so the full merge below starts
       // from a settled tree (callers are quiescent, per the API contract).
-      s = WaitForBackgroundIdle(lock);
+      s = WaitForBackgroundIdle();
       if (!s.ok()) return s;
     }
     for (int level = 0; level < kNumLevels - 1; level++) {
@@ -352,16 +353,16 @@ class DBImpl final : public DB {
         if (versions_->current().NumFiles(l) > 0) deeper = true;
       }
       if (!deeper && level > 0) break;
-      s = RunCompaction(lock, pick);
+      s = RunCompaction(pick);
       if (!s.ok()) return s;
     }
     return Status::OK();
   }
 
   Status ReconfigureIndexes(IndexType type, const IndexConfig& config) override {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (background_mode()) {
-      Status ws = WaitForBackgroundIdle(lock);
+      Status ws = WaitForBackgroundIdle();
       if (!ws.ok()) return ws;
     }
     options_.index_type = type;
@@ -388,7 +389,7 @@ class DBImpl final : public DB {
   }
 
   void SetIndexGranularity(IndexGranularity granularity) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     const bool was_maintained = maintained_models();
     options_.index_granularity = granularity;
     if (!was_maintained && maintained_models()) {
@@ -462,19 +463,19 @@ class DBImpl final : public DB {
   }
 
   int NumFilesAtLevel(int level) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return versions_->current().NumFiles(level);
   }
   uint64_t BytesAtLevel(int level) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return versions_->current().LevelBytes(level);
   }
   uint64_t EntriesAtLevel(int level) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return versions_->current().LevelEntries(level);
   }
   SequenceNumber LastSequence() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return versions_->last_sequence();
   }
 
@@ -546,7 +547,7 @@ class DBImpl final : public DB {
       view.version->Ref();
       return view;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     view.mem = mem_;
     view.imm = imm_;
     view.version = versions_->PinCurrent();
@@ -576,7 +577,7 @@ class DBImpl final : public DB {
   }
 
   const Version* PinCurrentVersion() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return versions_->PinCurrent();
   }
 
@@ -998,12 +999,14 @@ class DBImpl final : public DB {
   /// its own condition variable so a group wake-up costs one notify per
   /// member instead of a thundering herd on bg_cv_.
   struct Writer {
+    explicit Writer(Mutex* mu) : cv(mu) {}
+
     WriteBatch* batch = nullptr;  // null marks a barrier (no payload)
     bool sync = false;
     bool disable_wal = false;
     bool done = false;
     Status status;
-    std::condition_variable cv;
+    CondVar cv;  // waits under the DB mutex the Writer queues behind
   };
 
   /// Group commit (DBOptions::group_commit): LevelDB's writer queue.
@@ -1012,15 +1015,15 @@ class DBImpl final : public DB {
   /// (queue front = exclusive-writer token; the memtable is single-writer
   /// multi-reader safe), then distributing the shared status. One WAL
   /// append and at most one fsync serve the whole group.
-  Status WriteGrouped(const WriteOptions& wopts, WriteBatch* my_batch,
-                      std::unique_lock<std::mutex>& lock) {
-    Writer w;
+  Status WriteGrouped(const WriteOptions& wopts, WriteBatch* my_batch)
+      REQUIRES(mutex_) {
+    Writer w(&mutex_);
     w.batch = my_batch;
     w.sync = wopts.sync.value_or(options_.sync_wal);
     w.disable_wal = wopts.disable_wal;
     writers_.push_back(&w);
     while (!w.done && &w != writers_.front()) {
-      w.cv.wait(lock);
+      w.cv.Wait();
     }
     if (w.done) return w.status;  // a leader served this write
 
@@ -1028,7 +1031,7 @@ class DBImpl final : public DB {
     // drop the mutex, but the queue front keeps new writers parked.
     Status s;
     if (background_mode()) {
-      s = MakeRoomForWrite(lock);
+      s = MakeRoomForWrite();
     }
 
     Writer* last_writer = &w;
@@ -1041,18 +1044,24 @@ class DBImpl final : public DB {
       WriteBatch::SetSequence(updates, seq);
       const uint32_t count = updates->Count();
 
-      lock.unlock();
+      // Snapshot the guarded pointers the off-mutex section touches: the
+      // queue-front token (not the mutex) is what makes the WAL and the
+      // memtable single-writer here, and locals make that explicit to
+      // the thread-safety analysis.
+      LogWriter* const wal = wal_.get();
+      MemTable* const mem = mem_;
+      mutex_.Unlock();
       if (!w.disable_wal) {
-        s = wal_->AddRecord(updates->Contents());
+        s = wal->AddRecord(updates->Contents());
         if (s.ok()) {
           // The group's sync bit is the OR of its members: a sync=true
           // follower joining a sync=false leader still gets its fsync
           // before any member's status is returned.
-          s = group_sync ? wal_->Sync() : wal_->Flush();
+          s = group_sync ? wal->Sync() : wal->Flush();
         }
       }
-      if (s.ok()) s = updates->InsertInto(mem_, seq);
-      lock.lock();
+      if (s.ok()) s = updates->InsertInto(mem, seq);
+      mutex_.Lock();
 
       if (s.ok()) {
         versions_->SetLastSequence(seq + count - 1);
@@ -1068,7 +1077,7 @@ class DBImpl final : public DB {
       // Inline maintenance runs while this writer still holds the queue
       // front, so the memtable swap below cannot race a later leader.
       s = WriteLevel0TableLocked();
-      if (s.ok()) s = CompactUntilStableLocked(lock);
+      if (s.ok()) s = CompactUntilStableLocked();
     }
 
     // Pop the served prefix, handing every member the group's status,
@@ -1079,11 +1088,11 @@ class DBImpl final : public DB {
       if (ready != &w) {
         ready->status = s;
         ready->done = true;
-        ready->cv.notify_one();
+        ready->cv.Signal();
       }
       if (ready == last_writer) break;
     }
-    if (!writers_.empty()) writers_.front()->cv.notify_one();
+    if (!writers_.empty()) writers_.front()->cv.Signal();
     return s;
   }
 
@@ -1095,7 +1104,7 @@ class DBImpl final : public DB {
   /// write's latency from inheriting a bulk group). Returns the leader's
   /// own batch for a group of one, tmp_batch_ otherwise.
   WriteBatch* BuildBatchGroup(Writer** last_writer, bool* group_sync,
-                              size_t* group_writers) {
+                              size_t* group_writers) REQUIRES(mutex_) {
     Writer* leader = writers_.front();
     *group_sync = leader->sync;
     *group_writers = 1;
@@ -1130,28 +1139,28 @@ class DBImpl final : public DB {
   /// group leader is off-mutex and none can start, so the caller may
   /// switch the memtable or roll the WAL. No-op when group commit is off
   /// (holding mutex_ alone is the exclusive-writer token then).
-  void AcquireWriteQueue(Writer* w, std::unique_lock<std::mutex>& lock) {
+  void AcquireWriteQueue(Writer* w) REQUIRES(mutex_) {
     if (!options_.group_commit) return;
     w->batch = nullptr;
     writers_.push_back(w);
     while (w != writers_.front()) {
-      w->cv.wait(lock);
+      w->cv.Wait();
     }
   }
 
   /// Releases a barrier taken by AcquireWriteQueue and wakes the next
   /// queued writer. REQUIRES mutex_.
-  void ReleaseWriteQueue(Writer* w) {
+  void ReleaseWriteQueue(Writer* w) REQUIRES(mutex_) {
     if (!options_.group_commit) return;
-    assert(!writers_.empty() && writers_.front() == w);
+    LILSM_ASSERT(!writers_.empty() && writers_.front() == w);
     (void)w;
     writers_.pop_front();
-    if (!writers_.empty()) writers_.front()->cv.notify_one();
+    if (!writers_.empty()) writers_.front()->cv.Signal();
   }
 
   /// Blocks or delays the writer per the LevelDB triggers until the active
   /// memtable has room, switching it out to imm_ when full.
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  Status MakeRoomForWrite() REQUIRES(mutex_) {
     bool allow_delay = true;
     while (true) {
       if (!bg_error_.ok()) return bg_error_;
@@ -1159,11 +1168,11 @@ class DBImpl final : public DB {
           versions_->current().NumFiles(0) >= options_.l0_slowdown_trigger) {
         // Soft limit: cede ~1ms to the background thread once per write,
         // smearing the stall over many writes instead of one big pause.
-        lock.unlock();
+        mutex_.Unlock();
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         stats_.Add(Counter::kWriteSlowdowns);
         allow_delay = false;
-        lock.lock();
+        mutex_.Lock();
       } else if (mem_->ApproximateMemoryUsage() <
                  options_.write_buffer_size) {
         return Status::OK();
@@ -1171,14 +1180,14 @@ class DBImpl final : public DB {
         // Previous flush still in flight: hard stall.
         stats_.Add(Counter::kWriteStalls);
         MaybeScheduleBackgroundWork();  // defensive: never wait unserved
-        bg_cv_.wait(lock);
+        bg_cv_.Wait();
       } else if (versions_->current().NumFiles(0) >=
                  options_.l0_stop_trigger) {
         stats_.Add(Counter::kWriteStalls);
         MaybeScheduleBackgroundWork();
-        bg_cv_.wait(lock);
+        bg_cv_.Wait();
       } else {
-        Status s = SwitchMemTable(lock);
+        Status s = SwitchMemTable();
         if (!s.ok()) return s;
       }
     }
@@ -1187,9 +1196,9 @@ class DBImpl final : public DB {
   /// Rolls the WAL and retires the active memtable to imm_, scheduling a
   /// background flush. Waits first if a previous imm_ is still flushing.
   /// No-op on an empty memtable.
-  Status SwitchMemTable(std::unique_lock<std::mutex>& lock) {
+  Status SwitchMemTable() REQUIRES(mutex_) {
     while (imm_ != nullptr && bg_error_.ok()) {
-      bg_cv_.wait(lock);
+      bg_cv_.Wait();
     }
     if (!bg_error_.ok()) return bg_error_;
     if (mem_->empty()) return Status::OK();
@@ -1210,7 +1219,7 @@ class DBImpl final : public DB {
   /// (another job took it) — it then just retires. A running job calls
   /// this again right after claiming, so siblings spin up while work
   /// remains, one speculative closure at a time.
-  void MaybeScheduleBackgroundWork() {
+  void MaybeScheduleBackgroundWork() REQUIRES(mutex_) {
     if (!background_mode() || !bg_error_.ok() ||
         shutting_down_.load(std::memory_order_acquire)) {
       return;
@@ -1234,7 +1243,7 @@ class DBImpl final : public DB {
 
   /// True when a flush or compaction could be claimed right now, given
   /// the claims running jobs already hold.
-  bool HasClaimableWork() const {
+  bool HasClaimableWork() const REQUIRES(mutex_) {
     if (imm_ != nullptr && !bg_flush_active_) return true;
     bool allowed[kNumLevels];
     ComputeAllowedLevels(allowed);
@@ -1246,7 +1255,8 @@ class DBImpl final : public DB {
   /// Level L may start a compaction only when no running job occupies L
   /// or L+1 (a job at L writes into L+1; two jobs sharing a level would
   /// race over the same input files).
-  void ComputeAllowedLevels(bool allowed[kNumLevels]) const {
+  void ComputeAllowedLevels(bool allowed[kNumLevels]) const
+      REQUIRES(mutex_) {
     for (int level = 0; level < kNumLevels; level++) {
       allowed[level] =
           !level_busy_[level] &&
@@ -1254,21 +1264,21 @@ class DBImpl final : public DB {
     }
   }
 
-  bool NeedsCompactionLocked() const {
+  bool NeedsCompactionLocked() const REQUIRES(mutex_) {
     return versions_->NeedsCompaction(options_.l0_compaction_trigger,
                                       options_.write_buffer_size,
                                       options_.size_ratio);
   }
 
   void BackgroundCall() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Status s;
     if (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
       ScopedTimer timer(&stats_, Timer::kBackgroundWork, env_);
       if (imm_ != nullptr && !bg_flush_active_) {
         bg_flush_active_ = true;
         MaybeScheduleBackgroundWork();  // siblings for remaining work
-        s = CompactImmMemTable(lock);
+        s = CompactImmMemTable();
         bg_flush_active_ = false;
       } else {
         bool allowed[kNumLevels];
@@ -1280,7 +1290,7 @@ class DBImpl final : public DB {
           level_busy_[pick.level] = true;
           level_busy_[pick.level + 1] = true;
           MaybeScheduleBackgroundWork();
-          s = RunCompaction(lock, pick);
+          s = RunCompaction(pick);
           level_busy_[pick.level] = false;
           level_busy_[pick.level + 1] = false;
         }
@@ -1295,21 +1305,21 @@ class DBImpl final : public DB {
     }
     bg_jobs_--;
     MaybeScheduleBackgroundWork();
-    bg_cv_.notify_all();
+    bg_cv_.SignalAll();
   }
 
   /// Flushes imm_ into an L0 table off-lock, then installs it.
-  Status CompactImmMemTable(std::unique_lock<std::mutex>& lock) {
-    assert(imm_ != nullptr);
+  Status CompactImmMemTable() REQUIRES(mutex_) {
+    LILSM_ASSERT(imm_ != nullptr);
     MemTable* imm = imm_;
     // Writes since the switch land in wal_number_; earlier logs die with
     // this flush. Stable while imm_ is set: no switch can intervene.
     const uint64_t log_number = wal_number_;
     const uint64_t fence = RegisterGcFence();
-    lock.unlock();
+    mutex_.Unlock();
     FileMeta meta;
     Status s = BuildLevel0Table(*imm, &meta);
-    lock.lock();
+    mutex_.Lock();
     ReleaseGcFence(fence);
     if (!s.ok()) return s;
 
@@ -1320,19 +1330,19 @@ class DBImpl final : public DB {
     if (!s.ok()) return s;
     imm_->Unref();
     imm_ = nullptr;
-    bg_cv_.notify_all();
+    bg_cv_.SignalAll();
     return RemoveObsoleteFiles();
   }
 
   /// Waits until no flush or compaction is queued or running.
-  Status WaitForBackgroundIdle(std::unique_lock<std::mutex>& lock) {
+  Status WaitForBackgroundIdle() REQUIRES(mutex_) {
     while ((imm_ != nullptr || bg_jobs_ > 0) && bg_error_.ok()) {
-      bg_cv_.wait(lock);
+      bg_cv_.Wait();
     }
     return bg_error_;
   }
 
-  Status CompactUntilStableLocked(std::unique_lock<std::mutex>& lock) {
+  Status CompactUntilStableLocked() REQUIRES(mutex_) {
     if (!background_mode()) {
       while (true) {
         VersionSet::CompactionPick pick;
@@ -1341,7 +1351,7 @@ class DBImpl final : public DB {
                                        options_.size_ratio, &pick)) {
           return Status::OK();
         }
-        Status s = RunCompaction(lock, pick);
+        Status s = RunCompaction(pick);
         if (!s.ok()) return s;
       }
     }
@@ -1349,13 +1359,13 @@ class DBImpl final : public DB {
     while (true) {
       if (!bg_error_.ok()) return bg_error_;
       if (imm_ != nullptr || bg_jobs_ > 0) {
-        bg_cv_.wait(lock);
+        bg_cv_.Wait();
         continue;
       }
       if (!NeedsCompactionLocked()) return Status::OK();
       MaybeScheduleBackgroundWork();
       if (bg_jobs_ == 0) return bg_error_;  // refused: shutting down
-      bg_cv_.wait(lock);
+      bg_cv_.Wait();
     }
   }
 
@@ -1366,7 +1376,7 @@ class DBImpl final : public DB {
   /// the edit changes — stitched against the current version's models, so
   /// the successor version is born with consistent models and readers
   /// never pay a build.
-  Status InstallEdit(VersionEdit* edit) {
+  Status InstallEdit(VersionEdit* edit) REQUIRES(mutex_) {
     if (!maintained_models()) return versions_->LogAndApply(edit);
     ModelDelta delta;
     PrepareModelDelta(*edit, &delta);
@@ -1382,7 +1392,8 @@ class DBImpl final : public DB {
   /// would be strictly worse than lazy) is installed with an empty slot,
   /// which the read path fills lazily or serves per-file. The install
   /// itself must never fail on model work.
-  void PrepareModelDelta(const VersionEdit& edit, ModelDelta* delta) {
+  void PrepareModelDelta(const VersionEdit& edit, ModelDelta* delta)
+      REQUIRES(mutex_) {
     for (const auto& [level, meta] : edit.new_files_) {
       (void)meta;
       delta->touched[level] = true;
@@ -1415,7 +1426,7 @@ class DBImpl final : public DB {
   /// Fills the current version's model slots for every populated level.
   /// Best-effort, like PrepareModelDelta: a level that fails to build is
   /// left empty for the read path.
-  void PrefillLevelModelsLocked() {
+  void PrefillLevelModelsLocked() REQUIRES(mutex_) {
     if (!ModelCatalog::CanStitch(options_.index_type)) return;
     const Version& v = versions_->current();
     for (int level = 1; level < kNumLevels; level++) {
@@ -1428,7 +1439,7 @@ class DBImpl final : public DB {
     }
   }
 
-  Status RollWal() {
+  Status RollWal() REQUIRES(mutex_) {
     const uint64_t number = versions_->NewFileNumber();
     std::unique_ptr<WritableFile> file;
     Status s = env_->NewWritableFile(WalFileName(dbname_, number), &file);
@@ -1442,7 +1453,7 @@ class DBImpl final : public DB {
     return Status::OK();
   }
 
-  Status ReplayWals() {
+  Status ReplayWals() REQUIRES(mutex_) {
     std::vector<std::string> children;
     Status s = env_->GetChildren(dbname_, &children);
     if (!s.ok()) return s;
@@ -1526,7 +1537,7 @@ class DBImpl final : public DB {
   }
 
   /// Inline flush: the original synchronous path. REQUIRES mutex_.
-  Status WriteLevel0TableLocked() {
+  Status WriteLevel0TableLocked() REQUIRES(mutex_) {
     if (mem_->empty()) return Status::OK();
     FileMeta meta;
     Status s = BuildLevel0Table(*mem_, &meta);
@@ -1550,8 +1561,8 @@ class DBImpl final : public DB {
 
   /// Runs one compaction job. REQUIRES mutex_; drops it during the merge
   /// (the job only reads the pinned base version and immutable inputs).
-  Status RunCompaction(std::unique_lock<std::mutex>& lock,
-                       const VersionSet::CompactionPick& pick) {
+  Status RunCompaction(const VersionSet::CompactionPick& pick)
+      REQUIRES(mutex_) {
     CompactionContext ctx;
     ctx.env = env_;
     ctx.stats = &stats_;
@@ -1570,7 +1581,7 @@ class DBImpl final : public DB {
     CompactionJob job(ctx);
     VersionEdit edit;
     const uint64_t fence = RegisterGcFence();
-    lock.unlock();
+    mutex_.Unlock();
     Status s = job.Run(pick, *base, &edit);
     if (s.ok() && maintained_models() &&
         ModelCatalog::CanStitch(options_.index_type)) {
@@ -1584,7 +1595,7 @@ class DBImpl final : public DB {
         }
       }
     }
-    lock.lock();
+    mutex_.Lock();
     ReleaseGcFence(fence);
     base->Unref();
     if (!s.ok()) {
@@ -1628,7 +1639,7 @@ class DBImpl final : public DB {
   /// concurrent job's GC pass must not sweep half-written outputs that no
   /// version references yet. The number burned for the fence is never
   /// used for a file.
-  uint64_t RegisterGcFence() {
+  uint64_t RegisterGcFence() REQUIRES(mutex_) {
     const uint64_t fence = versions_->NewFileNumber();
     gc_fences_.insert(fence);
     return fence;
@@ -1636,9 +1647,9 @@ class DBImpl final : public DB {
 
   /// REQUIRES mutex_. Drops a fence once the job's outputs are either
   /// installed (reachable from a version) or deleted by its owner.
-  void ReleaseGcFence(uint64_t fence) {
+  void ReleaseGcFence(uint64_t fence) REQUIRES(mutex_) {
     auto it = gc_fences_.find(fence);
-    assert(it != gc_fences_.end());
+    LILSM_ASSERT(it != gc_fences_.end());
     gc_fences_.erase(it);
   }
 
@@ -1646,7 +1657,7 @@ class DBImpl final : public DB {
   /// WAL, manifest, or in-flight job (gc_fences_) can still reach — a
   /// pinned version's tables survive until its last reference (snapshot,
   /// iterator) goes away.
-  Status RemoveObsoleteFiles() {
+  Status RemoveObsoleteFiles() REQUIRES(mutex_) {
     std::set<uint64_t> live;
     versions_->AddLiveFiles(&live);
     const uint64_t fence =
@@ -1739,6 +1750,10 @@ class DBImpl final : public DB {
     return reader->Get(key, value, tag, found, sink, fill_cache);
   }
 
+  // Mutated only by the quiescent-only reconfiguration surface
+  // (ReconfigureIndexes / SetIndexGranularity, under mutex_); read freely
+  // by paths that run with no concurrent reconfiguration per the API
+  // contract, so it carries no GUARDED_BY.
   DBOptions options_;
   const std::string dbname_;
   Env* const env_;
@@ -1746,12 +1761,14 @@ class DBImpl final : public DB {
   // it; the object is internally synchronized.
   mutable Stats stats_;
 
-  mutable std::mutex mutex_;  // const observers lock it too
-  std::condition_variable bg_cv_;
-  MemTable* mem_ = nullptr;  // active buffer; pointer guarded by mutex_
-  MemTable* imm_ = nullptr;  // frozen, being flushed; guarded by mutex_
-  std::unique_ptr<LogWriter> wal_;  // guarded by mutex_
-  uint64_t wal_number_ = 0;         // guarded by mutex_
+  mutable Mutex mutex_;  // const observers lock it too
+  CondVar bg_cv_{&mutex_};
+  MemTable* mem_ GUARDED_BY(mutex_) = nullptr;  // active buffer
+  MemTable* imm_ GUARDED_BY(mutex_) = nullptr;  // frozen, being flushed
+  std::unique_ptr<LogWriter> wal_ GUARDED_BY(mutex_);
+  uint64_t wal_number_ GUARDED_BY(mutex_) = 0;
+  // Installs require mutex_ (VersionSet's documented contract); the
+  // atomic counters and the live-version registry are internally safe.
   std::unique_ptr<VersionSet> versions_;
   // Shared by every reader the table cache opens; created once at Open
   // (block_cache_bytes > 0) and immutable afterwards.
@@ -1766,17 +1783,23 @@ class DBImpl final : public DB {
   // Group-commit writer queue (guarded by mutex_): front = leader or
   // barrier holder, i.e. the one thread allowed to touch wal_ and mem_
   // with the mutex released. Empty whenever group_commit is off.
-  std::deque<Writer*> writers_;
-  WriteBatch tmp_batch_;  // leader's coalescing scratch; queue-front owned
-  int bg_jobs_ = 0;  // background closures scheduled or running
-  bool bg_flush_active_ = false;      // a job owns the imm_ flush
-  bool level_busy_[kNumLevels] = {};  // a compaction occupies this level
+  std::deque<Writer*> writers_ GUARDED_BY(mutex_);
+  /// Leader's coalescing scratch; queue-front owned.
+  WriteBatch tmp_batch_ GUARDED_BY(mutex_);
+  /// Background closures scheduled or running.
+  int bg_jobs_ GUARDED_BY(mutex_) = 0;
+  /// A job owns the imm_ flush.
+  bool bg_flush_active_ GUARDED_BY(mutex_) = false;
+  /// A compaction occupies this level pair's upper half.
+  bool level_busy_[kNumLevels] GUARDED_BY(mutex_) = {};
   // File numbers >= min(gc_fences_) may be in-flight job outputs not yet
   // in any version; RemoveObsoleteFiles must not sweep them.
-  std::multiset<uint64_t> gc_fences_;
+  std::multiset<uint64_t> gc_fences_ GUARDED_BY(mutex_);
   std::atomic<bool> shutting_down_{false};
-  Status bg_error_;        // first background failure; guarded by mutex_
-  int snapshot_count_ = 0;  // outstanding handles; guarded by mutex_
+  /// First background failure; writes surface it.
+  Status bg_error_ GUARDED_BY(mutex_);
+  /// Outstanding snapshot handles.
+  int snapshot_count_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace

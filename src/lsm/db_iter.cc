@@ -1,6 +1,6 @@
 #include "lsm/db_iter.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace lilsm {
 
@@ -34,7 +34,7 @@ class DBIter final : public Iterator {
   }
 
   void Next() override {
-    assert(valid_);
+    LILSM_ASSERT(valid_);
     skip_key_ = internal_->key();
     has_skip_key_ = true;
     internal_->Next();
@@ -42,12 +42,12 @@ class DBIter final : public Iterator {
   }
 
   Key key() const override {
-    assert(valid_);
+    LILSM_ASSERT(valid_);
     return internal_->key();
   }
 
   Slice value() const override {
-    assert(valid_);
+    LILSM_ASSERT(valid_);
     return internal_->value();
   }
 

@@ -1,8 +1,8 @@
 #include "lsm/merger.h"
 
-#include <cassert>
 
 #include "lsm/dbformat.h"
+#include "util/check.h"
 
 namespace lilsm {
 
@@ -32,21 +32,21 @@ class MergingIterator final : public TableIterator {
   }
 
   void Next() override {
-    assert(Valid());
+    LILSM_ASSERT(Valid());
     current_->Next();
     FindSmallest();
   }
 
   Key key() const override {
-    assert(Valid());
+    LILSM_ASSERT(Valid());
     return current_->key();
   }
   uint64_t tag() const override {
-    assert(Valid());
+    LILSM_ASSERT(Valid());
     return current_->tag();
   }
   Slice value() const override {
-    assert(Valid());
+    LILSM_ASSERT(Valid());
     return current_->value();
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/mutex.h"
+
 namespace lilsm {
 
 // ---------------------------------------------------------------------------
@@ -10,33 +12,37 @@ namespace lilsm {
 // ---------------------------------------------------------------------------
 
 LevelModelRef VersionModels::Get(int level) const {
-  std::shared_lock<std::shared_mutex> lock(mu_[level], std::try_to_lock);
-  if (!lock.owns_lock()) return nullptr;
-  return models_[level];
+  const Slot& slot = slots_[level];
+  if (!slot.mu.TryLockShared()) return nullptr;
+  LevelModelRef ref = slot.model;
+  slot.mu.UnlockShared();
+  return ref;
 }
 
 LevelModelRef VersionModels::GetBlocking(int level) const {
-  std::shared_lock<std::shared_mutex> lock(mu_[level]);
-  return models_[level];
+  const Slot& slot = slots_[level];
+  ReaderMutexLock lock(&slot.mu);
+  return slot.model;
 }
 
 void VersionModels::Publish(int level, LevelModelRef model) {
-  std::unique_lock<std::shared_mutex> lock(mu_[level]);
-  models_[level] = std::move(model);
+  Slot& slot = slots_[level];
+  WriterMutexLock lock(&slot.mu);
+  slot.model = std::move(model);
 }
 
 void VersionModels::Clear() {
-  for (int level = 0; level < kNumLevels; level++) {
-    std::unique_lock<std::shared_mutex> lock(mu_[level]);
-    models_[level].reset();
+  for (Slot& slot : slots_) {
+    WriterMutexLock lock(&slot.mu);
+    slot.model.reset();
   }
 }
 
 size_t VersionModels::MemoryUsage() const {
   size_t total = 0;
-  for (int level = 0; level < kNumLevels; level++) {
-    std::shared_lock<std::shared_mutex> lock(mu_[level]);
-    if (models_[level] != nullptr) total += models_[level]->MemoryUsage();
+  for (const Slot& slot : slots_) {
+    ReaderMutexLock lock(&slot.mu);
+    if (slot.model != nullptr) total += slot.model->MemoryUsage();
   }
   return total;
 }
@@ -50,7 +56,7 @@ Status ModelCatalog::ExportFileSegments(const FileMeta& meta,
                                         FileSegments* out) {
   *supported = true;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     auto it = file_segments_.find(meta.number);
     if (it != file_segments_.end()) {
       *out = it->second;
@@ -73,7 +79,7 @@ Status ModelCatalog::ExportFileSegments(const FileMeta& meta,
   out->epsilon = epsilon;
   out->segments = std::move(segments);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     file_segments_.emplace(meta.number, *out);
   }
   return Status::OK();
@@ -190,29 +196,36 @@ Status ModelCatalog::TrainFull(const std::vector<FileMeta>& files,
 LevelModelRef ModelCatalog::GetOrBuild(const Version& v, int level,
                                        TableCache* cache, IndexType type,
                                        const IndexConfig& config) {
-  VersionModels& slots = *v.models();
+  VersionModels::Slot& slot = v.models()->slots_[level];
   // Fast path, shared try-lock: the common case is "model published", and
   // this is a read-path entry point — on any contention the caller falls
   // back to the per-file index instead of stalling behind a full-level
   // scan+train, and a later lookup retries.
-  {
-    std::shared_lock<std::shared_mutex> lock(slots.mu_[level],
-                                             std::try_to_lock);
-    if (!lock.owns_lock()) return nullptr;
-    if (slots.models_[level] != nullptr) return slots.models_[level];
-  }
+  if (!slot.mu.TryLockShared()) return nullptr;
+  LevelModelRef published = slot.model;
+  slot.mu.UnlockShared();
+  if (published != nullptr) return published;
 
-  std::unique_lock<std::shared_mutex> lock(slots.mu_[level],
-                                           std::try_to_lock);
-  if (!lock.owns_lock()) return nullptr;
-  if (slots.models_[level] != nullptr) return slots.models_[level];  // raced
+  if (!slot.mu.TryLock()) return nullptr;
+  if (slot.model != nullptr) {  // raced: another builder published first
+    published = slot.model;
+    slot.mu.Unlock();
+    return published;
+  }
   const std::vector<FileMeta>& files = v.files(level);
-  if (files.empty()) return nullptr;
+  if (files.empty()) {
+    slot.mu.Unlock();
+    return nullptr;
+  }
   LevelModelRef model;
   Status s =
       TrainFull(files, cache, type, config, Timer::kLevelIndexBuild, &model);
-  if (!s.ok()) return nullptr;  // the per-file fallback surfaces I/O errors
-  slots.models_[level] = model;
+  if (!s.ok()) {
+    slot.mu.Unlock();
+    return nullptr;  // the per-file fallback surfaces I/O errors
+  }
+  slot.model = model;
+  slot.mu.Unlock();
   return model;
 }
 
@@ -267,7 +280,7 @@ void ModelCatalog::Prune(const Version& v) {
   for (int level = 1; level < kNumLevels; level++) {
     for (const FileMeta& meta : v.files(level)) live.insert(meta.number);
   }
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   for (auto it = file_segments_.begin(); it != file_segments_.end();) {
     it = live.count(it->first) > 0 ? std::next(it)
                                    : file_segments_.erase(it);
@@ -275,12 +288,12 @@ void ModelCatalog::Prune(const Version& v) {
 }
 
 void ModelCatalog::Reset() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   file_segments_.clear();
 }
 
 size_t ModelCatalog::SegmentCacheEntries() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   return file_segments_.size();
 }
 

@@ -28,14 +28,14 @@
 #define LILSM_LSM_MODEL_CATALOG_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "index/pla.h"
 #include "lsm/table_cache.h"
 #include "lsm/version.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lilsm {
 
@@ -86,8 +86,14 @@ class VersionModels {
  private:
   friend class ModelCatalog;
 
-  mutable std::shared_mutex mu_[kNumLevels];
-  LevelModelRef models_[kNumLevels];  // guarded by mu_[level]
+  /// One per-level slot: the published model paired with the
+  /// readers-writer lock that guards it, so the guard relation is a
+  /// sibling reference the thread-safety analysis can check.
+  struct Slot {
+    mutable SharedMutex mu;
+    LevelModelRef model GUARDED_BY(mu);
+  };
+  Slot slots_[kNumLevels];
 };
 
 class ModelCatalog {
@@ -186,10 +192,11 @@ class ModelCatalog {
   Env* const env_;
   Stats* const stats_;
   const double stitch_blowup_;
-  mutable std::mutex cache_mu_;
+  mutable Mutex cache_mu_;
   /// Per-file trained segments keyed by file number (numbers are never
-  /// reused). Guarded by cache_mu_.
-  std::unordered_map<uint64_t, FileSegments> file_segments_;
+  /// reused).
+  std::unordered_map<uint64_t, FileSegments> file_segments_
+      GUARDED_BY(cache_mu_);
 };
 
 }  // namespace lilsm

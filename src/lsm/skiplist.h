@@ -8,9 +8,9 @@
 #define LILSM_LSM_SKIPLIST_H_
 
 #include <atomic>
-#include <cassert>
 
 #include "util/arena.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace lilsm {
@@ -37,7 +37,7 @@ class SkipList {
   void Insert(const K& key) {
     Node* prev[kMaxHeight];
     Node* x = FindGreaterOrEqual(key, prev);
-    assert(x == nullptr || !Equal(key, x->key));
+    LILSM_ASSERT(x == nullptr || !Equal(key, x->key));
 
     const int height = RandomHeight();
     if (height > GetMaxHeight()) {
@@ -69,11 +69,11 @@ class SkipList {
 
     bool Valid() const { return node_ != nullptr; }
     const K& key() const {
-      assert(Valid());
+      LILSM_ASSERT(Valid());
       return node_->key;
     }
     void Next() {
-      assert(Valid());
+      LILSM_ASSERT(Valid());
       node_ = node_->Next(0);
     }
     void Seek(const K& target) {

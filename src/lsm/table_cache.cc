@@ -4,16 +4,16 @@ namespace lilsm {
 
 TableCache::TableCache(const TableOptions& options, std::string dbname,
                        size_t capacity)
-    : options_(options),
-      block_cache_(options.block_cache),
+    : block_cache_(options.block_cache),
       dbname_(std::move(dbname)),
-      capacity_(capacity == 0 ? 1 : capacity) {}
+      capacity_(capacity == 0 ? 1 : capacity),
+      options_(options) {}
 
 Status TableCache::GetReader(uint64_t file_number,
                              std::shared_ptr<TableReader>* reader) {
   TableOptions open_options;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(file_number);
     if (it != map_.end()) {
       // Touch — skipped when already freshest, which keeps the hot-file
@@ -38,7 +38,7 @@ Status TableCache::GetReader(uint64_t file_number,
       OpenTable(open_options, TableFileName(dbname_, file_number), &opened);
   if (!s.ok()) return s;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(file_number);
   if (it != map_.end()) {
     // Another thread won the race to open this table; keep its reader.
@@ -69,7 +69,7 @@ void TableCache::Evict(uint64_t file_number) {
   if (block_cache_ != nullptr) {
     block_cache_->EraseFile(file_number);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(file_number);
   if (it == map_.end()) return;
   lru_.erase(it->second);
@@ -81,7 +81,7 @@ void TableCache::EvictBatch(const std::vector<uint64_t>& file_numbers) {
   if (block_cache_ != nullptr) {
     block_cache_->EraseFiles(file_numbers);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (uint64_t file_number : file_numbers) {
     auto it = map_.find(file_number);
     if (it == map_.end()) continue;
@@ -94,13 +94,13 @@ void TableCache::Clear() {
   if (block_cache_ != nullptr) {
     block_cache_->Clear();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   map_.clear();
 }
 
 size_t TableCache::TotalIndexMemory() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t total = 0;
   for (const Entry& entry : lru_) {
     total += entry.reader->IndexMemoryUsage();
@@ -109,7 +109,7 @@ size_t TableCache::TotalIndexMemory() const {
 }
 
 size_t TableCache::TotalFilterMemory() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t total = 0;
   for (const Entry& entry : lru_) {
     total += entry.reader->FilterMemoryUsage();

@@ -13,13 +13,14 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "lsm/dbformat.h"
 #include "table/table.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lilsm {
 
@@ -28,40 +29,41 @@ class TableCache {
   TableCache(const TableOptions& options, std::string dbname, size_t capacity);
 
   /// Returns the (possibly cached) reader for the table file.
-  Status GetReader(uint64_t file_number,
-                   std::shared_ptr<TableReader>* reader);
+  Status GetReader(uint64_t file_number, std::shared_ptr<TableReader>* reader)
+      EXCLUDES(mu_);
 
   /// Drops a file's reader (after the file is deleted by a compaction).
-  void Evict(uint64_t file_number);
+  void Evict(uint64_t file_number) EXCLUDES(mu_);
 
   /// Batched Evict: one block-cache scan for the whole set instead of
   /// one per file (obsolete-file GC retires compaction input sets).
-  void EvictBatch(const std::vector<uint64_t>& file_numbers);
+  void EvictBatch(const std::vector<uint64_t>& file_numbers) EXCLUDES(mu_);
 
-  void Clear();
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return map_.size();
   }
   /// Snapshot of the current table options (by value: options_ mutates
   /// under mu_ and a reference would race SetIndexOptions).
-  TableOptions options() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  TableOptions options() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return options_;
   }
 
   /// Updates the index configuration used for newly built tables; callers
   /// retrain existing readers separately (DB::ReconfigureIndexes).
-  void SetIndexOptions(IndexType type, const IndexConfig& config) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void SetIndexOptions(IndexType type, const IndexConfig& config)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     options_.index_type = type;
     options_.index_config = config;
   }
 
   /// Total in-memory footprint of cached indexes (excluding filters).
-  size_t TotalIndexMemory() const;
+  size_t TotalIndexMemory() const EXCLUDES(mu_);
   /// Total in-memory footprint of cached bloom filters.
-  size_t TotalFilterMemory() const;
+  size_t TotalFilterMemory() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -69,16 +71,18 @@ class TableCache {
     std::shared_ptr<TableReader> reader;
   };
 
-  TableOptions options_;  // guarded by mu_ (SetIndexOptions mutates it)
   // Hoisted out of options_ so the invalidation paths (Evict/Clear) can
   // purge blocks without taking mu_: immutable after construction, unlike
   // the index fields SetIndexOptions rewrites.
   const std::shared_ptr<BlockCache> block_cache_;
   const std::string dbname_;
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used; guarded by mu_
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;  // by mu_
+  mutable Mutex mu_;
+  TableOptions options_ GUARDED_BY(mu_);  // SetIndexOptions mutates it
+  /// front = most recently used.
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace lilsm

@@ -241,6 +241,7 @@ VersionSet::VersionSet(Env* env, std::string dbname)
   current_ = new Version();
   current_->vset_ = this;
   current_->Ref();
+  MutexLock lock(&live_mutex_);
   live_.push_back(current_);
 }
 
@@ -251,12 +252,12 @@ VersionSet::~VersionSet() {
 }
 
 void VersionSet::ForgetVersion(const Version* v) {
-  std::lock_guard<std::mutex> lock(live_mutex_);
+  MutexLock lock(&live_mutex_);
   live_.erase(std::remove(live_.begin(), live_.end(), v), live_.end());
 }
 
 void VersionSet::AddLiveFiles(std::set<uint64_t>* live) const {
-  std::lock_guard<std::mutex> lock(live_mutex_);
+  MutexLock lock(&live_mutex_);
   for (const Version* v : live_) {
     for (int level = 0; level < kNumLevels; level++) {
       for (const FileMeta& meta : v->files_[level]) {
@@ -394,7 +395,7 @@ void VersionSet::Apply(const VersionEdit& edit, const ModelDelta* models) {
 
   v->Ref();
   {
-    std::lock_guard<std::mutex> lock(live_mutex_);
+    MutexLock lock(&live_mutex_);
     live_.push_back(v);
   }
   Version* old = current_;

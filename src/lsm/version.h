@@ -12,7 +12,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -20,6 +19,8 @@
 #include "lsm/dbformat.h"
 #include "lsm/wal.h"
 #include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lilsm {
 
@@ -185,7 +186,7 @@ class VersionSet {
 
   /// Inserts the file number of every file reachable from any live
   /// (current or pinned) version. Thread-safe.
-  void AddLiveFiles(std::set<uint64_t>* live) const;
+  void AddLiveFiles(std::set<uint64_t>* live) const EXCLUDES(live_mutex_);
 
   uint64_t NewFileNumber() {
     return next_file_number_.fetch_add(1, std::memory_order_relaxed);
@@ -238,7 +239,7 @@ class VersionSet {
   Status WriteSnapshot(LogWriter* writer);
   void Apply(const VersionEdit& edit, const ModelDelta* models = nullptr);
   Status InstallManifest(uint64_t manifest_number);
-  void ForgetVersion(const Version* v);
+  void ForgetVersion(const Version* v) EXCLUDES(live_mutex_);
   /// The level whose score (fill fraction) is highest, or -1 when no level
   /// is over capacity. `level_allowed` (nullable) masks levels out.
   int PickCompactionLevel(int l0_trigger, uint64_t base_bytes,
@@ -248,10 +249,10 @@ class VersionSet {
   Env* const env_;
   const std::string dbname_;
   Version* current_;  // heap-allocated; the set holds one reference
-  // All versions with outstanding references, current_ included. Guarded
-  // by live_mutex_ (Unref may fire on any thread).
-  mutable std::mutex live_mutex_;
-  std::vector<const Version*> live_;
+  // All versions with outstanding references, current_ included
+  // (Unref may fire on any thread).
+  mutable Mutex live_mutex_;
+  std::vector<const Version*> live_ GUARDED_BY(live_mutex_);
   std::unique_ptr<LogWriter> manifest_;
   uint64_t manifest_number_ = 0;
   uint64_t manifest_edits_ = 0;

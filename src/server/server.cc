@@ -9,13 +9,14 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "server/wire_protocol.h"
 #include "util/coding.h"
 #include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace lilsm {
@@ -57,11 +58,15 @@ struct Server::Conn {
   bool input_closed = false;  // event-loop thread only
   bool epollout_armed = false;  // event-loop thread only
 
-  std::mutex mu;
-  std::string out;                  // encoded response frames awaiting write
-  std::deque<QueuedFrame> pending;  // parsed frames awaiting a worker
-  bool job_active = false;          // a worker is draining `pending`
-  bool want_close = false;          // close once idle and flushed
+  Mutex mu;
+  /// Encoded response frames awaiting write.
+  std::string out GUARDED_BY(mu);
+  /// Parsed frames awaiting a worker.
+  std::deque<QueuedFrame> pending GUARDED_BY(mu);
+  /// A worker is draining `pending`.
+  bool job_active GUARDED_BY(mu) = false;
+  /// Close once idle and flushed.
+  bool want_close GUARDED_BY(mu) = false;
 
   std::unordered_map<uint64_t, const Snapshot*> snapshots;
   uint64_t next_snapshot_id = 1;
@@ -165,8 +170,8 @@ Server::~Server() {
 }
 
 void Server::Stop() {
-  static std::mutex stop_mu;
-  std::lock_guard<std::mutex> l(stop_mu);
+  static Mutex stop_mu;
+  MutexLock l(&stop_mu);
   if (!started_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   WakeLoop();
@@ -250,7 +255,7 @@ void Server::EventLoop() {
       if (done) {
         for (auto& entry : conns_->map) {
           Conn* conn = entry.second.get();
-          std::lock_guard<std::mutex> cl(conn->mu);
+          MutexLock cl(&conn->mu);
           if (conn->job_active || !conn->pending.empty() ||
               !conn->out.empty()) {
             done = false;
@@ -333,7 +338,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
       wire::EncodeFrame(&frame, wire::MessageType::kErrorResponse, 0,
                         Slice(body));
       {
-        std::lock_guard<std::mutex> l(conn->mu);
+        MutexLock l(&conn->mu);
         conn->out.append(frame);
         conn->want_close = true;
       }
@@ -342,7 +347,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
       break;
     }
     qf.enqueue_ns = env_->NowNanos();
-    std::lock_guard<std::mutex> l(conn->mu);
+    MutexLock l(&conn->mu);
     conn->pending.push_back(std::move(qf));
     if (!conn->job_active) {
       conn->job_active = true;
@@ -363,7 +368,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
 void Server::FlushOutput(const std::shared_ptr<Conn>& conn) {
   std::string chunk;
   {
-    std::lock_guard<std::mutex> l(conn->mu);
+    MutexLock l(&conn->mu);
     if (conn->out.empty()) {
       if (conn->epollout_armed) {
         conn->epollout_armed = false;
@@ -390,7 +395,7 @@ void Server::FlushOutput(const std::shared_ptr<Conn>& conn) {
     sent += static_cast<size_t>(r);
   }
   if (sent > 0) stats->Add(Counter::kServerBytesOut, sent);
-  std::lock_guard<std::mutex> l(conn->mu);
+  MutexLock l(&conn->mu);
   if (broken) {
     conn->out.clear();
     conn->want_close = true;
@@ -411,7 +416,7 @@ void Server::FlushOutput(const std::shared_ptr<Conn>& conn) {
 void Server::MaybeFinishConn(const std::shared_ptr<Conn>& conn) {
   bool finish;
   {
-    std::lock_guard<std::mutex> l(conn->mu);
+    MutexLock l(&conn->mu);
     const bool idle = !conn->job_active && conn->pending.empty();
     const bool flushed = conn->out.empty();
     finish = idle && flushed && (conn->input_closed || conn->want_close);
@@ -443,12 +448,13 @@ void Server::DrainAndCloseAll() {
   }
 }
 
+// NOLINTNEXTLINE(performance-unnecessary-value-param) -- see server.h
 void Server::RunConnJobs(std::shared_ptr<Conn> conn) {
   Stats* stats = db_->stats();
   while (true) {
     QueuedFrame qf;
     {
-      std::lock_guard<std::mutex> l(conn->mu);
+      MutexLock l(&conn->mu);
       qf = std::move(conn->pending.front());
       conn->pending.pop_front();
     }
@@ -457,7 +463,7 @@ void Server::RunConnJobs(std::shared_ptr<Conn> conn) {
     const bool keep = HandleFrame(conn.get(), qf, &out);
     bool done = false;
     {
-      std::lock_guard<std::mutex> l(conn->mu);
+      MutexLock l(&conn->mu);
       conn->out.append(out);
       if (!keep) {
         conn->want_close = true;

@@ -109,6 +109,9 @@ class Server {
 
   /// Worker-side: drains `conn`'s pending frame queue, executing each
   /// request against the DB and appending the response frames.
+  // The by-value shared_ptr is load-bearing: the worker-pool closure may
+  // outlive the epoll loop's map entry, so the job keeps its own reference.
+  // NOLINTNEXTLINE(performance-unnecessary-value-param)
   void RunConnJobs(std::shared_ptr<Conn> conn);
   /// Executes one request frame; appends the encoded response frame(s)
   /// to *out. Returns false when the connection must close (protocol

@@ -1,0 +1,46 @@
+// LILSM_CHECK / LILSM_ASSERT: invariant macros replacing ad-hoc assert().
+//
+//  * LILSM_CHECK(cond)  — always compiled in, every build type. For
+//    invariants whose violation must never ship silently (lock-boundary
+//    contracts, refcount underflow, protocol state machines).
+//  * LILSM_ASSERT(cond) — debug builds only; compiled out under NDEBUG
+//    (the condition is not evaluated). For hot-path sanity checks.
+//
+// Both print `file:line: <macro> failed: <condition>` to stderr and
+// abort, so a violation pinpoints its source in any test log or core.
+#ifndef LILSM_UTIL_CHECK_H_
+#define LILSM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lilsm {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* what, const char* cond) {
+  std::fprintf(stderr, "%s:%d: %s failed: %s\n", file, line, what, cond);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lilsm
+
+#define LILSM_CHECK(cond)                                        \
+  ((cond) ? (void)0                                              \
+          : ::lilsm::internal::CheckFailed(__FILE__, __LINE__,   \
+                                           "LILSM_CHECK", #cond))
+
+#ifdef NDEBUG
+// sizeof keeps the expression unevaluated while still "using" every
+// variable it names, so release builds get no unused-variable warnings.
+#define LILSM_ASSERT(cond) ((void)sizeof(!(cond)))
+#else
+#define LILSM_ASSERT(cond)                                        \
+  ((cond) ? (void)0                                               \
+          : ::lilsm::internal::CheckFailed(__FILE__, __LINE__,    \
+                                           "LILSM_ASSERT", #cond))
+#endif
+
+#endif  // LILSM_UTIL_CHECK_H_

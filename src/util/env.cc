@@ -11,12 +11,11 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
-#include <mutex>
 #include <thread>
 
 #include "util/env_uring.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace lilsm {
@@ -212,20 +211,20 @@ class ThreadPoolReadBatch final : public ReadBatch {
     const int helpers =
         static_cast<int>(std::min<size_t>(static_cast<size_t>(io_depth_), n)) -
         1;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv(&mu);
     int outstanding = helpers;
     for (int h = 0; h < helpers; h++) {
       IoPool()->Submit([&] {
         drain();
-        std::lock_guard<std::mutex> l(mu);
-        if (--outstanding == 0) cv.notify_one();
+        MutexLock l(&mu);
+        if (--outstanding == 0) cv.Signal();
       });
     }
     drain();
     if (helpers > 0) {
-      std::unique_lock<std::mutex> l(mu);
-      cv.wait(l, [&] { return outstanding == 0; });
+      MutexLock l(&mu);
+      while (outstanding != 0) cv.Wait();
     }
     Status s;
     for (ReadRequest* r : requests_) {

@@ -16,11 +16,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lilsm {
 
@@ -54,7 +56,7 @@ class LRUCache {
   /// attribute them to a per-call Stats sink count on their side too.
   std::shared_ptr<const V> Lookup(const K& key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -74,7 +76,7 @@ class LRUCache {
   size_t Insert(const K& key, V value, size_t charge) {
     Shard& shard = ShardFor(key);
     size_t evicted = 0;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.usage -= it->second->charge;
@@ -100,7 +102,7 @@ class LRUCache {
 
   void Erase(const K& key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return;
     shard.usage -= it->second->charge;
@@ -114,7 +116,7 @@ class LRUCache {
   template <typename Pred>
   void EraseIf(Pred pred) {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       for (auto it = shard.lru.begin(); it != shard.lru.end();) {
         if (pred(it->key)) {
           shard.usage -= it->charge;
@@ -129,7 +131,7 @@ class LRUCache {
 
   void Clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       shard.lru.clear();
       shard.map.clear();
       shard.usage = 0;
@@ -141,7 +143,7 @@ class LRUCache {
   size_t MemoryUsage() const {
     size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       total += shard.usage;
     }
     return total;
@@ -150,7 +152,7 @@ class LRUCache {
   size_t size() const {
     size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       total += shard.map.size();
     }
     return total;
@@ -172,10 +174,12 @@ class LRUCache {
 
   /// Cache-line aligned so neighbouring shard mutexes do not false-share.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used; guarded by mu
-    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map;
-    size_t usage = 0;  // charged bytes; guarded by mu
+    mutable Mutex mu;
+    /// front = most recently used.
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map
+        GUARDED_BY(mu);
+    size_t usage GUARDED_BY(mu) = 0;  // charged bytes
   };
 
   Shard& ShardFor(const K& key) { return shards_[Hash{}(key) & shard_mask_]; }

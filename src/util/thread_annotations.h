@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis annotations (the Abseil/RocksDB macro
+// set). Under clang the macros expand to the `guarded_by`/`requires`/...
+// attributes and `-Wthread-safety` turns every missing-lock access into a
+// compile error; under gcc (no such attributes) they expand to nothing,
+// so the same sources build everywhere. The annotated capability types
+// the engine uses are in util/mutex.h.
+//
+// Conventions (see DESIGN.md "Correctness & static analysis"):
+//  * every member a mutex guards carries GUARDED_BY(mu_);
+//  * every function documented "REQUIRES mu_" carries REQUIRES(mu_);
+//  * lock-dropping sections call mu_.Unlock()/mu_.Lock() explicitly
+//    inside a REQUIRES function — the analysis checks the rebalance;
+//  * fields owned by a single thread by construction (event-loop state,
+//    construction-time constants) stay unannotated with a comment.
+#ifndef LILSM_UTIL_THREAD_ANNOTATIONS_H_
+#define LILSM_UTIL_THREAD_ANNOTATIONS_H_
+
+// Active only under clang with the capability attributes available;
+// build_sanity_test asserts this is 1 whenever __clang__ is defined.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LILSM_THREAD_SAFETY_ANALYSIS_ENABLED 1
+#endif
+#endif
+#ifndef LILSM_THREAD_SAFETY_ANALYSIS_ENABLED
+#define LILSM_THREAD_SAFETY_ANALYSIS_ENABLED 0
+#endif
+
+#if LILSM_THREAD_SAFETY_ANALYSIS_ENABLED
+#define LILSM_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define LILSM_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define CAPABILITY(x) LILSM_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY LILSM_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) LILSM_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) LILSM_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LILSM_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // LILSM_UTIL_THREAD_ANNOTATIONS_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace lilsm {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -14,10 +16,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -25,43 +27,49 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> work) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(work));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && active_ == 0)) {
+    idle_cv_.Wait();
+  }
 }
 
 size_t ThreadPool::QueueDepth() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) {
+      work_cv_.Wait();
+    }
     // On stop, keep draining: Submit-then-wait callers rely on every
     // accepted closure eventually running.
     if (queue_.empty()) {
-      if (stop_) return;
+      if (stop_) break;
       continue;
     }
     std::function<void()> work = std::move(queue_.front());
     queue_.pop_front();
     active_++;
-    lock.unlock();
+    mu_.Unlock();
     work();
-    lock.lock();
+    mu_.Lock();
+    LILSM_ASSERT(active_ > 0);
     active_--;
     if (queue_.empty() && active_ == 0) {
-      idle_cv_.notify_all();
+      idle_cv_.SignalAll();
     }
   }
+  mu_.Unlock();
 }
 
 }  // namespace lilsm

@@ -5,12 +5,13 @@
 #ifndef LILSM_UTIL_THREAD_POOL_H_
 #define LILSM_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lilsm {
 
@@ -27,25 +28,25 @@ class ThreadPool {
   /// FIFO order but concurrently across threads; callers needing mutual
   /// exclusion provide their own (the DB claims disjoint work units
   /// under its mutex before each closure runs).
-  void Submit(std::function<void()> work);
+  void Submit(std::function<void()> work) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no closure is running.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
   /// Queued-but-not-started closures (diagnostic; racy by nature).
-  size_t QueueDepth();
+  size_t QueueDepth() EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signals workers: work or stop
-  std::condition_variable idle_cv_;  // signals WaitIdle: pool went idle
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  int active_ = 0;                           // closures mid-run; guarded by mu_
-  bool stop_ = false;                        // guarded by mu_
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_{&mu_};  // signals workers: work or stop
+  CondVar idle_cv_{&mu_};  // signals WaitIdle: pool went idle
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;   // closures mid-run
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // immutable after construction
 };
 
 }  // namespace lilsm

@@ -1,12 +1,21 @@
-// Guards the index-type registry against drift: adding an IndexType
-// enumerator without registering it in kAllIndexTypes (or without a
-// printable, parseable name) must fail this suite at compile or run time.
+// Build-environment drift guards. Two concerns share this suite:
+//  1. The index-type registry: adding an IndexType enumerator without
+//     registering it in kAllIndexTypes (or without a printable, parseable
+//     name) must fail at compile or run time.
+//  2. The thread-safety toolchain: the annotation macros must expand to
+//     real attributes under clang (so -Wthread-safety bites) and to
+//     nothing under gcc, and the Mutex/CondVar wrappers plus
+//     LILSM_CHECK/LILSM_ASSERT must behave per their contracts.
 #include <cstddef>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "gtest/gtest.h"
 #include "index/index.h"
+#include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lilsm {
 namespace {
@@ -70,6 +79,94 @@ TEST(BuildSanityTest, EveryTypeConstructs) {
     EXPECT_EQ(index->type(), type);
   }
 }
+
+// --- Thread-safety annotation + invariant-macro sanity -------------------
+//
+// The locking surface relies on src/util/thread_annotations.h expanding to
+// real attributes under clang (so -Wthread-safety checks GUARDED_BY /
+// REQUIRES) and to nothing under gcc. A toolchain or macro regression that
+// silently disabled the analysis would make every annotation decorative;
+// this pins the expansion per compiler.
+
+#if defined(__clang__)
+static_assert(LILSM_THREAD_SAFETY_ANALYSIS_ENABLED == 1,
+              "clang builds must have thread-safety attributes active: "
+              "the -Wthread-safety CI gate depends on it");
+#else
+static_assert(LILSM_THREAD_SAFETY_ANALYSIS_ENABLED == 0,
+              "non-clang builds must compile the annotations away");
+#endif
+
+TEST(BuildSanityTest, AnnotationMacrosMatchCompiler) {
+#if defined(__clang__)
+  EXPECT_EQ(LILSM_THREAD_SAFETY_ANALYSIS_ENABLED, 1);
+#else
+  EXPECT_EQ(LILSM_THREAD_SAFETY_ANALYSIS_ENABLED, 0);
+#endif
+}
+
+TEST(BuildSanityTest, MutexAndCondVarBehave) {
+  Mutex mu;
+  CondVar cv(&mu);
+  int value = 0;    // guarded by mu (GUARDED_BY only attaches to members)
+  bool ready = false;
+
+  std::thread t([&] {
+    MutexLock lock(&mu);
+    value = 42;
+    ready = true;
+    cv.Signal();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait();
+    EXPECT_EQ(value, 42);
+  }
+  t.join();
+
+  EXPECT_TRUE(mu.TryLock());
+  mu.AssertHeld();
+  EXPECT_FALSE(mu.TryLock());  // std::mutex: second try-lock must fail
+  mu.Unlock();
+}
+
+TEST(BuildSanityTest, SharedMutexBehaves) {
+  SharedMutex mu;
+  {
+    ReaderMutexLock r1(&mu);
+    EXPECT_TRUE(mu.TryLockShared());  // readers share
+    mu.UnlockShared();
+    EXPECT_FALSE(mu.TryLock());  // writer excluded while read-held
+  }
+  {
+    WriterMutexLock w(&mu);
+    EXPECT_FALSE(mu.TryLockShared());  // readers excluded while write-held
+  }
+}
+
+TEST(BuildSanityTest, CheckMacrosBehave) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    evaluations++;
+    return true;
+  };
+  LILSM_CHECK(count());
+  EXPECT_EQ(evaluations, 1);  // LILSM_CHECK always evaluates
+
+  LILSM_ASSERT(count());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 1);  // compiled out: condition not evaluated
+#else
+  EXPECT_EQ(evaluations, 2);
+#endif
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(BuildSanityDeathTest, CheckFailureAbortsWithLocation) {
+  EXPECT_DEATH(LILSM_CHECK(1 + 1 == 3),
+               "build_sanity_test.cc.*LILSM_CHECK failed: 1 \\+ 1 == 3");
+}
+#endif
 
 }  // namespace
 }  // namespace lilsm

@@ -3,6 +3,7 @@
 // engagement, background-compaction convergence, and clean shutdown while
 // maintenance work is queued. Run under TSan in CI (see ci.yml).
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <thread>
@@ -538,6 +539,61 @@ TEST_F(DbConcurrencyTest, MultiGetUnderConcurrentMaintenanceWithSnapshot) {
   db_->ReleaseSnapshot(snap);
   ASSERT_FALSE(failed.load());
   EXPECT_GT(db_->stats()->Count(Counter::kMultiGetBatches), 0u);
+}
+
+// Regression test for a thread-safety-analysis finding in the group-commit
+// leader: WriteGrouped dereferenced the mutex-guarded wal_/mem_ members
+// AFTER dropping the DB mutex, relying implicitly on the queue-front token
+// to keep them stable. The fix snapshots both into locals under the mutex
+// before unlocking. This test hammers that exact window: grouped sync and
+// non-sync writers racing explicit memtable switches (FlushMemTable swaps
+// mem_ and rolls wal_), so any return to off-mutex member access shows up
+// as a data race under TSan.
+TEST_F(DbConcurrencyTest, GroupCommitLeaderRacesMemtableSwitch) {
+  DBOptions options = BackgroundDbOptions();
+  options.group_commit = true;
+  Open(options);
+
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 400;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; w++) {
+    writers.emplace_back([this, w] {
+      WriteOptions wopts;
+      for (uint64_t i = 0; i < kPerWriter; i++) {
+        // Alternate the sync bit so groups mix fsync and flush leaders.
+        wopts.sync = (i % 7 == 0);
+        const Key key = KeyFor(static_cast<uint64_t>(w), i);
+        ASSERT_LILSM_OK(db_->Put(wopts, key, ValueFor(key, 1)));
+      }
+    });
+  }
+
+  // Force memtable switches (mem_ swap + WAL roll) while groups commit.
+  std::thread flusher([this, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_LILSM_OK(db_->FlushMemTable());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+
+  // Every write must have landed exactly once despite the switch storm.
+  ReadOptions ropts;
+  for (int w = 0; w < kWriters; w++) {
+    for (uint64_t i = 0; i < kPerWriter; i += 37) {
+      const Key key = KeyFor(static_cast<uint64_t>(w), i);
+      std::string value;
+      ASSERT_LILSM_OK(db_->Get(ropts, key, &value));
+      EXPECT_EQ(value, ValueFor(key, 1));
+    }
+  }
 }
 
 }  // namespace
