@@ -1,0 +1,228 @@
+// Figure 15 (beyond the paper): restart time with persisted learned
+// models. One compacted level-granularity tree is opened four ways —
+//
+//   sidecar   kCompactionMaintained + kSidecar: models stitched from the
+//             tables' persisted sidecar blocks (zero key scans)
+//   stitch    kCompactionMaintained + kStitchInMemory: models stitched
+//             from each reader's decoded index blob (zero key re-reads,
+//             but every table is opened and parsed)
+//   retrain   kCompactionMaintained + kRetrainOnOpen: models rebuilt
+//             from a full key scan at open
+//   lazy      kLazyRebuild: open does no model work; the first reads pay
+//             the full-level scans instead
+//
+// — reporting DB::Open wall time, first-read latency, and the mean of
+// the first 100 reads, plus the model-load counters that prove where the
+// work went. A running checksum over identical read sequences proves all
+// four opens serve bit-identical results. Results also land in
+// BENCH_pr10.json (cwd) for CI artifact upload.
+//
+//   fig15_restart            # full sweep
+//   fig15_restart --n 4000   # the smoke_fig15_restart ctest entry
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "lsm/db.h"
+#include "workload/dataset.h"
+
+using namespace lilsm;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  LevelModelPolicy policy;
+  ModelPersistence persistence;
+};
+
+constexpr Mode kModes[] = {
+    {"sidecar", LevelModelPolicy::kCompactionMaintained,
+     ModelPersistence::kSidecar},
+    {"stitch", LevelModelPolicy::kCompactionMaintained,
+     ModelPersistence::kStitchInMemory},
+    {"retrain", LevelModelPolicy::kCompactionMaintained,
+     ModelPersistence::kRetrainOnOpen},
+    {"lazy", LevelModelPolicy::kLazyRebuild, ModelPersistence::kSidecar},
+};
+
+struct ModeResult {
+  double open_ms = 0;
+  double first_read_us = 0;
+  double mean100_read_us = 0;
+  uint64_t models_from_disk = 0;
+  uint64_t sidecar_fallbacks = 0;
+  uint64_t model_build_bytes = 0;
+  uint64_t checksum = 0;
+};
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+DBOptions RestartOptions(const ExperimentDefaults& d, const Mode& mode) {
+  DBOptions options;
+  const uint64_t entry_size = d.key_size + 8 + d.value_size;
+  options.write_buffer_size = std::max<size_t>(
+      32 << 10, std::min<uint64_t>(d.write_buffer_size,
+                                   d.num_keys * entry_size / 8));
+  options.sstable_target_size = options.write_buffer_size / 2;
+  options.size_ratio = d.size_ratio;
+  options.bloom_bits_per_key = d.bloom_bits_per_key;
+  options.key_size = d.key_size;
+  options.value_size = d.value_size;
+  options.index_granularity = IndexGranularity::kLevel;
+  options.level_model_policy = mode.policy;
+  options.model_persistence = mode.persistence;
+  options.index_config = IndexConfig::FromPositionBoundary(64);
+  return options;
+}
+
+Status RunMode(const Mode& mode, const ExperimentDefaults& d,
+               const std::string& dbdir, const std::vector<Key>& keys,
+               const std::vector<Key>& probes, ModeResult* result) {
+  Env* env = Env::Default();
+  DBOptions options = RestartOptions(d, mode);
+  std::unique_ptr<DB> db;
+  const uint64_t open_start = env->NowNanos();
+  Status s = DB::Open(options, dbdir, &db);
+  if (!s.ok()) return s;
+  result->open_ms = (env->NowNanos() - open_start) / 1e6;
+
+  uint64_t checksum = 1469598103934665603ull;  // FNV offset basis
+  std::string value;
+  double first_100_ns = 0;
+  for (size_t i = 0; i < probes.size(); i++) {
+    const uint64_t t0 = env->NowNanos();
+    s = db->Get(probes[i], &value);
+    const uint64_t dt = env->NowNanos() - t0;
+    if (!s.ok()) return s;
+    if (i == 0) result->first_read_us = dt / 1e3;
+    if (i < 100) first_100_ns += static_cast<double>(dt);
+    checksum = Fnv1a(checksum, probes[i]);
+    for (size_t b = 0; b + 8 <= value.size(); b += 8) {
+      uint64_t word = 0;
+      std::memcpy(&word, value.data() + b, 8);
+      checksum = Fnv1a(checksum, word);
+    }
+  }
+  result->mean100_read_us =
+      first_100_ns / std::min<size_t>(probes.size(), 100) / 1e3;
+  result->checksum = checksum;
+
+  const Stats& stats = *db->stats();
+  result->models_from_disk = stats.Count(Counter::kModelsLoadedFromDisk);
+  result->sidecar_fallbacks = stats.Count(Counter::kModelSidecarFallbacks);
+  result->model_build_bytes = stats.Count(Counter::kModelBuildBytesRead);
+  (void)keys;
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentDefaults d = bench::BenchDefaults(argc, argv);
+  bench::PrintHeader("Figure 15",
+                     "restart time with persisted learned models", d);
+
+  // Build one compacted tree all four opens share.
+  const std::string dbdir = bench::BenchDir("fig15");
+  std::vector<Key> keys = GenerateKeys(d.dataset, d.num_keys, d.seed);
+  {
+    DBOptions options = RestartOptions(d, kModes[0]);
+    DB::Destroy(options, dbdir);
+    std::unique_ptr<DB> db;
+    Status s = DB::Open(options, dbdir, &db);
+    if (s.ok()) {
+      for (Key key : keys) {
+        s = db->Put(key, DeriveValue(key, d.value_size));
+        if (!s.ok()) break;
+      }
+    }
+    if (s.ok()) s = db->CompactAll();
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig15: load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  // A fixed probe sequence every mode replays identically.
+  std::vector<Key> probes;
+  {
+    Random rnd(d.seed ^ 0xF15);
+    const size_t n = std::min<size_t>(keys.size(), 2000);
+    probes.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+      probes.push_back(keys[rnd.Uniform(keys.size())]);
+    }
+  }
+
+  ReportTable table("Figure 15: open + first-read cost by model source");
+  table.SetHeader({"mode", "open_ms", "first_read_us", "mean100_read_us",
+                   "models_from_disk", "model_scan_MB"});
+  ModeResult results[4];
+  for (size_t m = 0; m < 4; m++) {
+    Status s = RunMode(kModes[m], d, dbdir, keys, probes, &results[m]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "fig15 %s: %s\n", kModes[m].name,
+                   s.ToString().c_str());
+      return 1;
+    }
+    table.AddRow({kModes[m].name, FormatMicros(results[m].open_ms),
+                  FormatMicros(results[m].first_read_us),
+                  FormatMicros(results[m].mean100_read_us),
+                  std::to_string(results[m].models_from_disk),
+                  FormatMicros(results[m].model_build_bytes / 1048576.0)});
+  }
+  table.Emit();
+
+  for (size_t m = 1; m < 4; m++) {
+    if (results[m].checksum != results[0].checksum) {
+      std::fprintf(stderr,
+                   "fig15: mode %s returned DIFFERENT Get results\n",
+                   kModes[m].name);
+      return 1;
+    }
+  }
+  std::printf("# Get results identical across all four open modes "
+              "(checksum %llx)\n",
+              static_cast<unsigned long long>(results[0].checksum));
+  if (results[0].model_build_bytes != 0) {
+    std::fprintf(stderr, "fig15: sidecar open scanned %llu key bytes\n",
+                 static_cast<unsigned long long>(
+                     results[0].model_build_bytes));
+    return 1;
+  }
+
+  FILE* json = std::fopen("BENCH_pr10.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\"bench\":\"fig15_restart\",\"n\":%zu,\"modes\":[",
+                 d.num_keys);
+    for (size_t m = 0; m < 4; m++) {
+      const ModeResult& r = results[m];
+      std::fprintf(
+          json,
+          "%s{\"mode\":\"%s\",\"open_ms\":%.3f,\"first_read_us\":%.2f,"
+          "\"mean100_read_us\":%.2f,\"models_from_disk\":%llu,"
+          "\"sidecar_fallbacks\":%llu,\"model_build_bytes\":%llu}",
+          m == 0 ? "" : ",", kModes[m].name, r.open_ms, r.first_read_us,
+          r.mean100_read_us,
+          static_cast<unsigned long long>(r.models_from_disk),
+          static_cast<unsigned long long>(r.sidecar_fallbacks),
+          static_cast<unsigned long long>(r.model_build_bytes));
+    }
+    std::fprintf(json, "]}\n");
+    std::fclose(json);
+    std::printf("# wrote BENCH_pr10.json\n");
+  }
+  {
+    DBOptions options = RestartOptions(d, kModes[0]);
+    DB::Destroy(options, dbdir);
+  }
+  return 0;
+}

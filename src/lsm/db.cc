@@ -97,7 +97,8 @@ class DBImpl final : public DB {
     table_cache_ = std::make_unique<TableCache>(MakeTableOptions(), dbname_,
                                                 options_.max_open_tables);
     model_catalog_ = std::make_unique<ModelCatalog>(
-        env_, &stats_, options_.model_stitch_blowup);
+        env_, &stats_, options_.model_stitch_blowup, dbname_,
+        options_.model_persistence == ModelPersistence::kSidecar);
     mem_ = new MemTable();
     mem_->Ref();
   }
@@ -139,6 +140,7 @@ class DBImpl final : public DB {
       return RollWal();
     }
 
+    ScopedTimer recover_timer(&stats_, Timer::kRecover, env_);
     s = versions_->Recover();
     if (!s.ok()) return s;
     s = ReplayWals();
@@ -1377,6 +1379,14 @@ class DBImpl final : public DB {
   /// the successor version is born with consistent models and readers
   /// never pay a build.
   Status InstallEdit(VersionEdit* edit) REQUIRES(mutex_) {
+    if (!edit->new_files_.empty()) {
+      // The new tables' directory entries must be durable before the
+      // manifest references them: a crash after the (synced) manifest
+      // write but before a directory sync would otherwise recover a
+      // version pointing at unlinked files.
+      Status s = env_->SyncDir(dbname_);
+      if (!s.ok()) return s;
+    }
     if (!maintained_models()) return versions_->LogAndApply(edit);
     ModelDelta delta;
     PrepareModelDelta(*edit, &delta);
@@ -1428,13 +1438,20 @@ class DBImpl final : public DB {
   /// left empty for the read path.
   void PrefillLevelModelsLocked() REQUIRES(mutex_) {
     if (!ModelCatalog::CanStitch(options_.index_type)) return;
+    ScopedTimer load_timer(&stats_, Timer::kModelLoad, env_);
     const Version& v = versions_->current();
     for (int level = 1; level < kNumLevels; level++) {
       if (v.files(level).empty()) continue;
       LevelModelRef model;
-      Status s = model_catalog_->BuildForInstall(
-          v.files(level), table_cache_.get(), options_.index_type,
-          options_.index_config, nullptr, &model);
+      Status s =
+          options_.model_persistence == ModelPersistence::kRetrainOnOpen
+              ? model_catalog_->TrainFull(v.files(level), table_cache_.get(),
+                                          options_.index_type,
+                                          options_.index_config,
+                                          Timer::kModelRetrain, &model)
+              : model_catalog_->BuildForInstall(
+                    v.files(level), table_cache_.get(), options_.index_type,
+                    options_.index_config, nullptr, &model);
       if (s.ok()) v.models()->Publish(level, std::move(model));
     }
   }
@@ -1450,7 +1467,9 @@ class DBImpl final : public DB {
     }
     wal_ = std::make_unique<LogWriter>(std::move(file));
     wal_number_ = number;
-    return Status::OK();
+    // The new log's directory entry must be as durable as the records
+    // synced into it, or a crash loses acked writes with the file.
+    return env_->SyncDir(dbname_);
   }
 
   Status ReplayWals() REQUIRES(mutex_) {
@@ -1483,9 +1502,18 @@ class DBImpl final : public DB {
         if (last > versions_->last_sequence()) {
           versions_->SetLastSequence(last);
         }
+        stats_.Add(Counter::kWalRecordsReplayed);
+      }
+      if (reader.result() == LogReadStatus::kCorruption) {
+        // Damage with intact records after it is real corruption, not a
+        // crash artifact — silently dropping the tail would lose acked
+        // (possibly synced) writes.
+        return Status::Corruption(WalFileName(dbname_, number),
+                                  "corrupt record mid-log");
       }
       versions_->MarkFileNumberUsed(number);
-      // A torn tail record is expected after a crash; replay stops there.
+      // A torn tail (kTornTail) is the expected shape of a crash mid-
+      // append; replay treats it as a clean end of this log.
     }
     return Status::OK();
   }

@@ -67,6 +67,24 @@ enum class LevelModelPolicy : uint8_t {
   kCompactionMaintained = 1,
 };
 
+/// How DB::Open under kCompactionMaintained obtains the level models for
+/// the recovered tree (see DESIGN.md "Durability & recovery").
+enum class ModelPersistence : uint8_t {
+  /// Default: stitch from each table's persisted model sidecar — two
+  /// preads per file, zero key scans (Counter::kModelsLoadedFromDisk).
+  /// Missing or corrupt sidecars fall back per file to the in-memory
+  /// reader export (Counter::kModelSidecarFallbacks).
+  kSidecar = 0,
+  /// Ignore sidecars; stitch from each table reader's in-memory index
+  /// (decodes index blobs but re-reads no keys). The pre-sidecar
+  /// behavior, kept for measurement.
+  kStitchInMemory = 1,
+  /// Rebuild every level model from a full key scan at open time — the
+  /// slowest, model-bit-exact baseline the persisted paths are compared
+  /// against.
+  kRetrainOnOpen = 2,
+};
+
 /// Where LSM maintenance (flush, compaction) runs.
 enum class ConcurrencyMode : uint8_t {
   /// Maintenance runs inline on the writing thread; the engine is
@@ -209,6 +227,8 @@ struct DBOptions {
   /// the stitched model's segments-per-entry density exceeds this multiple
   /// of the level's best observed density. <= 0 disables the fallback.
   double model_stitch_blowup = 4.0;
+  /// Where open-time level models come from under kCompactionMaintained.
+  ModelPersistence model_persistence = ModelPersistence::kSidecar;
 
   /// fdatasync the WAL on every write (off for benchmarks, matching the
   /// paper's setup; recovery tests turn it on).

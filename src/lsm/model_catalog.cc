@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "lsm/dbformat.h"
+#include "table/segment_sidecar.h"
 #include "util/mutex.h"
 
 namespace lilsm {
@@ -51,6 +53,28 @@ size_t VersionModels::MemoryUsage() const {
 // ModelCatalog
 // ---------------------------------------------------------------------------
 
+bool ModelCatalog::LoadFromSidecar(const FileMeta& meta, FileSegments* out) {
+  SegmentSidecar sidecar;
+  Status s =
+      ReadSegmentSidecar(env_, TableFileName(dbname_, meta.number), &sidecar);
+  if (s.ok() && sidecar.entries != meta.entries) {
+    // A stale or mixed-up sidecar; the manifest's entry count is truth.
+    s = Status::Corruption("segment sidecar: entry count mismatch");
+  }
+  if (!s.ok()) {
+    // Missing (pre-sidecar table, non-exporting index type) or corrupt:
+    // either way the reader-export path still works.
+    if (stats_ != nullptr) stats_->Add(Counter::kModelSidecarFallbacks);
+    return false;
+  }
+  out->entries = sidecar.entries;
+  out->epsilon = sidecar.epsilon;
+  out->segments = std::make_shared<const std::vector<LinearSegment>>(
+      std::move(sidecar.segments));
+  if (stats_ != nullptr) stats_->Add(Counter::kModelsLoadedFromDisk);
+  return true;
+}
+
 Status ModelCatalog::ExportFileSegments(const FileMeta& meta,
                                         TableCache* cache, bool* supported,
                                         FileSegments* out) {
@@ -62,6 +86,11 @@ Status ModelCatalog::ExportFileSegments(const FileMeta& meta,
       *out = it->second;
       return Status::OK();
     }
+  }
+  if (sidecar_first_ && LoadFromSidecar(meta, out)) {
+    MutexLock lock(&cache_mu_);
+    file_segments_.emplace(meta.number, *out);
+    return Status::OK();
   }
   std::shared_ptr<TableReader> reader;
   Status s = cache->GetReader(meta.number, &reader);

@@ -101,8 +101,20 @@ class ModelCatalog {
   /// `stitch_blowup`: full-retrain fallback triggers when the stitched
   /// segments-per-entry density exceeds this multiple of the level's
   /// baseline density; <= 0 disables the fallback.
-  ModelCatalog(Env* env, Stats* stats, double stitch_blowup)
-      : env_(env), stats_(stats), stitch_blowup_(stitch_blowup) {}
+  ///
+  /// With `sidecar_first` set (and a non-empty `dbname` to resolve table
+  /// paths), a segment-cache miss first tries the file's persisted model
+  /// sidecar — two preads, no reader construction, no key scan
+  /// (Counter::kModelsLoadedFromDisk) — and only falls back to opening
+  /// the reader and exporting its in-memory index on a missing or
+  /// corrupt sidecar (Counter::kModelSidecarFallbacks).
+  ModelCatalog(Env* env, Stats* stats, double stitch_blowup,
+               std::string dbname = std::string(), bool sidecar_first = false)
+      : env_(env),
+        stats_(stats),
+        stitch_blowup_(stitch_blowup),
+        dbname_(std::move(dbname)),
+        sidecar_first_(sidecar_first && !dbname_.empty()) {}
 
   /// What to do when a stitch is not possible (segment-density blow-up
   /// past the configured ratio, or a file whose in-memory index cannot
@@ -189,9 +201,15 @@ class ModelCatalog {
   Status ExportFileSegments(const FileMeta& meta, TableCache* cache,
                             bool* supported, FileSegments* out);
 
+  /// The sidecar-first half of ExportFileSegments: true when the file's
+  /// persisted sidecar yielded a usable FileSegments.
+  bool LoadFromSidecar(const FileMeta& meta, FileSegments* out);
+
   Env* const env_;
   Stats* const stats_;
   const double stitch_blowup_;
+  const std::string dbname_;
+  const bool sidecar_first_;
   mutable Mutex cache_mu_;
   /// Per-file trained segments keyed by file number (numbers are never
   /// reused).

@@ -268,13 +268,24 @@ void VersionSet::AddLiveFiles(std::set<uint64_t>* live) const {
 }
 
 Status VersionSet::InstallManifest(uint64_t manifest_number) {
-  // Point CURRENT at the manifest via an atomic rename.
+  // Point CURRENT at the manifest: write-temp + atomic rename + parent
+  // directory fsyncs. The first SyncDir makes the manifest's own entry
+  // durable before anything names it (a crash right after the swap must
+  // not leave CURRENT pointing at a file that was never linked); the
+  // second makes the rename itself durable (without it, a crash can
+  // roll CURRENT back to the previous manifest — or, on a fresh DB, to
+  // no CURRENT at all). A crash between any two steps leaves either the
+  // old pointer or the new one, both naming a complete manifest.
+  Status s = env_->SyncDir(dbname_);
+  if (!s.ok()) return s;
   const std::string tmp = TempFileName(dbname_, manifest_number);
   std::string contents = ManifestFileName("", manifest_number).substr(1);
   contents.push_back('\n');
-  Status s = WriteStringToFile(env_, contents, tmp);
+  s = WriteStringToFile(env_, contents, tmp);
   if (!s.ok()) return s;
-  return env_->RenameFile(tmp, CurrentFileName(dbname_));
+  s = env_->RenameFile(tmp, CurrentFileName(dbname_));
+  if (!s.ok()) return s;
+  return env_->SyncDir(dbname_);
 }
 
 Status VersionSet::CreateNew() {
@@ -335,7 +346,12 @@ Status VersionSet::Recover() {
     if (!s.ok()) return s;
     Apply(edit);
   }
-  if (reader.hit_corruption()) {
+  // A torn tail is the residue of a crash mid-LogAndApply: that edit was
+  // never acknowledged (LogAndApply syncs before returning), so every
+  // complete record before it is the full committed history — a clean
+  // end of log. Mid-log corruption, by contrast, would silently drop
+  // committed edits if replay stopped there, so the open must fail.
+  if (reader.result() == LogReadStatus::kCorruption) {
     return Status::Corruption("manifest replay hit a corrupt record");
   }
 

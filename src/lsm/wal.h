@@ -1,7 +1,11 @@
 // Write-ahead log (also used for the MANIFEST): a sequence of records, each
 //   masked crc32c (4B) | payload length (4B) | payload.
-// Replay stops cleanly at a torn or corrupt tail record, which is the crash
-// durability contract the recovery tests exercise.
+// Replay distinguishes two kinds of damage. A record that runs into
+// end-of-file (short header, short payload, or a checksum mismatch on the
+// final record) is a torn tail: the expected residue of a crash
+// mid-append, and a clean end of log. A damaged record with valid bytes
+// beyond it is mid-log corruption: committed data after it would be lost,
+// so recovery must fail rather than silently truncate history.
 //
 // Concurrency contract: LogWriter/LogReader are single-threaded objects;
 // the engine guarantees one appender at a time. On the serial write path
@@ -43,6 +47,15 @@ class LogWriter {
   std::unique_ptr<WritableFile> file_;
 };
 
+/// Outcome of one LogReader::Read call. Everything except kOk is
+/// terminal: the reader stays at that status for all further calls.
+enum class LogReadStatus {
+  kOk = 0,     // *record holds the next record
+  kEof,        // clean end of log
+  kTornTail,   // record runs into EOF — a crash artifact, recoverable
+  kCorruption, // damaged record with valid bytes beyond — fail open
+};
+
 class LogReader {
  public:
   explicit LogReader(std::unique_ptr<SequentialFile> file)
@@ -51,15 +64,38 @@ class LogReader {
   LogReader(const LogReader&) = delete;
   LogReader& operator=(const LogReader&) = delete;
 
-  /// Reads the next record into *record. Returns false at EOF or at the
-  /// first corrupt/torn record (in which case corruption() reports it).
-  bool ReadRecord(std::string* record);
+  /// Reads the next record into *record and returns kOk, or reports how
+  /// the log ended. Classification: a record cut off by end-of-file is
+  /// kTornTail (the torn final append of a crashed process — replay
+  /// stops there, everything before it is intact); a record whose
+  /// checksum fails, or whose header is garbage, while valid bytes still
+  /// follow is kCorruption (stopping would silently drop committed
+  /// records, so the caller must refuse the log).
+  LogReadStatus Read(std::string* record);
 
-  bool hit_corruption() const { return hit_corruption_; }
+  /// Legacy surface: true when Read yields a record; on false, result()
+  /// carries the typed terminal status.
+  bool ReadRecord(std::string* record) {
+    return Read(record) == LogReadStatus::kOk;
+  }
+
+  /// Terminal status after ReadRecord/Read returns false/non-kOk.
+  LogReadStatus result() const { return last_; }
+
+  /// Legacy predicate: the log ended at a damaged record (either kind).
+  bool hit_corruption() const {
+    return last_ == LogReadStatus::kTornTail ||
+           last_ == LogReadStatus::kCorruption;
+  }
 
  private:
+  LogReadStatus ReadInternal(std::string* record);
+  Status ReadFully(size_t n, Slice* result, char* scratch);
+  bool AtEof();
+  bool EofWithin(uint64_t length);
+
   std::unique_ptr<SequentialFile> file_;
-  bool hit_corruption_ = false;
+  LogReadStatus last_ = LogReadStatus::kOk;
 };
 
 }  // namespace lilsm

@@ -11,7 +11,8 @@ void Footer::EncodeTo(std::string* dst) const {
   meta_handle.EncodeTo(dst);
   bloom_handle.EncodeTo(dst);
   index_handle.EncodeTo(dst);
-  dst->resize(original_size + 3 * BlockHandle::kMaxEncodedLength);  // pad
+  segments_handle.EncodeTo(dst);
+  dst->resize(original_size + 4 * BlockHandle::kMaxEncodedLength);  // pad
   PutFixed64(dst, kTableMagic);
 }
 
@@ -26,7 +27,8 @@ Status Footer::DecodeFrom(Slice* input) {
   Slice handles(input->data(), kEncodedLength - 8);
   if (!meta_handle.DecodeFrom(&handles) ||
       !bloom_handle.DecodeFrom(&handles) ||
-      !index_handle.DecodeFrom(&handles)) {
+      !index_handle.DecodeFrom(&handles) ||
+      !segments_handle.DecodeFrom(&handles)) {
     return Status::Corruption("footer: bad block handles");
   }
   input->remove_prefix(kEncodedLength);

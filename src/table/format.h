@@ -35,15 +35,21 @@ struct BlockHandle {
 };
 
 /// Fixed-size trailer of every table file:
-///   meta_handle | bloom_handle | index_handle | padding | magic(8B)
+///   meta_handle | bloom_handle | index_handle | segments_handle
+///   | padding | magic(8B)
+/// segments_handle names the model sidecar — the trained index's leaf
+/// segments, re-loadable at DB::Open without a key scan. A zero handle
+/// (offset 0, size 0) means the table carries no sidecar (formats and
+/// index types that cannot export segments).
 struct Footer {
   BlockHandle meta_handle;
   BlockHandle bloom_handle;
   BlockHandle index_handle;
+  BlockHandle segments_handle;
 
   static constexpr uint64_t kTableMagic = 0x4c534d5441424c45ull;  // "LSMTABLE"
   static constexpr size_t kEncodedLength =
-      3 * BlockHandle::kMaxEncodedLength + 8;
+      4 * BlockHandle::kMaxEncodedLength + 8;
 
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(Slice* input);

@@ -1,0 +1,62 @@
+#include "table/segment_sidecar.h"
+
+#include <memory>
+
+#include "index/segment_io.h"
+#include "table/format.h"
+#include "util/coding.h"
+
+namespace lilsm {
+
+void EncodeSegmentSidecar(const SegmentSidecar& sidecar, std::string* dst) {
+  PutVarint32(dst, sidecar.version);
+  PutVarint32(dst, static_cast<uint32_t>(sidecar.index_type));
+  PutVarint32(dst, sidecar.epsilon);
+  PutVarint64(dst, sidecar.entries);
+  EncodeSegments(sidecar.segments, dst);
+}
+
+Status DecodeSegmentSidecar(Slice* input, SegmentSidecar* out) {
+  uint32_t version = 0;
+  uint32_t type = 0;
+  if (!GetVarint32(input, &version)) {
+    return Status::Corruption("segment sidecar: bad version");
+  }
+  if (version != kSegmentSidecarVersion) {
+    return Status::Corruption("segment sidecar: unsupported version");
+  }
+  if (!GetVarint32(input, &type) || !GetVarint32(input, &out->epsilon) ||
+      !GetVarint64(input, &out->entries)) {
+    return Status::Corruption("segment sidecar: truncated header");
+  }
+  out->version = version;
+  out->index_type = static_cast<IndexType>(type);
+  return DecodeSegments(input, &out->segments);
+}
+
+Status ReadSegmentSidecar(Env* env, const std::string& fname,
+                          SegmentSidecar* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = env->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) return s;
+  uint64_t file_size = 0;
+  s = env->GetFileSize(fname, &file_size);
+  if (!s.ok()) return s;
+  Footer footer;
+  s = ReadFooter(file.get(), file_size, &footer);
+  if (!s.ok()) return s;
+  if (footer.segments_handle.size == 0) {
+    return Status::NotFound(fname, "table has no segment sidecar");
+  }
+  if (footer.segments_handle.offset + footer.segments_handle.size >
+      file_size) {
+    return Status::Corruption("segment sidecar: handle out of bounds");
+  }
+  std::string payload;
+  s = ReadChecksummedBlock(file.get(), footer.segments_handle, &payload);
+  if (!s.ok()) return s;
+  Slice input(payload);
+  return DecodeSegmentSidecar(&input, out);
+}
+
+}  // namespace lilsm

@@ -1,0 +1,54 @@
+// The model sidecar: a table file's trained index segments persisted as
+// a self-checksummed block named by Footer::segments_handle, so DB::Open
+// can stitch level models straight from disk — no reader construction,
+// no index-blob decode, no key scan. Layout (inside a checksummed block):
+//
+//   varint32 format version (1)
+//   varint32 index type the segments were trained by
+//   varint32 epsilon the segments guarantee
+//   varint64 entry count of the table
+//   varint64 segment count
+//   per segment: fixed64 first_key | double slope | double intercept
+//
+// The version gates decoding; the block checksum (WriteChecksummedBlock)
+// plus the entry-count cross-check against the manifest's FileMeta make
+// corruption detectable, and every failure mode degrades to the existing
+// reader-export / retrain paths.
+#ifndef LILSM_TABLE_SEGMENT_SIDECAR_H_
+#define LILSM_TABLE_SEGMENT_SIDECAR_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "index/pla.h"
+#include "util/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lilsm {
+
+constexpr uint32_t kSegmentSidecarVersion = 1;
+
+struct SegmentSidecar {
+  uint32_t version = kSegmentSidecarVersion;
+  IndexType index_type = IndexType::kPGM;
+  uint32_t epsilon = 0;
+  uint64_t entries = 0;
+  std::vector<LinearSegment> segments;
+};
+
+void EncodeSegmentSidecar(const SegmentSidecar& sidecar, std::string* dst);
+
+Status DecodeSegmentSidecar(Slice* input, SegmentSidecar* out);
+
+/// Fetches `fname`'s sidecar with two preads (footer + block): NotFound
+/// when the table carries none, Corruption when the block or its framing
+/// is damaged. Deliberately does not construct a TableReader — the whole
+/// point is an open path that touches no data or index blocks.
+Status ReadSegmentSidecar(Env* env, const std::string& fname,
+                          SegmentSidecar* out);
+
+}  // namespace lilsm
+
+#endif  // LILSM_TABLE_SEGMENT_SIDECAR_H_

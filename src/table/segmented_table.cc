@@ -5,6 +5,8 @@
 #include <cstring>
 #include <map>
 
+#include "table/segment_sidecar.h"
+
 namespace lilsm {
 
 namespace {
@@ -138,6 +140,24 @@ Status SegmentedTableBuilder::Finish() {
                                     &footer.index_handle);
     if (!status_.ok()) return status_;
     offset_ += footer.index_handle.size;
+  }
+
+  // Model sidecar: the index's leaf segments in the ModelCatalog's stitch
+  // format, so a restart rebuilds level models from two preads per file
+  // instead of a reader open or a key scan. Index types that cannot
+  // export segments write none (zero handle).
+  {
+    SegmentSidecar sidecar;
+    sidecar.index_type = options_.index_type;
+    sidecar.entries = keys_.size();
+    if (index->ExportSegments(&sidecar.segments, &sidecar.epsilon)) {
+      std::string sidecar_block;
+      EncodeSegmentSidecar(sidecar, &sidecar_block);
+      status_ = WriteChecksummedBlock(file_.get(), offset_, sidecar_block,
+                                      &footer.segments_handle);
+      if (!status_.ok()) return status_;
+      offset_ += footer.segments_handle.size;
+    }
   }
 
   MetaBlock meta;

@@ -332,6 +332,19 @@ class PosixEnv final : public Env {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& dirname) override {
+    int fd = ::open(dirname.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return PosixError(dirname, errno);
+    }
+    Status s;
+    if (::fsync(fd) != 0) {
+      s = PosixError(dirname, errno);
+    }
+    ::close(fd);
+    return s;
+  }
+
   uint64_t NowNanos() override {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

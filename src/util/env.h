@@ -121,6 +121,16 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  /// Makes the directory's entries durable (fsync of the directory fd on
+  /// POSIX). A file's own Sync() persists its data blocks but not the
+  /// directory entry naming it; after creating or renaming a file whose
+  /// presence must survive a crash, callers sync the parent directory too.
+  /// The default is a no-op so in-memory and test Envs need not override.
+  virtual Status SyncDir(const std::string& dirname) {
+    (void)dirname;
+    return Status::OK();
+  }
+
   /// Monotonic clock in nanoseconds, used by all instrumentation.
   virtual uint64_t NowNanos() = 0;
   uint64_t NowMicros() { return NowNanos() / 1000; }

@@ -1,0 +1,379 @@
+#include "util/fault_env.h"
+
+#include <utility>
+
+#include "util/random.h"
+
+namespace lilsm {
+
+namespace {
+
+Status PowerCut(const std::string& what) {
+  return Status::IOError(what, "simulated power cut");
+}
+
+}  // namespace
+
+/// Routes every append and sync through the owning FaultEnv so the
+/// injection state is consulted under one lock. Flush and Close stay
+/// process-local: they move bytes between user buffers and the OS but
+/// never change what survives a crash, so they work even "powered off"
+/// (the process outlives the simulated machine and must tear down).
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultEnv* env, std::string fname, FaultEnv::InodePtr ino,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env),
+        fname_(std::move(fname)),
+        ino_(std::move(ino)),
+        base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    return env_->DoAppend(fname_, ino_, base_.get(), data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return env_->DoSync(fname_, ino_, base_.get()); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultEnv* const env_;
+  const std::string fname_;
+  const FaultEnv::InodePtr ino_;
+  const std::unique_ptr<WritableFile> base_;
+};
+
+FaultEnv::FaultEnv(Env* base, FaultEnvOptions options)
+    : base_(base), options_(options) {}
+
+FaultEnv::~FaultEnv() = default;
+
+std::string FaultEnv::DirOf(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FaultEnv::CheckMutation(const std::string& what) {
+  if (powered_off_) return PowerCut(what);
+  if (options_.fail_after_ops > 0 && ops_used_ >= options_.fail_after_ops) {
+    powered_off_ = true;
+    return PowerCut(what);
+  }
+  ops_used_++;
+  return Status::OK();
+}
+
+void FaultEnv::AdoptDir(const std::string& dir) {
+  if (!tracked_dirs_.insert(dir).second) return;
+  std::vector<std::string> children;
+  if (!base_->GetChildren(dir, &children).ok()) return;
+  for (const std::string& child : children) {
+    if (child == "." || child == "..") continue;
+    const std::string path = dir + "/" + child;
+    if (live_ns_.count(path) != 0) continue;
+    std::string contents;
+    // Subdirectories and unreadable entries fail here and stay untracked.
+    if (!ReadFileToString(base_, path, &contents).ok()) continue;
+    InodePtr ino = std::make_shared<Inode>();
+    ino->durable = contents.size();
+    ino->written = std::move(contents);
+    live_ns_[path] = ino;
+    durable_ns_[path] = ino;
+  }
+}
+
+Status FaultEnv::DoAppend(const std::string& fname, const InodePtr& ino,
+                          WritableFile* base_file, const Slice& data) {
+  MutexLock l(&mu_);
+  Status s = CheckMutation(fname);
+  if (!s.ok()) return s;
+  uint64_t allowed = data.size();
+  bool cut = false;
+  if (options_.fail_after_bytes > 0 &&
+      bytes_used_ + data.size() > options_.fail_after_bytes) {
+    allowed = options_.fail_after_bytes > bytes_used_
+                  ? options_.fail_after_bytes - bytes_used_
+                  : 0;
+    cut = true;
+  }
+  bytes_used_ += allowed;
+  ino->written.append(data.data(), static_cast<size_t>(allowed));
+  s = base_file->Append(Slice(data.data(), static_cast<size_t>(allowed)));
+  if (cut) {
+    powered_off_ = true;
+    return PowerCut(fname);
+  }
+  return s;
+}
+
+Status FaultEnv::DoSync(const std::string& fname, const InodePtr& ino,
+                        WritableFile* base_file) {
+  MutexLock l(&mu_);
+  Status s = CheckMutation(fname);
+  if (!s.ok()) return s;
+  // Flush so live readers of the base filesystem observe the bytes; the
+  // real fsync is intentionally skipped (durability is modeled here).
+  s = base_file->Flush();
+  if (!s.ok()) return s;
+  if (!options_.drop_syncs) ino->durable = ino->written.size();
+  return Status::OK();
+}
+
+Status FaultEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  {
+    MutexLock l(&mu_);
+    if (powered_off_) {
+      result->reset();
+      return PowerCut(fname);
+    }
+    AdoptDir(DirOf(fname));
+  }
+  return base_->NewRandomAccessFile(fname, result);
+}
+
+Status FaultEnv::NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) {
+  MutexLock l(&mu_);
+  AdoptDir(DirOf(fname));
+  Status s = CheckMutation(fname);
+  if (!s.ok()) {
+    result->reset();
+    return s;
+  }
+  std::unique_ptr<WritableFile> base_file;
+  s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) {
+    result->reset();
+    return s;
+  }
+  // O_TRUNC semantics: the name now binds a fresh inode. If the old
+  // binding was durable, a crash before the next SyncDir resurrects the
+  // old contents — the adversarial reading of an un-journaled truncate.
+  InodePtr ino = std::make_shared<Inode>();
+  live_ns_[fname] = ino;
+  *result = std::make_unique<FaultWritableFile>(this, fname, std::move(ino),
+                                                std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultEnv::NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) {
+  {
+    MutexLock l(&mu_);
+    if (powered_off_) {
+      result->reset();
+      return PowerCut(fname);
+    }
+    AdoptDir(DirOf(fname));
+  }
+  return base_->NewSequentialFile(fname, result);
+}
+
+bool FaultEnv::FileExists(const std::string& fname) {
+  {
+    MutexLock l(&mu_);
+    if (powered_off_) return false;
+  }
+  return base_->FileExists(fname);
+}
+
+Status FaultEnv::GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) {
+  {
+    MutexLock l(&mu_);
+    if (powered_off_) return PowerCut(dir);
+    AdoptDir(dir);
+  }
+  return base_->GetChildren(dir, result);
+}
+
+Status FaultEnv::RemoveFile(const std::string& fname) {
+  MutexLock l(&mu_);
+  AdoptDir(DirOf(fname));
+  Status s = CheckMutation(fname);
+  if (!s.ok()) return s;
+  s = base_->RemoveFile(fname);
+  if (s.ok()) live_ns_.erase(fname);
+  return s;
+}
+
+Status FaultEnv::CreateDir(const std::string& dirname) {
+  MutexLock l(&mu_);
+  Status s = CheckMutation(dirname);
+  if (!s.ok()) return s;
+  s = base_->CreateDir(dirname);
+  // Directory creation is treated as immediately durable (the engine
+  // creates its one db directory long before any crash of interest).
+  if (s.ok()) AdoptDir(dirname);
+  return s;
+}
+
+Status FaultEnv::RemoveDir(const std::string& dirname) {
+  MutexLock l(&mu_);
+  Status s = CheckMutation(dirname);
+  if (!s.ok()) return s;
+  s = base_->RemoveDir(dirname);
+  if (s.ok()) tracked_dirs_.erase(dirname);
+  return s;
+}
+
+Status FaultEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  {
+    MutexLock l(&mu_);
+    if (powered_off_) {
+      *size = 0;
+      return PowerCut(fname);
+    }
+  }
+  return base_->GetFileSize(fname, size);
+}
+
+Status FaultEnv::RenameFile(const std::string& src,
+                            const std::string& target) {
+  MutexLock l(&mu_);
+  AdoptDir(DirOf(src));
+  AdoptDir(DirOf(target));
+  Status s = CheckMutation(src);
+  if (!s.ok()) return s;
+  s = base_->RenameFile(src, target);
+  if (!s.ok()) return s;
+  auto it = live_ns_.find(src);
+  if (it != live_ns_.end()) {
+    live_ns_[target] = it->second;
+    live_ns_.erase(src);
+  }
+  return Status::OK();
+}
+
+Status FaultEnv::SyncDir(const std::string& dirname) {
+  MutexLock l(&mu_);
+  AdoptDir(dirname);
+  Status s = CheckMutation(dirname);
+  if (!s.ok()) return s;
+  if (options_.drop_syncs) return Status::OK();
+  // The journal flush: name->inode bindings in this directory become
+  // durable, removals included. (No base fsync — durability lives here.)
+  for (auto it = durable_ns_.begin(); it != durable_ns_.end();) {
+    if (DirOf(it->first) == dirname && live_ns_.count(it->first) == 0) {
+      it = durable_ns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, ino] : live_ns_) {
+    if (DirOf(name) == dirname) durable_ns_[name] = ino;
+  }
+  return Status::OK();
+}
+
+void FaultEnv::CutPower() {
+  MutexLock l(&mu_);
+  powered_off_ = true;
+}
+
+bool FaultEnv::powered_off() const {
+  MutexLock l(&mu_);
+  return powered_off_;
+}
+
+Status FaultEnv::MaterializeCrash(CrashSurvival survival, uint64_t seed) {
+  MutexLock l(&mu_);
+  powered_off_ = true;  // materializing implies the cut happened
+  Random rnd(seed);
+  if (survival == CrashSurvival::kEverything) {
+    // The lucky crash loses nothing: unsynced directory entries survive
+    // along with unsynced bytes.
+    durable_ns_ = live_ns_;
+  }
+  // 1. Sweep the tracked directories: anything without a durable entry
+  //    never survived the crash.
+  for (const std::string& dir : tracked_dirs_) {
+    std::vector<std::string> children;
+    Status s = base_->GetChildren(dir, &children);
+    if (!s.ok()) continue;  // directory itself gone: nothing to sweep
+    for (const std::string& child : children) {
+      if (child == "." || child == "..") continue;
+      const std::string path = dir + "/" + child;
+      if (tracked_dirs_.count(path) != 0) continue;
+      // Failures (a subdirectory, say) leave the entry in place.
+      base_->RemoveFile(path);
+    }
+  }
+  // 2. Rebuild each durably-named file: its synced prefix plus however
+  //    much of the unsynced suffix this crash happens to preserve.
+  for (const auto& [name, ino] : durable_ns_) {
+    const uint64_t pending = ino->written.size() - ino->durable;
+    uint64_t extra = 0;
+    switch (survival) {
+      case CrashSurvival::kDurableOnly:
+        break;
+      case CrashSurvival::kRandomPrefix:
+        extra = pending == 0 ? 0 : rnd.Uniform(pending + 1);
+        break;
+      case CrashSurvival::kEverything:
+        extra = pending;
+        break;
+    }
+    std::string survived =
+        ino->written.substr(0, static_cast<size_t>(ino->durable + extra));
+    std::unique_ptr<WritableFile> f;
+    Status s = base_->NewWritableFile(name, &f);
+    if (!s.ok()) return s;
+    s = f->Append(survived);
+    if (s.ok()) s = f->Close();
+    if (!s.ok()) return s;
+    // After reboot the surviving bytes are on the platter: fully durable.
+    ino->written = std::move(survived);
+    ino->durable = ino->written.size();
+  }
+  live_ns_ = durable_ns_;
+  powered_off_ = false;
+  ops_used_ = 0;
+  bytes_used_ = 0;
+  options_.fail_after_ops = 0;
+  options_.fail_after_bytes = 0;
+  return Status::OK();
+}
+
+void FaultEnv::SetFailAfterOps(uint64_t n) {
+  MutexLock l(&mu_);
+  options_.fail_after_ops = n;
+  ops_used_ = 0;
+}
+
+void FaultEnv::SetFailAfterBytes(uint64_t n) {
+  MutexLock l(&mu_);
+  options_.fail_after_bytes = n;
+  bytes_used_ = 0;
+}
+
+void FaultEnv::SetDropSyncs(bool v) {
+  MutexLock l(&mu_);
+  options_.drop_syncs = v;
+}
+
+uint64_t FaultEnv::ops_used() const {
+  MutexLock l(&mu_);
+  return ops_used_;
+}
+
+uint64_t FaultEnv::DurableBytes(const std::string& fname) const {
+  MutexLock l(&mu_);
+  auto it = live_ns_.find(fname);
+  return it == live_ns_.end() ? 0 : it->second->durable;
+}
+
+uint64_t FaultEnv::WrittenBytes(const std::string& fname) const {
+  MutexLock l(&mu_);
+  auto it = live_ns_.find(fname);
+  return it == live_ns_.end() ? 0 : it->second->written.size();
+}
+
+bool FaultEnv::EntryDurable(const std::string& fname) const {
+  MutexLock l(&mu_);
+  return durable_ns_.count(fname) != 0;
+}
+
+}  // namespace lilsm

@@ -115,6 +115,9 @@ class SimEnv final : public Env {
                     const std::string& target) override {
     return base_->RenameFile(src, target);
   }
+  Status SyncDir(const std::string& dirname) override {
+    return base_->SyncDir(dirname);
+  }
   uint64_t NowNanos() override { return base_->NowNanos(); }
   void Schedule(std::function<void()> work) override {
     base_->Schedule(std::move(work));

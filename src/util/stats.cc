@@ -40,6 +40,10 @@ const char* TimerName(Timer t) {
       return "async_reap";
     case Timer::kServerQueue:
       return "server_queue";
+    case Timer::kRecover:
+      return "recover";
+    case Timer::kModelLoad:
+      return "model_load";
     default:
       return "unknown";
   }
@@ -113,6 +117,12 @@ const char* CounterName(Counter c) {
       return "server_bytes_in";
     case Counter::kServerBytesOut:
       return "server_bytes_out";
+    case Counter::kWalRecordsReplayed:
+      return "wal_records_replayed";
+    case Counter::kModelsLoadedFromDisk:
+      return "models_loaded_from_disk";
+    case Counter::kModelSidecarFallbacks:
+      return "model_sidecar_fallbacks";
     default:
       return "unknown";
   }

@@ -31,6 +31,8 @@ enum class Timer : int {
   kMultiGet,          // one whole MultiGet batch
   kAsyncReap,         // blocking in ReadBatch::Wait for batched reads
   kServerQueue,       // request frame parsed -> worker picks it up
+  kRecover,           // DB::Open recovery: manifest + WAL replay + models
+  kModelLoad,         // rebuilding level models during DB::Open
   kNumTimers
 };
 
@@ -68,6 +70,9 @@ enum class Counter : int {
   kServerBatchKeys,    // keys carried by served Get/MultiGet frames
   kServerBytesIn,      // wire bytes read from client connections
   kServerBytesOut,     // wire bytes written to client connections
+  kWalRecordsReplayed,   // WAL records re-applied during recovery
+  kModelsLoadedFromDisk,  // per-file models loaded from segment sidecars
+  kModelSidecarFallbacks,  // sidecar loads that fell back to the reader
   kNumCounters
 };
 

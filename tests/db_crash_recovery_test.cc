@@ -1,0 +1,514 @@
+// Randomized kill-restart torture and targeted crash regressions over
+// FaultEnv: after any simulated power cut, the recovered DB must hold an
+// exact prefix of the committed write sequence — nothing invented, no
+// gaps, and (under sync_wal) nothing acked lost. Also the CURRENT-install
+// step-crash matrix, the typed mid-log corruption refusal, and the
+// persisted-model sidecar paths (zero-key-scan opens, corrupt-sidecar
+// fallback).
+//
+// Schedule count: LILSM_TORTURE_SCHEDULES (default 1000). CI's sanitizer
+// jobs bound it; a local `LILSM_TORTURE_SCHEDULES=20000 ./db_crash_
+// recovery_test` runs a deeper soak.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/db.h"
+#include "lsm/dbformat.h"
+#include "table/format.h"
+#include "tests/test_util.h"
+#include "util/fault_env.h"
+#include "util/random.h"
+#include "workload/dataset.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::ScratchDir;
+
+constexpr uint32_t kValueSize = 16;
+
+int Schedules() {
+  const char* env = std::getenv("LILSM_TORTURE_SCHEDULES");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1000;
+}
+
+// The committed value for the i-th write of a schedule: ties the payload
+// to both the key and the write index so distinct states differ.
+std::string ValueAt(Key key, uint64_t index) {
+  return DeriveValue(key ^ (index * 0x9E3779B97F4A7C15ull), kValueSize);
+}
+
+DBOptions TortureOptions(Env* env, Random* rnd) {
+  DBOptions options;
+  options.env = env;
+  options.key_size = 24;
+  options.value_size = kValueSize;
+  // Tiny, randomized geometry so schedules crash inside flushes,
+  // compactions, and WAL rolls — not just between Puts.
+  options.write_buffer_size = 1024 << rnd->Uniform(7);  // 1 KiB .. 64 KiB
+  options.sstable_target_size = 8 << 10;
+  options.l0_compaction_trigger = 2;
+  return options;
+}
+
+// One serial kill-restart schedule. Writes key i = 0, 1, 2, ... (values
+// bound to i), cuts power mid-stream via a random ops- or bytes-limit,
+// materializes the crash, recovers, and asserts the surviving state is
+// model(p) for a single prefix length p with floor <= p <= attempted.
+void RunSerialSchedule(uint64_t seed) {
+  Random rnd(seed);
+  ScratchDir dir("crash");
+  FaultEnv env(Env::Default());
+  const std::string dbname = dir.file("db");
+  const bool sync = rnd.OneIn(2);
+  const uint64_t target_writes = 40 + rnd.Uniform(200);
+
+  uint64_t acked = 0;
+  bool failed = false;
+  {
+    DBOptions options = TortureOptions(&env, &rnd);
+    std::unique_ptr<DB> db;
+    ASSERT_LILSM_OK(DB::Open(options, dbname, &db));
+    // Arm the fault after Open so the cut lands in the write path (the
+    // open/recovery path gets its own step matrix below).
+    if (rnd.OneIn(2)) {
+      env.SetFailAfterOps(1 + rnd.Uniform(120));
+    } else {
+      env.SetFailAfterBytes(256 + rnd.Uniform(24 << 10));
+    }
+    WriteOptions wopts;
+    wopts.sync = sync;
+    for (uint64_t i = 0; i < target_writes; i++) {
+      if (!db->Put(wopts, i, ValueAt(i, i)).ok()) {
+        failed = true;
+        break;
+      }
+      acked++;
+    }
+    env.CutPower();  // limit never reached: crash right here instead
+  }
+  const uint64_t attempted = acked + (failed ? 1 : 0);
+  const CrashSurvival survival = static_cast<CrashSurvival>(rnd.Uniform(3));
+  ASSERT_LILSM_OK(env.MaterializeCrash(survival, rnd.Next()));
+
+  // Recover and hunt for the prefix point.
+  DBOptions options = TortureOptions(&env, &rnd);
+  std::unique_ptr<DB> db;
+  Status open_status = DB::Open(options, dbname, &db);
+  ASSERT_TRUE(open_status.ok()) << "schedule " << seed << " failed to recover: "
+                                << open_status.ToString();
+  uint64_t p = 0;
+  std::string value;
+  while (p < attempted) {
+    Status s = db->Get(p, &value);
+    if (s.IsNotFound()) break;
+    ASSERT_TRUE(s.ok()) << "schedule " << seed << " key " << p << ": "
+                        << s.ToString();
+    ASSERT_EQ(value, ValueAt(p, p))
+        << "schedule " << seed << " recovered a wrong value for key " << p;
+    p++;
+  }
+  // No gaps: everything past the prefix point must be absent.
+  for (uint64_t i = p; i < attempted + 4; i++) {
+    Status s = db->Get(i, &value);
+    ASSERT_TRUE(s.IsNotFound())
+        << "schedule " << seed << ": key " << i
+        << " survived past the recovery prefix p=" << p;
+  }
+  const uint64_t floor = sync ? acked : 0;
+  ASSERT_GE(p, floor) << "schedule " << seed
+                      << " lost acked synced writes (acked=" << acked << ")";
+  ASSERT_LE(p, attempted) << "schedule " << seed << " invented writes";
+}
+
+TEST(DbCrashTortureTest, SerialSchedulesRecoverAPrefix) {
+  const int schedules = Schedules();
+  for (int i = 0; i < schedules; i++) {
+    RunSerialSchedule(0x5EED0000u + static_cast<uint64_t>(i));
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "stopping after first divergent schedule";
+    }
+  }
+}
+
+// Group-commit schedule: four writers with disjoint key ranges race
+// sync_wal'd Puts into the group-commit queue while a random fault cuts
+// power. Batches from different writers share WAL records, so this
+// exercises crashes on group boundaries; per writer, the recovered keys
+// must still be an exact prefix of its sequence covering every ack.
+void RunGroupCommitSchedule(uint64_t seed) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kStride = 1u << 20;  // disjoint per-writer key ranges
+  Random rnd(seed);
+  ScratchDir dir("crashgc");
+  FaultEnv env(Env::Default());
+  const std::string dbname = dir.file("db");
+  const uint64_t per_writer = 20 + rnd.Uniform(60);
+
+  uint64_t acked[kWriters] = {};
+  {
+    DBOptions options = TortureOptions(&env, &rnd);
+    std::unique_ptr<DB> db;
+    ASSERT_LILSM_OK(DB::Open(options, dbname, &db));
+    env.SetFailAfterOps(1 + rnd.Uniform(200));
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; w++) {
+      threads.emplace_back([&, w] {
+        WriteOptions wopts;
+        wopts.sync = true;
+        for (uint64_t i = 0; i < per_writer; i++) {
+          const Key key = static_cast<Key>(w) * kStride + i;
+          if (!db->Put(wopts, key, ValueAt(key, i)).ok()) break;
+          acked[w]++;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    env.CutPower();
+  }
+  ASSERT_LILSM_OK(
+      env.MaterializeCrash(static_cast<CrashSurvival>(rnd.Uniform(3)),
+                           rnd.Next()));
+
+  DBOptions options = TortureOptions(&env, &rnd);
+  std::unique_ptr<DB> db;
+  Status open_status = DB::Open(options, dbname, &db);
+  ASSERT_TRUE(open_status.ok()) << "schedule " << seed << " failed to recover: "
+                                << open_status.ToString();
+  std::string value;
+  for (int w = 0; w < kWriters; w++) {
+    uint64_t p = 0;
+    while (p < per_writer) {
+      const Key key = static_cast<Key>(w) * kStride + p;
+      Status s = db->Get(key, &value);
+      if (s.IsNotFound()) break;
+      ASSERT_LILSM_OK(s);
+      ASSERT_EQ(value, ValueAt(key, p)) << "schedule " << seed;
+      p++;
+    }
+    for (uint64_t i = p; i < per_writer; i++) {
+      const Key key = static_cast<Key>(w) * kStride + i;
+      ASSERT_TRUE(db->Get(key, &value).IsNotFound())
+          << "schedule " << seed << " writer " << w << ": gap before key "
+          << key;
+    }
+    // Group commit syncs before acking: every acked write must survive;
+    // at most the single in-flight write may land beyond the acks.
+    ASSERT_GE(p, acked[w]) << "schedule " << seed << " writer " << w
+                           << " lost acked writes";
+    ASSERT_LE(p, acked[w] + 1) << "schedule " << seed << " writer " << w
+                               << " invented writes";
+  }
+}
+
+TEST(DbCrashTortureTest, GroupCommitSchedulesKeepEveryAck) {
+  const int schedules = std::max(Schedules() / 10, 5);
+  for (int i = 0; i < schedules; i++) {
+    RunGroupCommitSchedule(0x6C0DE000u + static_cast<uint64_t>(i));
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "stopping after first divergent schedule";
+    }
+  }
+}
+
+// With a volatile write cache (syncs dropped), a crash may lose any
+// suffix — the contract degrades to "recovers cleanly, invents nothing,
+// correct values for whatever survives". Prefix equality is deliberately
+// NOT asserted: dropped syncs can legally tear each WAL independently.
+TEST(DbCrashTortureTest, DroppedSyncsStillRecoverCleanly) {
+  const int schedules = std::max(Schedules() / 10, 5);
+  for (int i = 0; i < schedules; i++) {
+    const uint64_t seed = 0xD20Bu + static_cast<uint64_t>(i);
+    Random rnd(seed);
+    ScratchDir dir("crashds");
+    FaultEnvOptions fopts;
+    fopts.drop_syncs = true;
+    FaultEnv env(Env::Default(), fopts);
+    const std::string dbname = dir.file("db");
+    const uint64_t writes = 40 + rnd.Uniform(120);
+    {
+      DBOptions options = TortureOptions(&env, &rnd);
+      std::unique_ptr<DB> db;
+      ASSERT_LILSM_OK(DB::Open(options, dbname, &db));
+      WriteOptions wopts;
+      wopts.sync = true;  // acked-and-synced... into the lying cache
+      for (uint64_t k = 0; k < writes; k++) {
+        ASSERT_LILSM_OK(db->Put(wopts, k, ValueAt(k, k)));
+      }
+      env.CutPower();
+    }
+    ASSERT_LILSM_OK(env.MaterializeCrash(
+        static_cast<CrashSurvival>(rnd.Uniform(3)), rnd.Next()));
+
+    DBOptions options = TortureOptions(&env, &rnd);
+    std::unique_ptr<DB> db;
+    Status open_status = DB::Open(options, dbname, &db);
+    ASSERT_TRUE(open_status.ok()) << "schedule " << seed
+                                  << " failed to recover: "
+                                  << open_status.ToString();
+    std::string value;
+    for (uint64_t k = 0; k < writes + 4; k++) {
+      Status s = db->Get(k, &value);
+      if (s.IsNotFound()) continue;
+      ASSERT_TRUE(s.ok()) << "schedule " << seed << ": " << s.ToString();
+      ASSERT_TRUE(k < writes && value == ValueAt(k, k))
+          << "schedule " << seed << " invented or corrupted key " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CURRENT-install step-crash matrix (the tmp-write + rename + dir-fsync
+// protocol): crash after every k-th env op of a reopen, materialize the
+// adversarial image, and require full recovery of the committed data.
+// ---------------------------------------------------------------------------
+
+TEST(DbCrashRecoveryTest, CurrentInstallSurvivesEveryStepCrash) {
+  ScratchDir dir("crash");
+  FaultEnv env(Env::Default());
+  const std::string dbname = dir.file("db");
+  constexpr uint64_t kKeys = 64;
+
+  {
+    DBOptions options;
+    options.env = &env;
+    options.value_size = kValueSize;
+    options.write_buffer_size = 1 << 10;  // several flushes + compactions
+    options.sstable_target_size = 8 << 10;
+    options.l0_compaction_trigger = 2;
+    std::unique_ptr<DB> db;
+    ASSERT_LILSM_OK(DB::Open(options, dbname, &db));
+    WriteOptions wopts;
+    wopts.sync = true;
+    for (uint64_t k = 0; k < kKeys; k++) {
+      ASSERT_LILSM_OK(db->Put(wopts, k, ValueAt(k, k)));
+    }
+  }
+
+  bool completed = false;
+  for (uint64_t budget = 1; budget <= 400 && !completed; budget++) {
+    env.SetFailAfterOps(budget);
+    DBOptions options;
+    options.env = &env;
+    options.value_size = kValueSize;
+    {
+      // A reopen replays WALs, rewrites MANIFEST, and swaps CURRENT; the
+      // budget walks a power cut through every step of that protocol.
+      std::unique_ptr<DB> db;
+      completed = DB::Open(options, dbname, &db).ok();
+    }
+    ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly,
+                                         /*seed=*/budget));
+    std::unique_ptr<DB> db;
+    Status open_status = DB::Open(options, dbname, &db);
+    ASSERT_TRUE(open_status.ok())
+        << "unrecoverable image after crashing at op " << budget << ": "
+        << open_status.ToString();
+    std::string value;
+    for (uint64_t k = 0; k < kKeys; k++) {
+      Status get_status = db->Get(k, &value);
+      ASSERT_TRUE(get_status.ok()) << "crash at op " << budget << " lost key "
+                                   << k << ": " << get_status.ToString();
+      ASSERT_EQ(value, ValueAt(k, k)) << "crash at op " << budget;
+    }
+  }
+  EXPECT_TRUE(completed) << "open never ran to completion within the matrix";
+}
+
+// Mid-log WAL damage (intact records beyond it) must fail recovery with
+// Corruption — silently truncating there would drop acked writes.
+TEST(DbCrashRecoveryTest, MidWalCorruptionRefusesToOpen) {
+  ScratchDir dir("crash");
+  const std::string dbname = dir.file("db");
+  {
+    DBOptions options;
+    options.value_size = kValueSize;
+    std::unique_ptr<DB> db;
+    ASSERT_LILSM_OK(DB::Open(options, dbname, &db));
+    for (uint64_t k = 0; k < 8; k++) {
+      ASSERT_LILSM_OK(db->Put(k, ValueAt(k, k)));
+    }
+  }
+  // Find the live WAL and flip one byte of the FIRST record's payload.
+  std::vector<std::string> children;
+  ASSERT_LILSM_OK(Env::Default()->GetChildren(dbname, &children));
+  std::string wal;
+  for (const std::string& name : children) {
+    uint64_t number = 0;
+    if (ParseFileName(name, &number) == FileKind::kWalFile) {
+      wal = dbname + "/" + name;
+    }
+  }
+  ASSERT_FALSE(wal.empty());
+  std::string contents;
+  ASSERT_LILSM_OK(ReadFileToString(Env::Default(), wal, &contents));
+  ASSERT_GT(contents.size(), 16u);
+  contents[9] = static_cast<char>(contents[9] ^ 0x01);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), contents, wal));
+
+  DBOptions options;
+  options.value_size = kValueSize;
+  std::unique_ptr<DB> db;
+  EXPECT_TRUE(DB::Open(options, dbname, &db).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Persisted learned models: the sidecar open path.
+// ---------------------------------------------------------------------------
+
+DBOptions MaintainedOptions(ModelPersistence persistence) {
+  DBOptions options;
+  options.value_size = kValueSize;
+  options.write_buffer_size = 8 << 10;
+  options.sstable_target_size = 16 << 10;
+  options.l0_compaction_trigger = 2;
+  options.index_granularity = IndexGranularity::kLevel;
+  options.level_model_policy = LevelModelPolicy::kCompactionMaintained;
+  options.model_persistence = persistence;
+  options.index_type = IndexType::kPGM;
+  return options;
+}
+
+// Builds a compacted DB whose tables all carry sidecars; returns the keys.
+std::vector<Key> BuildMaintainedDb(const std::string& dbname) {
+  std::vector<Key> keys = testing_util::RandomGapKeys(1200, 77);
+  std::unique_ptr<DB> db;
+  EXPECT_LILSM_OK(DB::Open(MaintainedOptions(ModelPersistence::kSidecar),
+                           dbname, &db));
+  for (Key k : keys) EXPECT_LILSM_OK(db->Put(k, ValueAt(k, 0)));
+  EXPECT_LILSM_OK(db->CompactAll());
+  return keys;
+}
+
+TEST(ModelPersistenceTest, SidecarOpenReadsZeroKeys) {
+  ScratchDir dir("sidecar");
+  const std::string dbname = dir.file("db");
+  const std::vector<Key> keys = BuildMaintainedDb(dbname);
+
+  // Open from sidecars: models stitched from disk, zero key-scan bytes.
+  std::unique_ptr<DB> db;
+  ASSERT_LILSM_OK(
+      DB::Open(MaintainedOptions(ModelPersistence::kSidecar), dbname, &db));
+  EXPECT_GT(db->stats()->Count(Counter::kModelsLoadedFromDisk), 0u);
+  EXPECT_EQ(db->stats()->Count(Counter::kModelSidecarFallbacks), 0u);
+  EXPECT_EQ(db->stats()->Count(Counter::kModelBuildBytesRead), 0u)
+      << "sidecar open scanned keys";
+  EXPECT_GT(db->stats()->TimerCount(Timer::kModelLoad), 0u);
+  EXPECT_GT(db->stats()->TimerCount(Timer::kRecover), 0u);
+
+  // And the stitched models serve bit-identical results to a catalog
+  // retrained from a full key scan.
+  std::vector<std::string> sidecar_values(keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_LILSM_OK(db->Get(keys[i], &sidecar_values[i]));
+  }
+  db.reset();
+  ASSERT_LILSM_OK(DB::Open(MaintainedOptions(ModelPersistence::kRetrainOnOpen),
+                           dbname, &db));
+  EXPECT_GT(db->stats()->Count(Counter::kModelBuildBytesRead), 0u)
+      << "retrain-on-open did not scan keys";
+  EXPECT_EQ(db->stats()->Count(Counter::kModelsLoadedFromDisk), 0u);
+  std::string value;
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_LILSM_OK(db->Get(keys[i], &value));
+    ASSERT_EQ(value, sidecar_values[i]) << "key " << keys[i];
+  }
+}
+
+TEST(ModelPersistenceTest, CorruptSidecarFallsBackAndServes) {
+  ScratchDir dir("sidecar");
+  const std::string dbname = dir.file("db");
+  const std::vector<Key> keys = BuildMaintainedDb(dbname);
+
+  // Flip one byte inside every table's sidecar block (found through the
+  // footer), leaving the rest of each file intact.
+  std::vector<std::string> children;
+  ASSERT_LILSM_OK(Env::Default()->GetChildren(dbname, &children));
+  int mangled = 0;
+  for (const std::string& name : children) {
+    uint64_t number = 0;
+    if (ParseFileName(name, &number) != FileKind::kTableFile) continue;
+    const std::string path = dbname + "/" + name;
+    uint64_t file_size = 0;
+    ASSERT_LILSM_OK(Env::Default()->GetFileSize(path, &file_size));
+    Footer footer;
+    {
+      std::unique_ptr<RandomAccessFile> file;
+      ASSERT_LILSM_OK(Env::Default()->NewRandomAccessFile(path, &file));
+      ASSERT_LILSM_OK(ReadFooter(file.get(), file_size, &footer));
+    }
+    ASSERT_GT(footer.segments_handle.size, 0u) << path << " has no sidecar";
+    std::string contents;
+    ASSERT_LILSM_OK(ReadFileToString(Env::Default(), path, &contents));
+    const size_t at = static_cast<size_t>(footer.segments_handle.offset);
+    contents[at] = static_cast<char>(contents[at] ^ 0x01);
+    ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), contents, path));
+    mangled++;
+  }
+  ASSERT_GT(mangled, 0);
+
+  // Open still succeeds: every sidecar load fails its checksum and falls
+  // back to the reader-export path, and queries stay correct.
+  std::unique_ptr<DB> db;
+  ASSERT_LILSM_OK(
+      DB::Open(MaintainedOptions(ModelPersistence::kSidecar), dbname, &db));
+  EXPECT_GT(db->stats()->Count(Counter::kModelSidecarFallbacks), 0u);
+  EXPECT_EQ(db->stats()->Count(Counter::kModelsLoadedFromDisk), 0u);
+  std::string value;
+  for (Key k : keys) {
+    ASSERT_LILSM_OK(db->Get(k, &value));
+    ASSERT_EQ(value, ValueAt(k, 0)) << "key " << k;
+  }
+}
+
+TEST(ModelPersistenceTest, StitchInMemoryIgnoresSidecars) {
+  ScratchDir dir("sidecar");
+  const std::string dbname = dir.file("db");
+  const std::vector<Key> keys = BuildMaintainedDb(dbname);
+
+  std::unique_ptr<DB> db;
+  ASSERT_LILSM_OK(DB::Open(
+      MaintainedOptions(ModelPersistence::kStitchInMemory), dbname, &db));
+  EXPECT_EQ(db->stats()->Count(Counter::kModelsLoadedFromDisk), 0u);
+  EXPECT_EQ(db->stats()->Count(Counter::kModelSidecarFallbacks), 0u);
+  std::string value;
+  for (Key k : keys) {
+    ASSERT_LILSM_OK(db->Get(k, &value));
+    ASSERT_EQ(value, ValueAt(k, 0)) << "key " << k;
+  }
+}
+
+// The WAL-records-replayed counter is visible after a recovering open.
+TEST(DbCrashRecoveryTest, ReplayCounterCountsRecords) {
+  ScratchDir dir("crash");
+  const std::string dbname = dir.file("db");
+  {
+    DBOptions options;
+    options.value_size = kValueSize;
+    std::unique_ptr<DB> db;
+    ASSERT_LILSM_OK(DB::Open(options, dbname, &db));
+    for (uint64_t k = 0; k < 12; k++) {
+      ASSERT_LILSM_OK(db->Put(k, ValueAt(k, k)));
+    }
+  }
+  DBOptions options;
+  options.value_size = kValueSize;
+  std::unique_ptr<DB> db;
+  ASSERT_LILSM_OK(DB::Open(options, dbname, &db));
+  EXPECT_EQ(db->stats()->Count(Counter::kWalRecordsReplayed), 12u);
+  EXPECT_GT(db->stats()->TimerCount(Timer::kRecover), 0u);
+}
+
+}  // namespace
+}  // namespace lilsm

@@ -1,0 +1,331 @@
+// FaultEnv semantics: durable-prefix accounting, directory-entry
+// durability, crash materialization, and the injection knobs the crash
+// torture (db_crash_recovery_test) is built on. Everything here runs
+// against the real PosixEnv underneath — the wrapper's model must agree
+// with what actually lands on disk after MaterializeCrash.
+#include "util/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace lilsm {
+namespace {
+
+using testing_util::ScratchDir;
+
+// Opens `fname` through `env`, appends `data`, optionally syncs, and
+// closes. The file handle is scoped: MaterializeCrash requires none live.
+void AppendOnce(Env* env, const std::string& fname, const std::string& data,
+                bool sync) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_LILSM_OK(env->NewWritableFile(fname, &file));
+  ASSERT_LILSM_OK(file->Append(data));
+  if (sync) ASSERT_LILSM_OK(file->Sync());
+  ASSERT_LILSM_OK(file->Close());
+}
+
+std::string Contents(const std::string& fname) {
+  std::string data;
+  EXPECT_LILSM_OK(ReadFileToString(Env::Default(), fname, &data));
+  return data;
+}
+
+TEST(FaultEnvTest, SyncAdvancesDurablePrefix) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_LILSM_OK(env.NewWritableFile(fname, &file));
+  ASSERT_LILSM_OK(file->Append("hello"));
+  EXPECT_EQ(env.WrittenBytes(fname), 5u);
+  EXPECT_EQ(env.DurableBytes(fname), 0u);
+
+  ASSERT_LILSM_OK(file->Sync());
+  EXPECT_EQ(env.DurableBytes(fname), 5u);
+
+  ASSERT_LILSM_OK(file->Append(" world"));
+  EXPECT_EQ(env.WrittenBytes(fname), 11u);
+  EXPECT_EQ(env.DurableBytes(fname), 5u);  // unsynced suffix at risk
+  ASSERT_LILSM_OK(file->Close());
+}
+
+TEST(FaultEnvTest, CrashKeepsOnlyDurablePrefix) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_LILSM_OK(env.NewWritableFile(fname, &file));
+    ASSERT_LILSM_OK(file->Append("synced"));
+    ASSERT_LILSM_OK(file->Sync());
+    ASSERT_LILSM_OK(file->Append("-lost"));
+    ASSERT_LILSM_OK(file->Close());
+  }
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+
+  env.CutPower();
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_EQ(Contents(fname), "synced");
+}
+
+TEST(FaultEnvTest, LuckyCrashKeepsEverything) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  AppendOnce(&env, fname, "never-synced", /*sync=*/false);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kEverything));
+  EXPECT_EQ(Contents(fname), "never-synced");
+}
+
+TEST(FaultEnvTest, RandomPrefixSurvivalIsBounded) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_LILSM_OK(env.NewWritableFile(fname, &file));
+    ASSERT_LILSM_OK(file->Append("abcd"));
+    ASSERT_LILSM_OK(file->Sync());
+    ASSERT_LILSM_OK(file->Append("efgh"));
+    ASSERT_LILSM_OK(file->Close());
+  }
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kRandomPrefix, 42));
+  const std::string data = Contents(fname);
+  ASSERT_GE(data.size(), 4u);  // the synced prefix always survives
+  ASSERT_LE(data.size(), 8u);
+  EXPECT_EQ(data, std::string("abcdefgh").substr(0, data.size()));
+}
+
+TEST(FaultEnvTest, UnsyncedDirectoryEntryVanishes) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  // Data fully synced but the parent directory never was: the inode is
+  // durable, its name is not — the file is unreachable after a crash.
+  AppendOnce(&env, fname, "data", /*sync=*/true);
+  EXPECT_EQ(env.DurableBytes(fname), 4u);
+  EXPECT_FALSE(env.EntryDurable(fname));
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_FALSE(env.FileExists(fname));
+  EXPECT_FALSE(Env::Default()->FileExists(fname));
+}
+
+TEST(FaultEnvTest, SyncDirMakesEntriesDurable) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  AppendOnce(&env, fname, "data", /*sync=*/true);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  EXPECT_TRUE(env.EntryDurable(fname));
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_EQ(Contents(fname), "data");
+}
+
+TEST(FaultEnvTest, UnsyncedRenameRollsBack) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string current = dir.file("CURRENT");
+  const std::string tmp = dir.file("tmp");
+
+  // Install "old" durably, then rename a new version over it without a
+  // directory sync: the crash must expose the OLD binding again.
+  AppendOnce(&env, current, "old", /*sync=*/true);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  AppendOnce(&env, tmp, "new", /*sync=*/true);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  ASSERT_LILSM_OK(env.RenameFile(tmp, current));
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_EQ(Contents(current), "old");
+  EXPECT_EQ(Contents(tmp), "new");  // the durable tmp binding persists
+}
+
+TEST(FaultEnvTest, SyncedRenameSurvives) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string current = dir.file("CURRENT");
+  const std::string tmp = dir.file("tmp");
+
+  AppendOnce(&env, current, "old", /*sync=*/true);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  AppendOnce(&env, tmp, "new", /*sync=*/true);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  ASSERT_LILSM_OK(env.RenameFile(tmp, current));
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_EQ(Contents(current), "new");
+  EXPECT_FALSE(env.FileExists(tmp));
+}
+
+TEST(FaultEnvTest, DropSyncsMakeSyncsLie) {
+  ScratchDir dir("fault");
+  FaultEnvOptions opts;
+  opts.drop_syncs = true;
+  FaultEnv env(Env::Default(), opts);
+  const std::string fname = dir.file("f");
+
+  AppendOnce(&env, fname, "volatile", /*sync=*/true);  // Sync returns OK...
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));            // ...and so does this
+  EXPECT_EQ(env.DurableBytes(fname), 0u);              // but nothing stuck
+  EXPECT_FALSE(env.EntryDurable(fname));
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_FALSE(env.FileExists(fname));
+}
+
+TEST(FaultEnvTest, FailAfterOpsCutsPower) {
+  ScratchDir dir("fault");
+  FaultEnvOptions opts;
+  opts.fail_after_ops = 2;
+  FaultEnv env(Env::Default(), opts);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_LILSM_OK(env.NewWritableFile(dir.file("f"), &file));  // op 1
+  ASSERT_LILSM_OK(file->Append("x"));                          // op 2
+  Status s = file->Append("y");                                // op 3: cut
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(env.powered_off());
+  EXPECT_EQ(env.ops_used(), 2u);
+
+  // Nothing mutating works after the cut — including the best-effort
+  // Sync a destructor might attempt.
+  EXPECT_TRUE(file->Sync().IsIOError());
+  EXPECT_TRUE(env.SyncDir(dir.path()).IsIOError());
+  EXPECT_TRUE(env.RemoveFile(dir.file("f")).IsIOError());
+  file->Close();
+}
+
+TEST(FaultEnvTest, FailAfterBytesTearsTheCrossingAppend) {
+  ScratchDir dir("fault");
+  FaultEnvOptions opts;
+  opts.fail_after_bytes = 6;
+  FaultEnv env(Env::Default(), opts);
+  const std::string fname = dir.file("f");
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_LILSM_OK(env.NewWritableFile(fname, &file));
+  ASSERT_LILSM_OK(file->Append("abcd"));  // 4 bytes: under the limit
+  Status s = file->Append("efgh");        // crosses at 6: torn after "ef"
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(env.powered_off());
+  EXPECT_EQ(env.WrittenBytes(fname), 6u);
+  file->Close();
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kEverything));
+  EXPECT_EQ(Contents(fname), "abcdef");
+}
+
+TEST(FaultEnvTest, MaterializeReArmsTheEnv) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  AppendOnce(&env, fname, "one", /*sync=*/true);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  env.CutPower();
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_FALSE(env.powered_off());
+
+  // The same wrapper serves the "recovery run": new writes land.
+  std::unique_ptr<WritableFile> file;
+  ASSERT_LILSM_OK(env.NewWritableFile(dir.file("g"), &file));
+  ASSERT_LILSM_OK(file->Append("two"));
+  ASSERT_LILSM_OK(file->Sync());
+  ASSERT_LILSM_OK(file->Close());
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_EQ(Contents(fname), "one");
+  EXPECT_EQ(Contents(dir.file("g")), "two");
+}
+
+TEST(FaultEnvTest, AdoptsPreexistingFilesAsDurable) {
+  ScratchDir dir("fault");
+  const std::string fname = dir.file("pre");
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), "existing", fname));
+
+  // The wrapper first touches the directory after `pre` already exists;
+  // a crash must not delete state the env did not create.
+  FaultEnv env(Env::Default());
+  AppendOnce(&env, dir.file("new"), "n", /*sync=*/false);
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_EQ(Contents(fname), "existing");
+  EXPECT_FALSE(env.FileExists(dir.file("new")));
+}
+
+TEST(FaultEnvTest, TruncatingReopenRollsBackWithoutDirSync) {
+  ScratchDir dir("fault");
+  FaultEnv env(Env::Default());
+  const std::string fname = dir.file("f");
+
+  AppendOnce(&env, fname, "old-contents", /*sync=*/true);
+  ASSERT_LILSM_OK(env.SyncDir(dir.path()));
+  // O_TRUNC reopen binds a fresh inode; without a directory sync the
+  // durable namespace still points at the old one.
+  AppendOnce(&env, fname, "new", /*sync=*/true);
+
+  ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+  EXPECT_EQ(Contents(fname), "old-contents");
+}
+
+TEST(FaultEnvTest, StepMatrixWalksEveryCrashPoint) {
+  // The pattern the CURRENT-install regression uses: re-run a protocol
+  // with the op budget stepped 1, 2, 3, ... and materialize at each cut.
+  // Every intermediate image must be one of the protocol's legal states.
+  bool completed = false;
+  for (uint64_t budget = 1; budget <= 32 && !completed; budget++) {
+    ScratchDir dir("fault");
+    FaultEnv env(Env::Default());
+    const std::string a = dir.file("a");
+    const std::string b = dir.file("b");
+    {
+      env.SetFailAfterOps(budget);
+      Status s;
+      std::unique_ptr<WritableFile> fa, fb;
+      s = env.NewWritableFile(a, &fa);                     // op 1
+      if (s.ok()) s = fa->Append("A");                     // op 2
+      if (s.ok()) s = fa->Sync();                          // op 3
+      if (s.ok()) s = env.SyncDir(dir.path());             // op 4
+      if (s.ok()) s = env.NewWritableFile(b, &fb);         // op 5
+      if (s.ok()) s = fb->Append("B");                     // op 6
+      if (s.ok()) s = fb->Sync();                          // op 7
+      if (s.ok()) s = env.SyncDir(dir.path());             // op 8
+      if (fa != nullptr) fa->Close();
+      if (fb != nullptr) fb->Close();
+      ASSERT_LILSM_OK(env.MaterializeCrash(CrashSurvival::kDurableOnly));
+      const bool a_ok = env.FileExists(a);
+      const bool b_ok = env.FileExists(b);
+      if (a_ok) {
+        EXPECT_EQ(Contents(a), "A");
+      }
+      if (b_ok) {
+        EXPECT_EQ(Contents(b), "B");
+      }
+      EXPECT_FALSE(!a_ok && b_ok) << "b durable before a at step " << budget;
+      if (s.ok()) {
+        EXPECT_TRUE(a_ok && b_ok);
+        completed = true;  // the protocol ran to completion: matrix done
+      }
+    }
+  }
+  EXPECT_TRUE(completed);
+}
+
+}  // namespace
+}  // namespace lilsm

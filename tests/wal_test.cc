@@ -109,6 +109,126 @@ TEST(WalTest, EmptyFileIsCleanEof) {
   std::string record;
   EXPECT_FALSE(reader->ReadRecord(&record));
   EXPECT_FALSE(reader->hit_corruption());
+  EXPECT_EQ(reader->result(), LogReadStatus::kEof);
+}
+
+// ---------------------------------------------------------------------------
+// Typed classification: every way a log can end or be damaged, with the
+// LogReadStatus recovery keys on. A crash can only tear the tail
+// (kTornTail, clean end of log); damage with intact records after it is
+// mid-log corruption (kCorruption, recovery must fail loudly).
+// ---------------------------------------------------------------------------
+
+// Writes `records` to a fresh log and returns the raw bytes.
+std::string BuildLog(const std::string& fname,
+                     const std::vector<std::string>& records) {
+  std::unique_ptr<LogWriter> writer;
+  EXPECT_LILSM_OK(OpenWriter(fname, &writer));
+  for (const std::string& record : records) {
+    EXPECT_LILSM_OK(writer->AddRecord(record));
+  }
+  EXPECT_LILSM_OK(writer->Close());
+  std::string contents;
+  EXPECT_LILSM_OK(ReadFileToString(Env::Default(), fname, &contents));
+  return contents;
+}
+
+// Replays `contents` as a log file; returns the terminal status and the
+// records successfully read.
+LogReadStatus Replay(const std::string& fname, const std::string& contents,
+                     std::vector<std::string>* read) {
+  EXPECT_LILSM_OK(WriteStringToFile(Env::Default(), contents, fname));
+  std::unique_ptr<LogReader> reader;
+  EXPECT_LILSM_OK(OpenReader(fname, &reader));
+  std::string record;
+  read->clear();
+  while (reader->Read(&record) == LogReadStatus::kOk) {
+    read->push_back(record);
+  }
+  return reader->result();
+}
+
+TEST(WalTypedTest, CleanEndOfLogIsEof) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  const std::string contents = BuildLog(fname, {"a", "b"});
+  std::vector<std::string> read;
+  EXPECT_EQ(Replay(fname, contents, &read), LogReadStatus::kEof);
+  EXPECT_EQ(read, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(WalTypedTest, EofInsideHeaderIsTornTail) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  std::string contents = BuildLog(fname, {"first", "second"});
+  // Keep record one plus 3 bytes of record two's 8-byte header.
+  contents.resize(8 + 5 + 3);
+  std::vector<std::string> read;
+  EXPECT_EQ(Replay(fname, contents, &read), LogReadStatus::kTornTail);
+  EXPECT_EQ(read, (std::vector<std::string>{"first"}));
+}
+
+TEST(WalTypedTest, EofInsidePayloadIsTornTail) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  std::string contents = BuildLog(fname, {"first", "second-payload"});
+  contents.resize(contents.size() - 4);
+  std::vector<std::string> read;
+  EXPECT_EQ(Replay(fname, contents, &read), LogReadStatus::kTornTail);
+  EXPECT_EQ(read, (std::vector<std::string>{"first"}));
+}
+
+TEST(WalTypedTest, CrcMismatchOnFinalRecordIsTornTail) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  // Flip a payload byte of the last record: full length present, bad
+  // checksum, nothing after — the shape of partially persisted sectors.
+  std::string contents = BuildLog(fname, {"first", "second"});
+  contents.back() = static_cast<char>(contents.back() ^ 0x01);
+  std::vector<std::string> read;
+  EXPECT_EQ(Replay(fname, contents, &read), LogReadStatus::kTornTail);
+  EXPECT_EQ(read, (std::vector<std::string>{"first"}));
+}
+
+TEST(WalTypedTest, CrcMismatchMidLogIsCorruption) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  // Flip a payload byte of record ONE while an intact record follows: a
+  // crash cannot produce this, so it must refuse, not truncate.
+  std::string contents = BuildLog(fname, {"first", "second"});
+  contents[8] = static_cast<char>(contents[8] ^ 0x01);
+  std::vector<std::string> read;
+  EXPECT_EQ(Replay(fname, contents, &read), LogReadStatus::kCorruption);
+  EXPECT_TRUE(read.empty());
+}
+
+TEST(WalTypedTest, GarbageLengthAtTailIsTornTail) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  std::string contents = BuildLog(fname, {"first"});
+  // Append a scribbled header claiming an absurd (> 1 GiB) payload with
+  // only a few bytes behind it: the torn final record of a crash.
+  contents.append("\xff\xff\xff\xff", 4);  // crc
+  contents.append("\xff\xff\xff\x7f", 4);  // length = 0x7fffffff
+  contents.append("junk");
+  std::vector<std::string> read;
+  EXPECT_EQ(Replay(fname, contents, &read), LogReadStatus::kTornTail);
+  EXPECT_EQ(read, (std::vector<std::string>{"first"}));
+}
+
+TEST(WalTypedTest, TerminalStatusIsSticky) {
+  ScratchDir dir("wal");
+  const std::string fname = dir.file("log");
+  std::string contents = BuildLog(fname, {"first", "second"});
+  contents[8] = static_cast<char>(contents[8] ^ 0x01);
+  ASSERT_LILSM_OK(WriteStringToFile(Env::Default(), contents, fname));
+  std::unique_ptr<LogReader> reader;
+  ASSERT_LILSM_OK(OpenReader(fname, &reader));
+  std::string record;
+  EXPECT_EQ(reader->Read(&record), LogReadStatus::kCorruption);
+  // Further reads must not skip past the damage to the intact record.
+  EXPECT_EQ(reader->Read(&record), LogReadStatus::kCorruption);
+  EXPECT_TRUE(reader->hit_corruption());
 }
 
 }  // namespace
